@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared helpers for the benchmark/reproduction harnesses: the standard
+// problems, cluster configurations, and a fixed-width table printer whose
+// output mirrors the paper's tables and figure series. Every harness prints
+// a `# paper:` line stating the qualitative expectation from the paper so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pumg/method.hpp"
+#include "pumg/nupdr.hpp"
+#include "pumg/ooc.hpp"
+#include "pumg/pcdm.hpp"
+#include "pumg/updr.hpp"
+#include "util/format.hpp"
+
+namespace mrts::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("# paper: %s\n", paper.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::vector<std::string> cells{to_cell(args)...};
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::printf("|");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return util::format("{:.2f}", v);
+    } else {
+      return util::format("{}", v);
+    }
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The uniform workload (square domain) at a target element count.
+inline pumg::MeshProblem uniform_problem(std::size_t target_elements) {
+  // elements ~ area / (0.433 h^2) with area 1.
+  const double h = std::sqrt(1.0 / (0.433 * static_cast<double>(target_elements)));
+  return pumg::MeshProblem{
+      mesh::make_unit_square(),
+      {.min_angle_deg = 20.0, .size_field = mesh::uniform_size(h)}};
+}
+
+/// The graded workload (pipe cross-section) at a target element count.
+inline pumg::MeshProblem graded_problem(std::size_t target_elements) {
+  const double annulus = 3.14159265 * (1.0 - 0.45 * 0.45);
+  // Calibrated so the graded field produces roughly the target count.
+  const double h_far =
+      std::sqrt(annulus / (0.30 * static_cast<double>(target_elements)));
+  return pumg::MeshProblem{
+      mesh::make_pipe_section(1.0, 0.45, 48),
+      {.min_angle_deg = 20.0,
+       .size_field =
+           mesh::graded_size({0.0, 1.0}, h_far / 4.0, h_far, 0.15, 1.4)}};
+}
+
+/// Cluster options for the OOC runs: in-memory spill by default so results
+/// reflect the runtime rather than the host filesystem; pass kFile to
+/// exercise real disk I/O.
+inline core::ClusterOptions ooc_cluster(std::size_t nodes,
+                                        std::size_t budget_kb,
+                                        core::SpillMedium medium =
+                                            core::SpillMedium::kFile) {
+  core::ClusterOptions options;
+  options.nodes = nodes;
+  options.runtime.ooc.memory_budget_bytes = budget_kb << 10;
+  options.spill = medium;
+  options.max_run_time = std::chrono::seconds(300);
+  return options;
+}
+
+}  // namespace mrts::bench

@@ -1,0 +1,101 @@
+// Ablation (paper §II.E / [27]): the distributed mobile-object directory
+// with lazy location updates vs no updates at all (messages forward through
+// stale entries forever). Workload: objects migrate around the ring while
+// a fixed sender keeps messaging them.
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+using namespace mrts::core;
+
+namespace {
+
+class Blob : public MobileObject {
+ public:
+  std::uint64_t hits = 0;
+  std::vector<std::uint64_t> data = std::vector<std::uint64_t>(2000, 7);
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(hits);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    hits = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Blob) + data.size() * 8;
+  }
+};
+
+struct ChurnResult {
+  double seconds = 0.0;
+  std::uint64_t forwards = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t updates = 0;
+};
+
+ChurnResult run_churn(bool lazy_updates) {
+  ClusterOptions options;
+  options.nodes = 6;
+  options.spill = SpillMedium::kMemory;
+  options.runtime.lazy_location_updates = lazy_updates;
+  Cluster cluster(options);
+  const TypeId type = cluster.registry().register_type<Blob>("blob");
+  // Handler: count the hit, then hop to the next node (migration churn),
+  // so every sender location estimate goes stale immediately.
+  const HandlerId h_hop = cluster.registry().register_handler(
+      type, [](Runtime& rt, MobileObject& obj, MobilePtr self, NodeId,
+               util::ByteReader&) {
+        auto& blob = static_cast<Blob&>(obj);
+        ++blob.hits;
+        rt.migrate(self, (rt.node() + 1) % 6);
+      });
+
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 24; ++i) {
+    auto [p, blob] = cluster.node(i % 6).create<Blob>(type);
+    ptrs.push_back(p);
+  }
+  ChurnResult result;
+  util::WallTimer timer;
+  for (int round = 0; round < 20; ++round) {
+    for (MobilePtr p : ptrs) {
+      cluster.node(0).send(p, h_hop, std::vector<std::byte>{});
+    }
+    (void)cluster.run();
+  }
+  result.seconds = timer.seconds();
+  result.forwards = cluster.sum_counters(
+      [](const NodeCounters& c) { return c.messages_forwarded.load(); });
+  result.delivered = cluster.sum_counters(
+      [](const NodeCounters& c) { return c.messages_executed.load(); });
+  result.updates = cluster.sum_counters(
+      [](const NodeCounters& c) { return c.location_updates.load(); });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Directory ablation — lazy location updates vs none, under migration "
+      "churn (24 objects hopping around 6 nodes, 20 rounds of messages)",
+      "lazy updates keep forwarding chains short at a small update cost "
+      "(paper [27]: lazy updates are a good accuracy/overhead compromise)");
+
+  Table t({"policy", "time (s)", "messages", "forwards", "forwards/msg",
+           "location updates"});
+  for (bool lazy : {true, false}) {
+    const auto r = run_churn(lazy);
+    t.row(lazy ? "lazy updates" : "no updates", r.seconds, r.delivered,
+          r.forwards,
+          util::format("{:.2f}", static_cast<double>(r.forwards) /
+                                     static_cast<double>(r.delivered)),
+          r.updates);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: execution time of the in-core NUPDR vs the MRTS-hosted ONUPDR
+// for 1, 2, and 4 PEs on graded problems that fit in memory.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Figure 6 — NUPDR vs ONUPDR, in-core graded problems (quadtree)",
+      "overhead up to ~18% for 4 and 8 PEs; larger at low PE counts where "
+      "the in-core mesher's lean allocator shows (paper: up to 41% at 2 PEs)");
+
+  Table t({"PEs", "elements (10^3)", "NUPDR (s)", "ONUPDR (s)", "overhead"});
+  for (std::size_t pes : {1, 2, 4}) {
+    for (std::size_t target : {20000, 60000, 120000}) {
+      const auto problem = graded_problem(target);
+      auto pool =
+          tasking::make_pool(tasking::PoolBackend::kWorkStealing, pes);
+      const auto incore = pumg::run_nupdr(
+          problem, {.leaf_element_budget = 4000}, *pool);
+      pumg::OnupdrOocConfig config{
+          .cluster = ooc_cluster(std::max<std::size_t>(pes, 1), 1 << 20,
+                                 core::SpillMedium::kMemory),
+          .leaf_element_budget = 4000,
+          .max_concurrent_leaves = 2 * pes};
+      const auto ooc = pumg::run_onupdr_ooc(problem, config);
+      t.row(pes, incore.elements / 1000, incore.wall_seconds,
+            ooc.report.total_seconds,
+            util::format("{:.1f}%", 100.0 * (ooc.report.total_seconds -
+                                             incore.wall_seconds) /
+                                        incore.wall_seconds));
+    }
+  }
+  t.print();
+  return 0;
+}

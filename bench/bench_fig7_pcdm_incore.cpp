@@ -1,0 +1,32 @@
+// Figure 7: execution time of the in-core PCDM vs the MRTS-hosted OPCDM on
+// problem sizes that fit in memory.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Figure 7 — PCDM vs OPCDM, in-core problem sizes (8 strips)",
+      "OPCDM tracks PCDM closely when memory suffices (paper: up to 13% "
+      "overhead)");
+
+  Table t({"elements (10^3)", "PCDM (s)", "OPCDM (s)", "overhead"});
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, 4);
+  for (std::size_t target : {10000, 20000, 40000, 80000, 160000}) {
+    const auto problem = uniform_problem(target);
+    const auto incore = pumg::run_pcdm(problem, {.strips = 8}, *pool);
+    pumg::OpcdmOocConfig config{
+        .cluster = ooc_cluster(4, 1 << 20, core::SpillMedium::kMemory),
+        .strips = 8};
+    const auto ooc = pumg::run_opcdm_ooc(problem, config);
+    t.row(incore.elements / 1000, incore.wall_seconds,
+          ooc.report.total_seconds,
+          util::format("{:.1f}%", 100.0 * (ooc.report.total_seconds -
+                                           incore.wall_seconds) /
+                                      incore.wall_seconds));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation (paper §II.D/[25]): dynamic load balancing by the control
+// layer. A pathologically imbalanced workload — every mobile object and
+// every message created on node 0 of a 4-node cluster — run with and
+// without the balancer. Overdecomposition is what gives the balancer units
+// small enough to shed.
+
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+using namespace mrts::core;
+
+namespace {
+
+class Work : public MobileObject {
+ public:
+  std::uint64_t done = 0;
+  std::vector<std::uint64_t> data = std::vector<std::uint64_t>(4000, 1);
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(done);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    done = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Work) + data.size() * 8;
+  }
+};
+
+struct Outcome {
+  double seconds;
+  std::uint64_t migrations;
+  std::size_t hosting_nodes;
+};
+
+Outcome run_imbalanced(bool balanced, int objects, int rounds) {
+  ClusterOptions options;
+  options.nodes = 4;
+  options.spill = SpillMedium::kMemory;
+  options.balance.enabled = balanced;
+  options.balance.interval = std::chrono::milliseconds(2);
+  options.balance.objects_per_advice = 2;
+  Cluster cluster(options);
+  const TypeId type = cluster.registry().register_type<Work>("work");
+  const HandlerId h = cluster.registry().register_handler(
+      type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+               util::ByteReader&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++static_cast<Work&>(obj).done;
+      });
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < objects; ++i) {
+    ptrs.push_back(cluster.node(0).create<Work>(type).first);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (MobilePtr p : ptrs) {
+      cluster.node(0).send(p, h, std::vector<std::byte>{});
+    }
+  }
+  const auto report = cluster.run();
+  Outcome out;
+  out.seconds = report.total_seconds;
+  out.migrations = cluster.sum_counters(
+      [](const NodeCounters& c) { return c.migrations_in.load(); });
+  out.hosting_nodes = 0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(static_cast<NodeId>(n)).local_objects() > 0) {
+      ++out.hosting_nodes;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Load-balancing ablation — all work created on node 0 of 4 nodes "
+      "(1 ms handlers; note: this host has 1 physical core, so wall-clock "
+      "parity rather than speedup is expected — the sleep-based handlers "
+      "still let shed work proceed concurrently)",
+      "the control layer sheds queued mobile objects to idle nodes; "
+      "without balancing one node processes everything");
+
+  Table t({"balancing", "objects", "rounds", "time (s)", "migrations",
+           "nodes hosting objects"});
+  for (bool balanced : {false, true}) {
+    const auto r = run_imbalanced(balanced, 32, 8);
+    t.row(balanced ? "on" : "off", 32, 8, r.seconds, r.migrations,
+          r.hosting_nodes);
+  }
+  t.print();
+  return 0;
+}

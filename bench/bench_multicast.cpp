@@ -1,0 +1,34 @@
+// Ablation (paper §III "Findings"): ONUPDR with the experimental multicast
+// mobile message (collect leaf + buffer in-core on one node, then apply
+// boundary splits through direct inline handler calls) vs the base variant
+// that routes splits through the refinement-queue object.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Multicast ablation — ONUPDR base vs multicast collection",
+      "the multicast variant trades migrations for inline split delivery; "
+      "the paper reports the optimized collect-based ONUPDR performs "
+      "similarly to NUPDR, with multicast opening room for optimization");
+
+  Table t({"variant", "time (s)", "elements (10^3)", "migrations",
+           "inline deliveries", "messages"});
+  for (bool multicast : {false, true}) {
+    const auto problem = graded_problem(60000);
+    pumg::OnupdrOocConfig config{
+        .cluster = ooc_cluster(3, 8192, core::SpillMedium::kFile),
+        .leaf_element_budget = 2000,
+        .use_multicast = multicast,
+        .max_concurrent_leaves = 4};
+    const auto r = pumg::run_onupdr_ooc(problem, config);
+    t.row(multicast ? "multicast collect" : "via refinement queue",
+          r.report.total_seconds, r.mesh.elements / 1000, r.migrations,
+          r.inline_deliveries, r.messages_executed);
+  }
+  t.print();
+  return 0;
+}

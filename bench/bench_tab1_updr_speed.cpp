@@ -1,0 +1,47 @@
+// Table I: single-PE Speed = S / (T * N) for UPDR (in-core) and OUPDR
+// (out-of-core) across problem sizes. The paper's point: both variants
+// sustain roughly constant per-PE speed as the problem grows, and the OOC
+// variant keeps going past the sizes the in-core variant can hold.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Table I — single-PE speed of UPDR and OUPDR "
+      "(Speed = elements / (time * PEs), 10^3 elements/s)",
+      "speed stays roughly constant as problem size grows for both; the "
+      "out-of-core variant extends to sizes the in-core one cannot hold");
+
+  Table t({"elements (10^3)", "UPDR PEs", "UPDR speed", "OUPDR nodes",
+           "OUPDR speed"});
+  const std::size_t pes = 4;
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, pes);
+  for (std::size_t target : {20000, 40000, 80000, 160000, 320000}) {
+    const auto problem = uniform_problem(target);
+    // In-core variant only for sizes that "fit" (emulating the paper's
+    // memory wall at the two largest sizes).
+    std::string updr_speed = "n/a";
+    if (target <= 160000) {
+      const auto incore = pumg::run_updr(problem, {.nx = 4, .ny = 4}, *pool);
+      updr_speed = util::format(
+          "{:.0f}", static_cast<double>(incore.elements) /
+                        (incore.wall_seconds * static_cast<double>(pes)) /
+                        1000.0);
+    }
+    pumg::OupdrOocConfig config{
+        .cluster = ooc_cluster(pes, 4096, core::SpillMedium::kFile),
+        .nx = 6,
+        .ny = 6};
+    const auto ooc = pumg::run_oupdr_ooc(problem, config);
+    const double ooc_speed =
+        static_cast<double>(ooc.mesh.elements) /
+        (ooc.report.total_seconds * static_cast<double>(pes)) / 1000.0;
+    t.row(ooc.mesh.elements / 1000, pes, updr_speed, pes,
+          util::format("{:.0f}", ooc_speed));
+  }
+  t.print();
+  return 0;
+}

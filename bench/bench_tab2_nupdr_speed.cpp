@@ -1,0 +1,43 @@
+// Table II: single-PE Speed for NUPDR (in-core) and ONUPDR (out-of-core)
+// across graded problem sizes.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Table II — single-PE speed of NUPDR and ONUPDR "
+      "(Speed = elements / (time * PEs), 10^3 elements/s)",
+      "roughly constant per-PE speed as size grows; OOC variant continues "
+      "past the in-core memory wall");
+
+  Table t({"elements (10^3)", "NUPDR speed (2 PE)", "ONUPDR speed (2 nodes)"});
+  const std::size_t pes = 2;
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, pes);
+  for (std::size_t target : {20000, 40000, 80000, 160000, 320000}) {
+    const auto problem = graded_problem(target);
+    std::string incore_speed = "n/a";
+    if (target <= 160000) {
+      const auto incore =
+          pumg::run_nupdr(problem, {.leaf_element_budget = 4000}, *pool);
+      incore_speed = util::format(
+          "{:.0f}", static_cast<double>(incore.elements) /
+                        (incore.wall_seconds * static_cast<double>(pes)) /
+                        1000.0);
+    }
+    pumg::OnupdrOocConfig config{
+        .cluster = ooc_cluster(pes, 4096, core::SpillMedium::kFile),
+        .leaf_element_budget = 4000,
+        .max_concurrent_leaves = 2 * pes};
+    const auto ooc = pumg::run_onupdr_ooc(problem, config);
+    const double ooc_speed =
+        static_cast<double>(ooc.mesh.elements) /
+        (ooc.report.total_seconds * static_cast<double>(pes)) / 1000.0;
+    t.row(ooc.mesh.elements / 1000, incore_speed,
+          util::format("{:.0f}", ooc_speed));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table VII: ONUPDR's computing layer with the two multithreading backends —
+// work-stealing (TBB-like) vs central-queue (GCD-like): sequential time T1,
+// parallel time T4, and relative speedup, on the pipe cross-section.
+//
+// Host note: this container exposes a single CPU core, so wall-clock
+// speedups hover near 1 regardless of backend; the scheduling-discipline
+// comparison (tasks executed, relative backend cost) is still meaningful,
+// and on a multi-core host the same harness reports real speedups.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Table VII — NUPDR computing-layer backends: work-stealing (TBB-like) "
+      "vs central-queue (GCD-like), pipe cross-section",
+      "both backends behave similarly; the GCD-style central queue is "
+      "slightly slower, and trends match across sizes");
+
+  Table t({"elements (10^3)", "WS T1 (s)", "WS T4 (s)", "WS spdup",
+           "CQ T1 (s)", "CQ T4 (s)", "CQ spdup"});
+  for (std::size_t target : {30000, 60000, 120000, 240000}) {
+    const auto problem = graded_problem(target);
+    double t1[2], t4[2];
+    std::size_t elements = 0;
+    int i = 0;
+    for (auto backend : {tasking::PoolBackend::kWorkStealing,
+                         tasking::PoolBackend::kCentralQueue}) {
+      auto pool1 = tasking::make_pool(backend, 1);
+      auto pool4 = tasking::make_pool(backend, 4);
+      const auto r1 =
+          pumg::run_nupdr(problem, {.leaf_element_budget = 4000}, *pool1);
+      const auto r4 =
+          pumg::run_nupdr(problem, {.leaf_element_budget = 4000}, *pool4);
+      t1[i] = r1.wall_seconds;
+      t4[i] = r4.wall_seconds;
+      elements = r1.elements;
+      ++i;
+    }
+    t.row(elements / 1000, t1[0], t4[0],
+          util::format("{:.2f}", t1[0] / t4[0]), t1[1], t4[1],
+          util::format("{:.2f}", t1[1] / t4[1]));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation (paper §II.E): sensitivity to the hard and soft swapping
+// thresholds. Hard = multiple of the largest spilled object that must stay
+// free after any allocation (paper default 2); soft = fraction of the
+// budget below which background eviction is advised (paper default 1/2).
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+int main() {
+  print_header(
+      "Swapping-threshold ablation — OPCDM (2 nodes, 2 MB/node)",
+      "the defaults (hard x2, soft 1/2) balance eviction churn against "
+      "allocation stalls; extreme settings spill more or run closer to the "
+      "memory wall");
+
+  const auto problem = uniform_problem(60000);
+  Table t({"hard mult", "soft frac", "time (s)", "spills", "loads",
+           "bytes spilled MB"});
+  for (double hard : {1.0, 2.0, 4.0}) {
+    for (double soft : {0.25, 0.5, 0.75}) {
+      auto cluster = ooc_cluster(2, 2048, core::SpillMedium::kFile);
+      cluster.runtime.ooc.hard_multiplier = hard;
+      cluster.runtime.ooc.soft_fraction = soft;
+      pumg::OpcdmOocConfig config{.cluster = cluster, .strips = 16};
+      const auto r = pumg::run_opcdm_ooc(problem, config);
+      t.row(hard, soft, r.report.total_seconds, r.objects_spilled,
+            r.objects_loaded, r.bytes_spilled >> 20);
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Out-of-core parallel mesh generation end to end: generate a graded
+// guaranteed-quality mesh of a pipe cross-section with each of the three
+// PUMG methods hosted on the MRTS runtime, under a memory budget far below
+// the mesh size, and compare against the sequential baseline.
+//
+// Build & run:   cmake --build build && ./build/examples/ooc_meshing
+
+#include <cstdio>
+
+#include "mesh/export.hpp"
+#include "pumg/method.hpp"
+#include "pumg/ooc.hpp"
+
+using namespace mrts;
+using namespace mrts::pumg;
+
+int main() {
+  // A graded problem: fine elements near the top of the bore, coarse far
+  // away — the workload class NUPDR exists for.
+  const MeshProblem problem{
+      mesh::make_pipe_section(1.0, 0.45, 48),
+      {.min_angle_deg = 20.0,
+       .size_field = mesh::graded_size({0.0, 1.0}, 0.004, 0.016, 0.15, 1.4)}};
+
+  std::printf("sequential baseline...\n");
+  const auto seq = run_sequential(problem);
+  std::printf("  %s\n", seq.summary().c_str());
+
+  // Common cluster setup: 2 nodes, 2 MB each — the mesh itself is several
+  // times larger, so subdomains must rotate through memory.
+  auto cluster_options = [] {
+    core::ClusterOptions o;
+    o.nodes = 2;
+    o.runtime.ooc.memory_budget_bytes = 2 << 20;
+    o.spill = core::SpillMedium::kFile;
+    return o;
+  };
+
+  std::printf("OUPDR (grid cells, coordinator-driven phases)...\n");
+  const auto updr = run_oupdr_ooc(
+      problem, {.cluster = cluster_options(), .nx = 8, .ny = 8});
+  std::printf("  %s\n", updr.summary().c_str());
+
+  std::printf("ONUPDR (quadtree leaves, refinement-queue master)...\n");
+  const auto nupdr = run_onupdr_ooc(
+      problem,
+      {.cluster = cluster_options(), .leaf_element_budget = 2000,
+       .max_concurrent_leaves = 4});
+  std::printf("  %s\n", nupdr.summary().c_str());
+
+  std::printf("OPCDM (strips, fully asynchronous split messages)...\n");
+  std::vector<Subdomain> strips;
+  const auto pcdm = run_opcdm_ooc(
+      problem, {.cluster = cluster_options(), .strips = 12}, &strips);
+  std::printf("  %s\n", pcdm.summary().c_str());
+
+  // Visualize the decomposed mesh (one hue per strip).
+  std::vector<mesh::CompactMesh> fragments;
+  for (const auto& s : strips) fragments.push_back(extract_inside(s.tri()));
+  if (mesh::write_svg(fragments, "opcdm_mesh.svg").is_ok()) {
+    std::printf("wrote opcdm_mesh.svg (%zu fragments)\n", fragments.size());
+  }
+
+  // Sanity: all variants cover the same domain area as the baseline.
+  const double area = seq.total_area;
+  for (const auto* r : {&updr, &nupdr, &pcdm}) {
+    if (std::abs(r->mesh.total_area - area) > 1e-6 * area) {
+      std::printf("AREA MISMATCH: %.9f vs %.9f\n", r->mesh.total_area, area);
+      return 1;
+    }
+  }
+  std::printf("all methods cover area %.6f, quality goal %.0f deg\n", area,
+              problem.refine.min_angle_deg);
+  return 0;
+}

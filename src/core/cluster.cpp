@@ -1,0 +1,176 @@
+#include "core/cluster.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "storage/file_store.hpp"
+#include "storage/latency_store.hpp"
+#include "storage/mem_store.hpp"
+#include "util/log.hpp"
+
+namespace mrts::core {
+namespace {
+
+std::unique_ptr<storage::StorageBackend> make_spill_backend(
+    const ClusterOptions& options, NodeId node,
+    storage::RemoteMemoryPool* remote_pool) {
+  std::unique_ptr<storage::StorageBackend> base;
+  switch (options.spill) {
+    case SpillMedium::kFile:
+      base = std::make_unique<storage::FileStore>(storage::make_temp_spill_dir(
+          options.spill_tag + "-n" + std::to_string(node)));
+      break;
+    case SpillMedium::kMemory:
+      base = std::make_unique<storage::MemStore>();
+      break;
+    case SpillMedium::kRemoteMemory:
+      base = remote_pool->backend_for(node);
+      break;
+  }
+  const bool modeled = options.disk_model.access_latency.count() > 0 ||
+                       options.disk_model.bandwidth_bytes_per_sec > 0.0;
+  if (modeled) {
+    return std::make_unique<storage::LatencyStore>(std::move(base),
+                                                   options.disk_model);
+  }
+  return base;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  fabric_ = std::make_unique<net::Fabric>(options_.nodes, options_.link);
+  if (options_.spill == SpillMedium::kRemoteMemory) {
+    remote_pool_ = std::make_unique<storage::RemoteMemoryPool>(
+        options_.nodes, options_.remote_memory_model,
+        options_.remote_memory_capacity_bytes);
+  }
+  runtimes_.reserve(options_.nodes);
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    runtimes_.push_back(std::make_unique<Runtime>(
+        id, fabric_->endpoint(id), registry_,
+        make_spill_backend(options_, id, remote_pool_.get()),
+        options_.runtime));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::uint64_t Cluster::global_activity() const {
+  std::uint64_t total = fabric_->send_epoch();
+  for (const auto& rt : runtimes_) total += rt->activity_epoch();
+  return total;
+}
+
+bool Cluster::all_idle() const {
+  for (const auto& rt : runtimes_) {
+    if (!rt->is_idle()) return false;
+  }
+  return true;
+}
+
+RunReport Cluster::run() {
+  registry_.seal();
+
+  struct Snapshot {
+    double comp, comm, disk;
+  };
+  std::vector<Snapshot> before(runtimes_.size());
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const auto& c = runtimes_[i]->counters();
+    before[i] = {c.comp_time.seconds(), c.comm_time.seconds(),
+                 c.disk_time.seconds()};
+  }
+  const net::FabricStats fabric_before = fabric_->stats();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(runtimes_.size());
+  for (auto& rt : runtimes_) {
+    threads.emplace_back([&stop, runtime = rt.get()] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!runtime->progress_once()) {
+          // Idle: yield the (possibly single) CPU to busy nodes.
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    });
+  }
+
+  util::WallTimer timer;
+  bool timed_out = false;
+  std::uint64_t prev_activity = 0;
+  bool prev_quiet = false;
+  util::WallTimer balance_timer;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (timer.seconds() > static_cast<double>(options_.max_run_time.count())) {
+      timed_out = true;
+      break;
+    }
+    const bool quiet_now = all_idle() && fabric_->all_delivered();
+    const std::uint64_t activity_now = global_activity();
+    if (quiet_now && prev_quiet && activity_now == prev_activity) {
+      break;  // two consecutive quiet scans with no work created in between
+    }
+    prev_quiet = quiet_now;
+    prev_activity = activity_now;
+
+    // Dynamic load balancing: sample queued work, advise the most loaded
+    // node to shed queued objects to the least loaded one.
+    if (options_.balance.enabled &&
+        balance_timer.elapsed() >= options_.balance.interval) {
+      balance_timer.reset();
+      std::size_t hi = 0, lo = 0;
+      std::uint64_t hi_load = 0,
+                    lo_load = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+        const std::uint64_t load = runtimes_[i]->queued_messages();
+        if (load > hi_load) {
+          hi_load = load;
+          hi = i;
+        }
+        if (load < lo_load) {
+          lo_load = load;
+          lo = i;
+        }
+      }
+      if (hi != lo &&
+          hi_load > options_.balance.imbalance_factor *
+                            static_cast<double>(lo_load) +
+                        static_cast<double>(options_.balance.slack_messages)) {
+        runtimes_[hi]->advise_shed(options_.balance.objects_per_advice,
+                                   static_cast<NodeId>(lo));
+      }
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  for (auto& rt : runtimes_) rt->flush_stores();
+  const double total = timer.seconds();
+
+  RunReport report;
+  report.timed_out = timed_out;
+  report.total_seconds = total;
+  const auto n = static_cast<double>(runtimes_.size());
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const auto& c = runtimes_[i]->counters();
+    report.comp_seconds += (c.comp_time.seconds() - before[i].comp) / n;
+    report.comm_seconds += (c.comm_time.seconds() - before[i].comm) / n;
+    report.disk_seconds += (c.disk_time.seconds() - before[i].disk) / n;
+  }
+  const net::FabricStats fabric_after = fabric_->stats();
+  report.fabric.messages_sent =
+      fabric_after.messages_sent - fabric_before.messages_sent;
+  report.fabric.messages_delivered =
+      fabric_after.messages_delivered - fabric_before.messages_delivered;
+  report.fabric.bytes_sent = fabric_after.bytes_sent - fabric_before.bytes_sent;
+  if (timed_out) {
+    MRTS_LOG_ERROR("cluster run timed out after {:.1f}s", total);
+  }
+  return report;
+}
+
+}  // namespace mrts::core

@@ -1,0 +1,101 @@
+#pragma once
+
+// Cluster: owns the simulated fabric and one Runtime per node, drives the
+// parallel phase, and detects global quiescence (the paper's termination
+// condition: "no message handlers are executing and no messages are being
+// delivered"). Each node's control loop runs on its own thread; the calling
+// thread acts as the termination detector using a double-scan over
+// (idle flags, activity counters, fabric delivery counters).
+//
+// Usage:
+//   Cluster cluster(options);
+//   TypeId t = cluster.registry().register_type<MyObj>("myobj");
+//   HandlerId h = cluster.registry().register_handler(t, ...);
+//   auto [ptr, obj] = cluster.node(0).create<MyObj>(t);
+//   cluster.node(0).send(ptr, h, {});          // post initial messages
+//   RunBreakdown b = cluster.run();            // parallel phase
+//   ... inspect results via cluster.node(i).peek(...) ...
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "simnet/fabric.hpp"
+#include "storage/latency_store.hpp"
+#include "storage/remote_store.hpp"
+
+namespace mrts::core {
+
+enum class SpillMedium {
+  kFile,          // real files in a temp spill directory
+  kMemory,        // process-local map (fast; unit tests, baselines)
+  kRemoteMemory,  // peers' RAM via the shared RemoteMemoryPool (paper [33])
+};
+
+struct ClusterOptions {
+  std::size_t nodes = 4;
+  RuntimeOptions runtime;
+  net::LinkModel link;
+  SpillMedium spill = SpillMedium::kFile;
+  /// Optional modeled device latency stacked on the spill backend.
+  storage::DeviceModel disk_model;
+  /// Network put/get cost for SpillMedium::kRemoteMemory.
+  storage::DeviceModel remote_memory_model;
+  /// Per-node capacity of the remote-memory pool (0 = unlimited).
+  std::uint64_t remote_memory_capacity_bytes = 0;
+  /// Tag used in spill directory names.
+  std::string spill_tag = "mrts";
+  /// Safety limit for run(); exceeded runs stop and are marked timed_out.
+  std::chrono::seconds max_run_time{600};
+  /// Dynamic load balancing by the cluster monitor (paper §II.D).
+  LoadBalanceOptions balance;
+};
+
+struct RunReport : RunBreakdown {
+  bool timed_out = false;
+  net::FabricStats fabric;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] ObjectTypeRegistry& registry() { return registry_; }
+  [[nodiscard]] std::size_t size() const { return runtimes_.size(); }
+  [[nodiscard]] Runtime& node(NodeId id) { return *runtimes_.at(id); }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  /// Non-null when the cluster spills to remote memory.
+  [[nodiscard]] storage::RemoteMemoryPool* remote_memory_pool() {
+    return remote_pool_.get();
+  }
+
+  /// Runs the parallel phase until global quiescence. May be called
+  /// multiple times (multi-phase applications); counters accumulate, the
+  /// returned breakdown covers this call only.
+  RunReport run();
+
+  /// Sum of a per-node counter over all nodes.
+  template <typename Fn>
+  [[nodiscard]] std::uint64_t sum_counters(Fn&& get) const {
+    std::uint64_t total = 0;
+    for (const auto& rt : runtimes_) total += get(rt->counters());
+    return total;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t global_activity() const;
+  [[nodiscard]] bool all_idle() const;
+
+  ClusterOptions options_;
+  ObjectTypeRegistry registry_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<storage::RemoteMemoryPool> remote_pool_;
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+};
+
+}  // namespace mrts::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// Per-node performance counters. The three TimeAccumulators implement the
+// paper's computation / communication / disk-I/O breakdown: overlap
+// (Tables IV-VI) is computed by the harness as
+//   Overlap = (Comp + Comm + Disk - Total) / Total,
+// i.e. how much busy time exceeded wall time thanks to the I/O and
+// communication threads working under the computation.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace mrts::core {
+
+struct NodeCounters {
+  util::TimeAccumulator comp_time;  // message-handler execution
+  util::TimeAccumulator comm_time;  // endpoint send + AM delivery
+  util::TimeAccumulator disk_time;  // storage-layer I/O thread busy time
+
+  std::atomic<std::uint64_t> messages_executed{0};
+  std::atomic<std::uint64_t> messages_sent_local{0};
+  std::atomic<std::uint64_t> messages_sent_remote{0};
+  std::atomic<std::uint64_t> messages_forwarded{0};
+  std::atomic<std::uint64_t> inline_deliveries{0};
+  std::atomic<std::uint64_t> objects_created{0};
+  std::atomic<std::uint64_t> objects_loaded{0};
+  std::atomic<std::uint64_t> objects_spilled{0};
+  std::atomic<std::uint64_t> bytes_spilled{0};
+  std::atomic<std::uint64_t> bytes_loaded{0};
+  std::atomic<std::uint64_t> migrations_in{0};
+  std::atomic<std::uint64_t> migrations_out{0};
+  std::atomic<std::uint64_t> location_updates{0};
+
+  void reset_times() {
+    comp_time.reset();
+    comm_time.reset();
+    disk_time.reset();
+  }
+};
+
+/// Aggregated view over all nodes of a cluster run.
+struct RunBreakdown {
+  double total_seconds = 0.0;  // wall time of the parallel phase
+  double comp_seconds = 0.0;   // summed over nodes, divided by node count
+  double comm_seconds = 0.0;
+  double disk_seconds = 0.0;
+
+  [[nodiscard]] double comp_pct() const {
+    return total_seconds > 0 ? 100.0 * comp_seconds / total_seconds : 0.0;
+  }
+  [[nodiscard]] double comm_pct() const {
+    return total_seconds > 0 ? 100.0 * comm_seconds / total_seconds : 0.0;
+  }
+  [[nodiscard]] double disk_pct() const {
+    return total_seconds > 0 ? 100.0 * disk_seconds / total_seconds : 0.0;
+  }
+  /// Paper's overlap metric, clamped at zero for fully serialized runs.
+  [[nodiscard]] double overlap_pct() const {
+    if (total_seconds <= 0) return 0.0;
+    const double sum = comp_seconds + comm_seconds + disk_seconds;
+    const double ov = 100.0 * (sum - total_seconds) / total_seconds;
+    return ov > 0.0 ? ov : 0.0;
+  }
+};
+
+}  // namespace mrts::core

@@ -1,0 +1,44 @@
+#include "core/mobile_object.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mrts::core {
+
+TypeId ObjectTypeRegistry::register_type(std::string name,
+                                         ObjectFactory factory) {
+  if (sealed_) {
+    throw std::logic_error("ObjectTypeRegistry: register_type after seal()");
+  }
+  types_.push_back(Type{std::move(name), std::move(factory), {}});
+  return static_cast<TypeId>(types_.size() - 1);
+}
+
+HandlerId ObjectTypeRegistry::register_handler(TypeId type,
+                                               MessageHandler handler) {
+  if (sealed_) {
+    throw std::logic_error("ObjectTypeRegistry: register_handler after seal()");
+  }
+  auto& t = types_.at(type);
+  t.handlers.push_back(std::move(handler));
+  return static_cast<HandlerId>(t.handlers.size() - 1);
+}
+
+std::unique_ptr<MobileObject> ObjectTypeRegistry::create(TypeId type) const {
+  return types_.at(type).factory();
+}
+
+const MessageHandler& ObjectTypeRegistry::handler(TypeId type,
+                                                  HandlerId h) const {
+  return types_.at(type).handlers.at(h);
+}
+
+const std::string& ObjectTypeRegistry::type_name(TypeId type) const {
+  return types_.at(type).name;
+}
+
+std::size_t ObjectTypeRegistry::handler_count(TypeId type) const {
+  return types_.at(type).handlers.size();
+}
+
+}  // namespace mrts::core

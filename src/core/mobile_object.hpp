@@ -1,0 +1,102 @@
+#pragma once
+
+// Mobile object interface and the type/handler registry (paper §II.B/§II.E).
+// A user-defined mobile object implements serialization plus registration
+// hooks; message handlers are functions registered per object type. Handler
+// tables must be built identically on every node before the parallel phase
+// starts (the registry is immutable once sealed), mirroring how AM handler
+// indices are assigned collectively at init time on real clusters.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mobile_ptr.hpp"
+#include "util/archive.hpp"
+
+namespace mrts::core {
+
+class Runtime;
+
+using TypeId = std::uint32_t;
+using HandlerId = std::uint32_t;
+
+/// Base class of everything addressable by a mobile pointer.
+class MobileObject {
+ public:
+  virtual ~MobileObject() = default;
+
+  /// Writes the full object state; must round-trip through deserialize().
+  virtual void serialize(util::ByteWriter& out) const = 0;
+
+  /// Restores state previously written by serialize() on a blank instance.
+  virtual void deserialize(util::ByteReader& in) = 0;
+
+  /// Approximate in-core size in bytes; drives the out-of-core layer's
+  /// memory accounting. Should be cheap (called after every handler).
+  [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;
+
+  /// Called when the object is installed on a node (creation, migration
+  /// arrival, or load from disk).
+  virtual void on_register(Runtime& rt, MobilePtr self) {
+    (void)rt;
+    (void)self;
+  }
+
+  /// Called before the object leaves a node (migration or unload to disk).
+  virtual void on_unregister(Runtime& rt) { (void)rt; }
+};
+
+/// A message handler: runs on the node currently hosting the target object,
+/// with the object guaranteed in-core for the duration of the call.
+///   rt   — hosting runtime (send further messages, create objects, ...)
+///   obj  — the target object, downcast by the application
+///   self — the target's mobile pointer
+///   src  — node that posted the message
+///   args — reader over the message payload
+using MessageHandler =
+    std::function<void(Runtime& rt, MobileObject& obj, MobilePtr self,
+                       NodeId src, util::ByteReader& args)>;
+
+/// Factory creating a blank instance for deserialization.
+using ObjectFactory = std::function<std::unique_ptr<MobileObject>()>;
+
+/// Immutable-after-seal table of object types and their handlers, shared by
+/// every runtime of a cluster.
+class ObjectTypeRegistry {
+ public:
+  TypeId register_type(std::string name, ObjectFactory factory);
+
+  /// Convenience: registers T with a default-constructing factory.
+  template <typename T>
+  TypeId register_type(std::string name) {
+    return register_type(std::move(name),
+                         [] { return std::make_unique<T>(); });
+  }
+
+  HandlerId register_handler(TypeId type, MessageHandler handler);
+
+  /// Forbids further registration; called by Cluster before the parallel
+  /// phase. Registration after sealing is a programming error.
+  void seal() { sealed_ = true; }
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+  [[nodiscard]] std::unique_ptr<MobileObject> create(TypeId type) const;
+  [[nodiscard]] const MessageHandler& handler(TypeId type, HandlerId h) const;
+  [[nodiscard]] const std::string& type_name(TypeId type) const;
+  [[nodiscard]] std::size_t type_count() const { return types_.size(); }
+  [[nodiscard]] std::size_t handler_count(TypeId type) const;
+
+ private:
+  struct Type {
+    std::string name;
+    ObjectFactory factory;
+    std::vector<MessageHandler> handlers;
+  };
+  std::vector<Type> types_;
+  bool sealed_ = false;
+};
+
+}  // namespace mrts::core

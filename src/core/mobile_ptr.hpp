@@ -1,0 +1,56 @@
+#pragma once
+
+// Mobile pointer: the global identifier of a mobile object (paper §II.B).
+// Messages are addressed to mobile pointers, never to nodes; the runtime
+// routes them using its distributed directory. The id encodes the creating
+// ("home") node in the upper bits, which gives every node a fallback routing
+// target for objects it has never heard about.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/format.hpp"
+
+namespace mrts::core {
+
+using NodeId = std::uint32_t;
+
+struct MobilePtr {
+  static constexpr int kHomeShift = 48;
+
+  std::uint64_t id = 0;
+
+  [[nodiscard]] static MobilePtr make(NodeId home, std::uint64_t seq) {
+    return MobilePtr{(static_cast<std::uint64_t>(home) << kHomeShift) | seq};
+  }
+
+  [[nodiscard]] NodeId home_node() const {
+    return static_cast<NodeId>(id >> kHomeShift);
+  }
+
+  [[nodiscard]] bool is_null() const { return id == 0; }
+
+  friend bool operator==(MobilePtr a, MobilePtr b) { return a.id == b.id; }
+  friend bool operator!=(MobilePtr a, MobilePtr b) { return a.id != b.id; }
+  friend bool operator<(MobilePtr a, MobilePtr b) { return a.id < b.id; }
+};
+
+inline constexpr MobilePtr kNullPtr{};
+
+[[nodiscard]] inline std::string to_string(MobilePtr p) {
+  return util::format("mob[{}:{}]", p.home_node(),
+                      p.id & ((1ull << MobilePtr::kHomeShift) - 1));
+}
+
+}  // namespace mrts::core
+
+template <>
+struct std::hash<mrts::core::MobilePtr> {
+  std::size_t operator()(mrts::core::MobilePtr p) const noexcept {
+    // SplitMix64 finalizer: ids are sequential per node, so mix well.
+    std::uint64_t z = p.id + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,84 @@
+#include "core/ooc_layer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrts::core {
+
+void OocLayer::on_install(std::uint64_t key, std::size_t bytes) {
+  auto [it, inserted] = resident_.try_emplace(key, 0);
+  in_core_bytes_ -= it->second;
+  it->second = bytes;
+  in_core_bytes_ += bytes;
+  if (inserted) {
+    policy_.on_insert(key);
+  } else {
+    policy_.on_access(key);
+  }
+}
+
+void OocLayer::on_footprint_change(std::uint64_t key, std::size_t new_bytes) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  in_core_bytes_ -= it->second;
+  it->second = new_bytes;
+  in_core_bytes_ += new_bytes;
+}
+
+void OocLayer::on_remove(std::uint64_t key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  in_core_bytes_ -= it->second;
+  resident_.erase(it);
+  policy_.on_erase(key);
+}
+
+void OocLayer::on_spilled(std::size_t blob_bytes) {
+  largest_spilled_ = std::max(largest_spilled_, blob_bytes);
+}
+
+std::size_t OocLayer::free_bytes() const {
+  return in_core_bytes_ >= options_.memory_budget_bytes
+             ? 0
+             : options_.memory_budget_bytes - in_core_bytes_;
+}
+
+bool OocLayer::hard_pressure(std::size_t extra) const {
+  // The paper defines the hard threshold as a multiple of the largest
+  // object currently stored on disk. Cap it at half the budget: when a
+  // single object rivals the whole budget, an uncapped threshold would be
+  // unsatisfiable and every allocation check would evict the entire
+  // residency (thrash storm) without ever clearing the pressure.
+  const auto hard = std::min(
+      static_cast<std::size_t>(options_.hard_multiplier *
+                               static_cast<double>(largest_spilled_)),
+      options_.memory_budget_bytes / 2);
+  const std::size_t free = free_bytes();
+  return free < extra || free - extra < hard;
+}
+
+bool OocLayer::soft_pressure() const {
+  const auto soft = static_cast<std::size_t>(
+      options_.soft_fraction * static_cast<double>(options_.memory_budget_bytes));
+  return free_bytes() < soft;
+}
+
+std::optional<std::uint64_t> OocLayer::pick_victim(
+    const std::function<bool(std::uint64_t)>& evictable,
+    const std::function<int(std::uint64_t)>& priority_of) const {
+  // Pass 1: find the lowest priority class that has an evictable member.
+  int lowest = std::numeric_limits<int>::max();
+  bool any = false;
+  for (const auto& [key, bytes] : resident_) {
+    if (!evictable(key)) continue;
+    any = true;
+    lowest = std::min(lowest, priority_of(key));
+  }
+  if (!any) return std::nullopt;
+  // Pass 2: within that class, defer to the swapping scheme.
+  return policy_.victim([&](std::uint64_t key) {
+    return evictable(key) && priority_of(key) == lowest;
+  });
+}
+
+}  // namespace mrts::core

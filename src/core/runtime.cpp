@@ -1,0 +1,1069 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+
+namespace mrts::core {
+namespace {
+
+// Spill blobs carry their own CRC so corruption introduced anywhere between
+// serialization and deserialization (including below a CRC-checking backend)
+// is detected at reload.
+std::vector<std::byte> seal_blob(util::ByteWriter&& w) {
+  auto blob = w.take();
+  const std::uint32_t crc = util::crc32(blob);
+  const auto* p = reinterpret_cast<const std::byte*>(&crc);
+  blob.insert(blob.end(), p, p + sizeof(crc));
+  return blob;
+}
+
+std::span<const std::byte> unseal_blob(std::span<const std::byte> blob) {
+  if (blob.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("mrts: spill blob shorter than its checksum");
+  }
+  const auto payload = blob.subspan(0, blob.size() - sizeof(std::uint32_t));
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, blob.data() + payload.size(), sizeof(stored));
+  if (util::crc32(payload) != stored) {
+    throw std::runtime_error("mrts: spill blob failed checksum verification");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
+                 const ObjectTypeRegistry& registry,
+                 std::unique_ptr<storage::StorageBackend> spill_backend,
+                 RuntimeOptions options)
+    : node_(node),
+      endpoint_(endpoint),
+      registry_(registry),
+      options_(options),
+      ooc_(options.ooc),
+      store_(std::move(spill_backend), &counters_.disk_time,
+             storage::ObjectStoreOptions{.max_retries =
+                                             options.storage_max_retries}),
+      pool_(tasking::make_pool(options.pool_backend, options.pool_workers)) {
+  endpoint_.set_comm_accumulator(&counters_.comm_time);
+  register_am_handlers();
+}
+
+Runtime::~Runtime() { store_.drain(); }
+
+void Runtime::register_am_handlers() {
+  am_deliver_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { am_deliver(src, in); });
+  am_location_update_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { am_location_update(src, in); });
+  am_install_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { am_install(src, in); });
+  am_migrate_request_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { am_migrate_request(src, in); });
+  am_multicast_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { am_multicast(src, in); });
+}
+
+// --------------------------------------------------------------------------
+// Directory access
+
+Runtime::Entry& Runtime::entry_of(MobilePtr ptr) {
+  auto it = directory_.find(ptr);
+  if (it == directory_.end()) {
+    throw std::logic_error("mrts: " + to_string(ptr) + " unknown on node " +
+                           std::to_string(node_));
+  }
+  return it->second;
+}
+
+const Runtime::Entry* Runtime::find_entry(MobilePtr ptr) const {
+  auto it = directory_.find(ptr);
+  return it == directory_.end() ? nullptr : &it->second;
+}
+
+Runtime::Entry* Runtime::find_entry(MobilePtr ptr) {
+  auto it = directory_.find(ptr);
+  return it == directory_.end() ? nullptr : &it->second;
+}
+
+std::size_t Runtime::local_objects() const {
+  std::size_t n = 0;
+  for (const auto& [ptr, e] : directory_) {
+    if (e.state != Residency::kRemote) ++n;
+  }
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Object lifetime
+
+MobilePtr Runtime::adopt(TypeId type, std::unique_ptr<MobileObject> obj) {
+  assert(obj != nullptr);
+  const MobilePtr ptr = MobilePtr::make(node_, next_seq_++);
+  const std::size_t fp = obj->footprint_bytes();
+  while (ooc_.hard_pressure(fp) && spill_one_victim()) {
+  }
+  Entry e;
+  e.state = Residency::kInCore;
+  e.type = type;
+  e.obj = std::move(obj);
+  e.footprint = fp;
+  auto [it, inserted] = directory_.emplace(ptr, std::move(e));
+  assert(inserted);
+  ooc_.on_install(ptr.id, fp);
+  it->second.obj->on_register(*this, ptr);
+  counters_.objects_created.fetch_add(1, std::memory_order_relaxed);
+  bump_activity();
+  return ptr;
+}
+
+void Runtime::destroy(MobilePtr ptr) {
+  Entry& e = entry_of(ptr);
+  if (e.state == Residency::kRemote) {
+    throw std::logic_error("mrts: destroy() on a remote object");
+  }
+  if (e.running) {
+    throw std::logic_error("mrts: destroy() on an object running a handler");
+  }
+  if (e.state == Residency::kInCore) {
+    e.obj->on_unregister(*this);
+    ooc_.on_remove(ptr.id);
+  }
+  if (e.state == Residency::kOnDisk || e.blob_bytes > 0) {
+    store_.erase(ptr.id);  // ignore kNotFound for in-flight states
+  }
+  queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
+  directory_.erase(ptr);
+  bump_activity();
+}
+
+// --------------------------------------------------------------------------
+// Messaging
+
+void Runtime::send(MobilePtr dst, HandlerId handler,
+                   std::vector<std::byte> payload) {
+  Entry* e = find_entry(dst);
+  if (e == nullptr) {
+    if (dst.home_node() == node_) {
+      MRTS_LOG_WARN("node {}: dropping message to destroyed {}", node_,
+                    to_string(dst));
+      return;
+    }
+    auto [it, ignored] = directory_.emplace(dst, Entry{});
+    it->second.state = Residency::kRemote;
+    it->second.last_known = dst.home_node();
+    e = &it->second;
+  }
+  if (e->state == Residency::kRemote) {
+    counters_.messages_sent_remote.fetch_add(1, std::memory_order_relaxed);
+    route_remote(dst, handler, node_, {node_}, std::move(payload));
+    return;
+  }
+  counters_.messages_sent_local.fetch_add(1, std::memory_order_relaxed);
+  enqueue_local(*e, dst,
+                QueuedMessage{handler, node_, std::move(payload)});
+}
+
+void Runtime::route_remote(MobilePtr dst, HandlerId handler, NodeId origin,
+                           std::vector<NodeId> route,
+                           std::vector<std::byte> payload) {
+  Entry* e = find_entry(dst);
+  const NodeId next =
+      (e != nullptr && e->state == Residency::kRemote) ? e->last_known
+                                                       : dst.home_node();
+  util::ByteWriter w(payload.size() + 64);
+  w.write(dst.id);
+  w.write(handler);
+  w.write(origin);
+  w.write_vector(route);
+  w.write_vector(payload);
+  endpoint_.send(next, am_deliver_id_, w.take());
+}
+
+void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
+  const MobilePtr dst{in.read<std::uint64_t>()};
+  const auto handler = in.read<HandlerId>();
+  const auto origin = in.read<NodeId>();
+  auto route = in.read_vector<NodeId>();
+  auto payload = in.read_vector<std::byte>();
+
+  Entry* e = find_entry(dst);
+  if (e == nullptr || e->state == Residency::kRemote) {
+    if (e == nullptr && dst.home_node() == node_) {
+      MRTS_LOG_WARN("node {}: dropping routed message to destroyed {}", node_,
+                    to_string(dst));
+      return;
+    }
+    counters_.messages_forwarded.fetch_add(1, std::memory_order_relaxed);
+    route.push_back(node_);
+    route_remote(dst, handler, origin, std::move(route), std::move(payload));
+    return;
+  }
+  // Delivered. Lazy directory maintenance: everyone who relayed (or sent)
+  // this message using a stale location learns the current one.
+  if (options_.lazy_location_updates && route.size() > 1) {
+    for (NodeId n : route) {
+      if (n == node_) continue;
+      util::ByteWriter w(16);
+      w.write(dst.id);
+      w.write(node_);
+      endpoint_.send(n, am_location_update_id_, w.take());
+      counters_.location_updates.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  enqueue_local(*e, dst, QueuedMessage{handler, origin, std::move(payload)});
+}
+
+void Runtime::am_location_update(NodeId /*src*/, util::ByteReader& in) {
+  const MobilePtr ptr{in.read<std::uint64_t>()};
+  const auto where = in.read<NodeId>();
+  Entry* e = find_entry(ptr);
+  if (e == nullptr) {
+    auto [it, ignored] = directory_.emplace(ptr, Entry{});
+    it->second.state = Residency::kRemote;
+    it->second.last_known = where;
+    return;
+  }
+  if (e->state == Residency::kRemote) e->last_known = where;
+}
+
+void Runtime::enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg) {
+  e.queue.push_back(std::move(msg));
+  queued_messages_.fetch_add(1, std::memory_order_acq_rel);
+  bump_activity();
+  if (e.state == Residency::kInCore) {
+    ooc_.on_access(ptr.id);
+    push_ready(e, ptr);
+  } else if (e.state == Residency::kOnDisk && !e.load_queued) {
+    e.load_queued = true;
+    load_queue_.push_back(ptr);
+  }
+  // kLoading / kStoring: the completion path re-examines the queue.
+}
+
+void Runtime::push_ready(Entry& e, MobilePtr ptr) {
+  if (!e.in_ready_list) {
+    e.in_ready_list = true;
+    ready_.push_back(ptr);
+  }
+}
+
+bool Runtime::try_deliver_inline(MobilePtr dst, HandlerId handler,
+                                 std::span<const std::byte> payload) {
+  if (!options_.enable_inline_delivery) return false;
+  Entry* e = find_entry(dst);
+  if (e == nullptr || e->state != Residency::kInCore || e->running) {
+    return false;
+  }
+  counters_.inline_deliveries.fetch_add(1, std::memory_order_relaxed);
+  ooc_.on_access(dst.id);
+  e->running = true;
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    util::ByteReader reader(payload);
+    registry_.handler(e->type, handler)(*this, *e->obj, dst, node_, reader);
+  }
+  e->running = false;
+  counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+  after_handler_accounting(dst, *e);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Out-of-core control
+
+void Runtime::lock_in_core(MobilePtr ptr) {
+  Entry& e = entry_of(ptr);
+  if (e.state == Residency::kRemote) {
+    throw std::logic_error("mrts: lock_in_core() on a remote object");
+  }
+  ++e.lock_count;
+  if (e.state == Residency::kOnDisk || e.state == Residency::kStoring) {
+    e.load_wanted = true;
+    if (e.state == Residency::kOnDisk && !e.load_queued) {
+      e.load_queued = true;
+      load_queue_.push_back(ptr);
+    }
+    bump_activity();
+  }
+}
+
+void Runtime::unlock(MobilePtr ptr) {
+  Entry& e = entry_of(ptr);
+  assert(e.lock_count > 0);
+  --e.lock_count;
+}
+
+void Runtime::set_priority(MobilePtr ptr, int priority) {
+  Entry& e = entry_of(ptr);
+  e.priority = std::clamp(priority, kMinPriority, kMaxPriority);
+}
+
+void Runtime::prefetch(MobilePtr ptr) {
+  Entry* e = find_entry(ptr);
+  if (e == nullptr || e->state == Residency::kRemote) return;
+  if (e->state == Residency::kOnDisk || e->state == Residency::kStoring) {
+    e->load_wanted = true;
+    if (e->state == Residency::kOnDisk && !e->load_queued) {
+      e->load_queued = true;
+      load_queue_.push_back(ptr);
+    }
+    bump_activity();
+  }
+}
+
+void Runtime::refresh_footprint(MobilePtr ptr) {
+  Entry* e = find_entry(ptr);
+  if (e == nullptr || e->state != Residency::kInCore) return;
+  after_handler_accounting(ptr, *e);
+}
+
+bool Runtime::is_local(MobilePtr ptr) const {
+  const Entry* e = find_entry(ptr);
+  return e != nullptr && e->state != Residency::kRemote;
+}
+
+bool Runtime::is_in_core(MobilePtr ptr) const {
+  const Entry* e = find_entry(ptr);
+  return e != nullptr && e->state == Residency::kInCore;
+}
+
+MobileObject* Runtime::peek(MobilePtr ptr) {
+  Entry* e = find_entry(ptr);
+  return (e != nullptr && e->state == Residency::kInCore) ? e->obj.get()
+                                                          : nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Migration
+
+void Runtime::migrate(MobilePtr ptr, NodeId dst) {
+  Entry& e = entry_of(ptr);
+  if (e.state == Residency::kRemote) {
+    throw std::logic_error("mrts: migrate() on a remote object");
+  }
+  if (dst == node_) return;
+  if (e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
+      e.collect_for == 0) {
+    do_migrate(ptr, e, dst);
+    return;
+  }
+  if (e.state == Residency::kOnDisk || e.state == Residency::kStoring) {
+    e.load_wanted = true;
+    if (e.state == Residency::kOnDisk && !e.load_queued) {
+      e.load_queued = true;
+      load_queue_.push_back(ptr);
+    }
+  }
+  // Coalesce: a repeated migrate() while one is pending just retargets it
+  // (two pins for one object could never both see lock_count == 1 and
+  // would deadlock).
+  for (auto& [pending_ptr, pending_dst] : pending_migrations_) {
+    if (pending_ptr == ptr) {
+      pending_dst = dst;
+      return;
+    }
+  }
+  // Pin the object while the migration is pending: without this, memory
+  // pressure can evict it the instant it reloads (priority-based victim
+  // selection does not know about the migration) and the load/evict cycle
+  // livelocks.
+  ++e.lock_count;
+  pending_migrations_.emplace_back(ptr, dst);
+  bump_activity();
+}
+
+void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
+  assert(e.state == Residency::kInCore && !e.running && e.lock_count == 0);
+  util::ByteWriter w(e.footprint + 256);
+  w.write(ptr.id);
+  w.write(e.type);
+  w.write(static_cast<std::int32_t>(e.priority));
+  w.write<std::uint64_t>(e.queue.size());
+  for (auto& msg : e.queue) {
+    w.write(msg.handler);
+    w.write(msg.src);
+    w.write_vector(msg.payload);
+  }
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    e.obj->on_unregister(*this);
+    util::ByteWriter body(e.footprint + 64);
+    e.obj->serialize(body);
+    w.write_vector(seal_blob(std::move(body)));
+  }
+  e.obj.reset();
+  ooc_.on_remove(ptr.id);
+  if (e.blob_bytes > 0) {
+    store_.erase(ptr.id);  // stale spill copy must not outlive the move
+    e.blob_bytes = 0;
+  }
+  e.state = Residency::kRemote;
+  e.last_known = dst;
+  queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
+  e.queue.clear();
+  e.in_ready_list = false;  // stale ready entries are skipped by state check
+  counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
+  endpoint_.send(dst, am_install_id_, w.take());
+}
+
+void Runtime::am_install(NodeId src, util::ByteReader& in) {
+  const MobilePtr ptr{in.read<std::uint64_t>()};
+  const auto type = in.read<TypeId>();
+  const auto priority = in.read<std::int32_t>();
+  const auto queue_len = in.read<std::uint64_t>();
+  std::deque<QueuedMessage> queue;
+  for (std::uint64_t i = 0; i < queue_len; ++i) {
+    QueuedMessage msg;
+    msg.handler = in.read<HandlerId>();
+    msg.src = in.read<NodeId>();
+    msg.payload = in.read_vector<std::byte>();
+    queue.push_back(std::move(msg));
+  }
+  auto blob = in.read_vector<std::byte>();
+
+  auto obj = registry_.create(type);
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    util::ByteReader body(unseal_blob(blob));
+    obj->deserialize(body);
+  }
+  const std::size_t fp = obj->footprint_bytes();
+  while (ooc_.hard_pressure(fp) && spill_one_victim()) {
+  }
+
+  auto [it, inserted] = directory_.try_emplace(ptr, Entry{});
+  Entry& e = it->second;
+  assert(e.state == Residency::kRemote || inserted);
+  e.state = Residency::kInCore;
+  e.type = type;
+  e.obj = std::move(obj);
+  e.priority = priority;
+  e.footprint = fp;
+  e.queue = std::move(queue);
+  e.load_wanted = false;
+  e.load_queued = false;
+  ooc_.on_install(ptr.id, fp);
+  e.obj->on_register(*this, ptr);
+  counters_.migrations_in.fetch_add(1, std::memory_order_relaxed);
+  queued_messages_.fetch_add(e.queue.size(), std::memory_order_acq_rel);
+  bump_activity();
+  if (!e.queue.empty()) push_ready(e, ptr);
+  (void)src;
+}
+
+void Runtime::am_migrate_request(NodeId /*src*/, util::ByteReader& in) {
+  const MobilePtr ptr{in.read<std::uint64_t>()};
+  const auto requester = in.read<NodeId>();
+  Entry* e = find_entry(ptr);
+  if (e == nullptr) {
+    if (ptr.home_node() == node_) {
+      MRTS_LOG_WARN("node {}: migrate request for destroyed {}", node_,
+                    to_string(ptr));
+      return;
+    }
+    // Chase via the home node.
+    util::ByteWriter w(16);
+    w.write(ptr.id);
+    w.write(requester);
+    endpoint_.send(ptr.home_node(), am_migrate_request_id_, w.take());
+    return;
+  }
+  if (e->state == Residency::kRemote) {
+    util::ByteWriter w(16);
+    w.write(ptr.id);
+    w.write(requester);
+    endpoint_.send(e->last_known, am_migrate_request_id_, w.take());
+    return;
+  }
+  if (requester == node_) return;  // it came home in the meantime
+  migrate(ptr, requester);
+}
+
+bool Runtime::advance_pending_migrations() {
+  if (pending_migrations_.empty()) return false;
+  bool did = false;
+  auto pending = std::move(pending_migrations_);
+  pending_migrations_.clear();
+  for (auto& [ptr, dst] : pending) {
+    Entry* e = find_entry(ptr);
+    if (e == nullptr) continue;  // destroyed while pending
+    if (e->state == Residency::kRemote) {
+      // Should not normally happen (the pending pin prevents a concurrent
+      // move), but chase it for robustness.
+      if (e->last_known != dst) {
+        util::ByteWriter w(16);
+        w.write(ptr.id);
+        w.write(dst);
+        endpoint_.send(e->last_known, am_migrate_request_id_, w.take());
+      }
+      did = true;
+      continue;
+    }
+    if (e->state == Residency::kInCore && !e->running && e->lock_count == 1 &&
+        e->collect_for == 0) {
+      --e->lock_count;  // release the pending pin; do_migrate needs 0
+      do_migrate(ptr, *e, dst);
+      did = true;
+    } else {
+      pending_migrations_.emplace_back(ptr, dst);
+    }
+  }
+  return did;
+}
+
+// --------------------------------------------------------------------------
+// Multicast mobile messages
+
+void Runtime::send_multicast(std::vector<MobilePtr> targets,
+                             std::uint32_t deliver_count, HandlerId handler,
+                             std::vector<std::byte> payload) {
+  if (targets.empty()) return;
+  deliver_count = std::min<std::uint32_t>(
+      deliver_count, static_cast<std::uint32_t>(targets.size()));
+  Entry* head = find_entry(targets[0]);
+  if (head != nullptr && head->state != Residency::kRemote) {
+    multicasts_.push_back(MulticastOp{
+        .id = next_multicast_id_++,
+        .targets = std::move(targets),
+        .deliver_count = deliver_count,
+        .handler = handler,
+        .payload = std::move(payload),
+        .origin_src = node_,
+        .requested = {},
+    });
+    bump_activity();
+    return;
+  }
+  // Route the whole request to the owner of the first target.
+  const NodeId next = (head != nullptr && head->state == Residency::kRemote)
+                          ? head->last_known
+                          : targets[0].home_node();
+  util::ByteWriter w(payload.size() + 32 * targets.size());
+  w.write<std::uint64_t>(targets.size());
+  for (MobilePtr t : targets) w.write(t.id);
+  w.write(deliver_count);
+  w.write(handler);
+  w.write(node_);
+  w.write_vector(payload);
+  endpoint_.send(next, am_multicast_id_, w.take());
+}
+
+void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
+  const auto n = in.read<std::uint64_t>();
+  std::vector<MobilePtr> targets;
+  targets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    targets.push_back(MobilePtr{in.read<std::uint64_t>()});
+  }
+  const auto deliver_count = in.read<std::uint32_t>();
+  const auto handler = in.read<HandlerId>();
+  const auto origin = in.read<NodeId>();
+  auto payload = in.read_vector<std::byte>();
+
+  Entry* head = targets.empty() ? nullptr : find_entry(targets[0]);
+  if (head == nullptr || head->state == Residency::kRemote) {
+    // Keep chasing the first target.
+    const NodeId next = (head != nullptr) ? head->last_known
+                                          : targets[0].home_node();
+    util::ByteWriter w(payload.size() + 32 * targets.size());
+    w.write<std::uint64_t>(targets.size());
+    for (MobilePtr t : targets) w.write(t.id);
+    w.write(deliver_count);
+    w.write(handler);
+    w.write(origin);
+    w.write_vector(payload);
+    endpoint_.send(next, am_multicast_id_, w.take());
+    return;
+  }
+  multicasts_.push_back(MulticastOp{
+      .id = next_multicast_id_++,
+      .targets = std::move(targets),
+      .deliver_count = deliver_count,
+      .handler = handler,
+      .payload = std::move(payload),
+      .origin_src = origin,
+      .requested = {},
+  });
+  bump_activity();
+}
+
+bool Runtime::advance_multicasts() {
+  if (multicasts_.empty()) return false;
+  bool did = false;
+  for (std::size_t i = 0; i < multicasts_.size();) {
+    MulticastOp& op = multicasts_[i];
+    if (op.requested.size() != op.targets.size()) {
+      op.requested.assign(op.targets.size(), false);
+    }
+    bool all_ready = true;
+    for (std::size_t t = 0; t < op.targets.size(); ++t) {
+      const MobilePtr ptr = op.targets[t];
+      Entry* e = find_entry(ptr);
+      if (e == nullptr || e->state == Residency::kRemote) {
+        all_ready = false;
+        if (!op.requested[t]) {
+          op.requested[t] = true;
+          const NodeId next = (e != nullptr) ? e->last_known
+                                             : ptr.home_node();
+          util::ByteWriter w(16);
+          w.write(ptr.id);
+          w.write(node_);
+          endpoint_.send(next, am_migrate_request_id_, w.take());
+          did = true;
+        }
+        continue;
+      }
+      if (e->state == Residency::kOnDisk || e->state == Residency::kStoring) {
+        all_ready = false;
+        e->load_wanted = true;
+        if (e->state == Residency::kOnDisk && !e->load_queued) {
+          e->load_queued = true;
+          load_queue_.push_back(ptr);
+          did = true;
+        }
+        continue;
+      }
+      if (e->state != Residency::kInCore || e->running) {
+        all_ready = false;
+        continue;
+      }
+      if (e->collect_for == 0) {
+        e->collect_for = op.id;
+        did = true;
+      } else if (e->collect_for != op.id) {
+        all_ready = false;  // reserved by an earlier op; wait for release
+      }
+    }
+    if (!all_ready) {
+      ++i;
+      continue;
+    }
+    // Every target is local, in-core, and reserved for this op: deliver.
+    for (std::uint32_t t = 0; t < op.deliver_count; ++t) {
+      Entry& e = entry_of(op.targets[t]);
+      ooc_.on_access(op.targets[t].id);
+      e.running = true;
+      {
+        util::ScopedCharge charge(counters_.comp_time);
+        util::ByteReader reader(op.payload);
+        registry_.handler(e.type, op.handler)(*this, *e.obj, op.targets[t],
+                                              op.origin_src, reader);
+      }
+      e.running = false;
+      counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+      after_handler_accounting(op.targets[t], e);
+    }
+    for (MobilePtr ptr : op.targets) {
+      if (Entry* e = find_entry(ptr); e != nullptr && e->collect_for == op.id) {
+        e->collect_for = 0;
+      }
+    }
+    multicasts_.erase(multicasts_.begin() + static_cast<std::ptrdiff_t>(i));
+    did = true;
+  }
+  return did;
+}
+
+// --------------------------------------------------------------------------
+// Out-of-core mechanics
+
+bool Runtime::evictable(const Entry& e) const {
+  return e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
+         e.collect_for == 0 && e.queue.empty() && !e.load_wanted;
+}
+
+bool Runtime::evictable_relaxed(const Entry& e) const {
+  return e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
+         e.collect_for == 0;
+}
+
+bool Runtime::spill_one_victim(bool allow_relaxed) {
+  auto priority_of = [this](std::uint64_t key) {
+    const Entry* e = find_entry(MobilePtr{key});
+    return e != nullptr ? e->priority : kMaxPriority;
+  };
+  auto victim = ooc_.pick_victim(
+      [this](std::uint64_t key) {
+        const Entry* e = find_entry(MobilePtr{key});
+        return e != nullptr && evictable(*e);
+      },
+      priority_of);
+  if (!victim && allow_relaxed) {
+    victim = ooc_.pick_victim(
+        [this](std::uint64_t key) {
+          const Entry* e = find_entry(MobilePtr{key});
+          return e != nullptr && evictable_relaxed(*e);
+        },
+        priority_of);
+  }
+  if (!victim) return false;
+  const MobilePtr ptr{*victim};
+  spill(ptr, entry_of(ptr));
+  return true;
+}
+
+void Runtime::spill(MobilePtr ptr, Entry& e) {
+  assert(evictable_relaxed(e));
+  util::ByteWriter body(e.footprint + 64);
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    e.obj->on_unregister(*this);
+    e.obj->serialize(body);
+  }
+  auto blob = seal_blob(std::move(body));
+  e.obj.reset();
+  ooc_.on_remove(ptr.id);
+  e.state = Residency::kStoring;
+  e.in_ready_list = false;  // stale ready entries skip on state check
+  e.blob_bytes = blob.size();
+  ooc_.on_spilled(blob.size());
+  counters_.objects_spilled.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_spilled.fetch_add(blob.size(), std::memory_order_relaxed);
+  ++outstanding_stores_;
+  store_.store_async(ptr.id, std::move(blob), [this, ptr](util::Status s) {
+    std::lock_guard lock(completions_mutex_);
+    completions_.push_back(Completion{ptr.id, /*is_load=*/false, std::move(s), {}});
+    completions_available_.fetch_add(1, std::memory_order_release);
+  });
+}
+
+bool Runtime::schedule_loads() {
+  bool did = false;
+  std::size_t attempts = load_queue_.size();
+  while (attempts-- > 0 && !load_queue_.empty() &&
+         outstanding_loads_ < ooc_.options().max_concurrent_loads) {
+    const MobilePtr ptr = load_queue_.front();
+    load_queue_.pop_front();
+    Entry* e = find_entry(ptr);
+    if (e == nullptr) continue;
+    e->load_queued = false;
+    if (e->state != Residency::kOnDisk) continue;
+    if (!e->queue.empty() || e->load_wanted) {
+      // Make room before reading the blob back in — strict victims only:
+      // evicting another object that still has queued messages here can
+      // ping-pong two ready objects through the disk forever when the
+      // budget holds only one of them. If no idle victim exists the load
+      // proceeds over budget; the strict-first relief after each handler
+      // batch drains the excess as soon as queues empty (and a workload
+      // that pins more than fits "runs out of memory" exactly as the
+      // paper warns, rather than deadlocking).
+      while (ooc_.hard_pressure(e->blob_bytes) &&
+             spill_one_victim(/*allow_relaxed=*/false)) {
+      }
+      start_load(*e, ptr);
+      did = true;
+    }
+  }
+  return did;
+}
+
+void Runtime::start_load(Entry& e, MobilePtr ptr) {
+  assert(e.state == Residency::kOnDisk);
+  e.state = Residency::kLoading;
+  ++outstanding_loads_;
+  store_.load_async(ptr.id, [this, ptr](
+                                util::Result<std::vector<std::byte>> result) {
+    std::lock_guard lock(completions_mutex_);
+    Completion c{ptr.id, /*is_load=*/true, result.status(), {}};
+    if (result.is_ok()) c.bytes = std::move(result).value();
+    completions_.push_back(std::move(c));
+    completions_available_.fetch_add(1, std::memory_order_release);
+  });
+}
+
+bool Runtime::drain_completions() {
+  if (completions_available_.load(std::memory_order_acquire) == 0) {
+    return false;
+  }
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(completions_mutex_);
+    batch = std::move(completions_);
+    completions_.clear();
+    completions_available_.store(0, std::memory_order_release);
+  }
+  for (auto& c : batch) {
+    const MobilePtr ptr{c.key};
+    Entry* e = find_entry(ptr);
+    if (c.is_load) {
+      --outstanding_loads_;
+      if (e == nullptr) continue;  // destroyed mid-flight
+      if (!c.status.is_ok()) {
+        throw std::runtime_error("mrts: failed to load " + to_string(ptr) +
+                                 " from storage: " + c.status.to_string());
+      }
+      finish_load(*e, ptr, std::move(c.bytes));
+    } else {
+      --outstanding_stores_;
+      if (!c.status.is_ok()) {
+        throw std::runtime_error("mrts: failed to spill " + to_string(ptr) +
+                                 ": " + c.status.to_string());
+      }
+      if (e == nullptr) continue;
+      if (e->state == Residency::kStoring) {
+        e->state = Residency::kOnDisk;
+        if ((!e->queue.empty() || e->load_wanted) && !e->load_queued) {
+          e->load_queued = true;
+          load_queue_.push_back(ptr);
+        }
+      }
+    }
+  }
+  return !batch.empty();
+}
+
+void Runtime::finish_load(Entry& e, MobilePtr ptr,
+                          std::vector<std::byte> bytes) {
+  assert(e.state == Residency::kLoading);
+  auto obj = registry_.create(e.type);
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    util::ByteReader reader(unseal_blob(bytes));
+    obj->deserialize(reader);
+  }
+  e.obj = std::move(obj);
+  e.state = Residency::kInCore;
+  e.footprint = e.obj->footprint_bytes();
+  e.load_wanted = false;
+  ooc_.on_install(ptr.id, e.footprint);
+  e.obj->on_register(*this, ptr);
+  store_.erase(ptr.id);
+  e.blob_bytes = 0;
+  counters_.objects_loaded.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_loaded.fetch_add(bytes.size(), std::memory_order_relaxed);
+  if (!e.queue.empty()) push_ready(e, ptr);
+  bump_activity();
+  // The reload may have pushed the node over budget; relieve promptly so a
+  // storm of reloads cannot pile up unbounded residency. Strict victims
+  // only: the relaxed pass could evict the very object we just loaded
+  // (its queue is non-empty) before its messages ever run — with a budget
+  // of about one object, that livelocks the load/evict cycle.
+  while (ooc_.hard_pressure(0) && spill_one_victim(/*allow_relaxed=*/false)) {
+  }
+}
+
+// --------------------------------------------------------------------------
+// Control loop
+
+void Runtime::after_handler_accounting(MobilePtr ptr, Entry& e) {
+  const std::size_t fp = e.obj->footprint_bytes();
+  if (fp != e.footprint) {
+    e.footprint = fp;
+    ooc_.on_footprint_change(ptr.id, fp);
+  }
+  while (ooc_.hard_pressure(0) && spill_one_victim()) {
+  }
+}
+
+bool Runtime::run_ready_object() {
+  while (!ready_.empty()) {
+    const MobilePtr ptr = ready_.front();
+    ready_.pop_front();
+    Entry* e = find_entry(ptr);
+    if (e == nullptr || e->state != Residency::kInCore) {
+      continue;  // stale: destroyed, spilled, or migrated meanwhile
+    }
+    if (e->queue.empty()) {
+      e->in_ready_list = false;
+      continue;
+    }
+    std::size_t budget = options_.max_messages_per_turn;
+    while (budget-- > 0 && !e->queue.empty()) {
+      QueuedMessage msg = std::move(e->queue.front());
+      e->queue.pop_front();
+      queued_messages_.fetch_sub(1, std::memory_order_acq_rel);
+      execute_message(ptr, *e, msg);
+      e = find_entry(ptr);  // handler may destroy others; self must persist
+      assert(e != nullptr);
+    }
+    if (!e->queue.empty()) {
+      ready_.push_back(ptr);  // keep in_ready_list set
+    } else {
+      e->in_ready_list = false;
+    }
+    after_handler_accounting(ptr, *e);
+    return true;
+  }
+  return false;
+}
+
+void Runtime::execute_message(MobilePtr ptr, Entry& e, QueuedMessage& msg) {
+  ooc_.on_access(ptr.id);
+  e.running = true;
+  {
+    util::ScopedCharge charge(counters_.comp_time);
+    util::ByteReader reader(msg.payload);
+    registry_.handler(e.type, msg.handler)(*this, *e.obj, ptr, msg.src, reader);
+  }
+  e.running = false;
+  counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::advise_shed(std::uint32_t count, NodeId target) {
+  shed_target_.store(target, std::memory_order_release);
+  shed_count_.store(count, std::memory_order_release);
+}
+
+bool Runtime::apply_shed_advice() {
+  const auto count = shed_count_.exchange(0, std::memory_order_acq_rel);
+  if (count == 0) return false;
+  const NodeId target = shed_target_.load(std::memory_order_acquire);
+  if (target == node_) return false;
+  // Shed in-core objects with queued work: the queue travels with the
+  // object, so the receiver picks the work up directly.
+  std::uint32_t shed = 0;
+  std::vector<MobilePtr> victims;
+  for (const auto& [ptr, e] : directory_) {
+    if (shed + victims.size() >= count) break;
+    if (e.state != Residency::kInCore || e.queue.empty() || e.running ||
+        e.lock_count != 0 || e.collect_for != 0) {
+      continue;
+    }
+    victims.push_back(ptr);
+  }
+  for (MobilePtr ptr : victims) {
+    do_migrate(ptr, entry_of(ptr), target);
+    ++shed;
+  }
+  return shed > 0;
+}
+
+bool Runtime::progress_once() {
+  bool did = false;
+  did |= endpoint_.poll() > 0;
+  did |= drain_completions();
+  did |= apply_shed_advice();
+  did |= advance_pending_migrations();
+  did |= advance_multicasts();
+  did |= schedule_loads();
+  if (ooc_.soft_pressure() && spill_one_victim(/*allow_relaxed=*/false)) did = true;
+  did |= run_ready_object();
+
+  if (did) {
+    idle_.store(false, std::memory_order_release);
+  } else {
+    bool pending = !ready_.empty() || !multicasts_.empty() ||
+                   !pending_migrations_.empty() || !load_queue_.empty() ||
+                   outstanding_loads_ > 0 || outstanding_stores_ > 0 ||
+                   !endpoint_.inbox_empty() ||
+                   completions_available_.load(std::memory_order_acquire) > 0;
+    if (!pending) {
+      for (const auto& [ptr, e] : directory_) {
+        if (e.state == Residency::kRemote) continue;
+        if (!e.queue.empty() || e.load_wanted) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    idle_.store(!pending, std::memory_order_release);
+  }
+  return did;
+}
+
+bool Runtime::is_idle() const { return idle_.load(std::memory_order_acquire); }
+
+// --------------------------------------------------------------------------
+// Checkpoint / restore
+
+void Runtime::checkpoint_to(util::ByteWriter& out) {
+  store_.drain();
+  out.write(next_seq_);
+  std::uint64_t count = 0;
+  for (const auto& [ptr, e] : directory_) {
+    if (e.state != Residency::kRemote) ++count;
+  }
+  out.write(count);
+  for (auto& [ptr, e] : directory_) {
+    if (e.state == Residency::kRemote) continue;
+    if (e.state == Residency::kLoading || e.state == Residency::kStoring) {
+      throw std::logic_error(
+          "mrts: checkpoint_to called with I/O in flight (not a phase "
+          "boundary)");
+    }
+    out.write(ptr.id);
+    out.write(e.type);
+    out.write(static_cast<std::int32_t>(e.priority));
+    out.write<std::uint64_t>(e.queue.size());
+    for (const auto& msg : e.queue) {
+      out.write(msg.handler);
+      out.write(msg.src);
+      out.write_vector(msg.payload);
+    }
+    if (e.state == Residency::kInCore) {
+      util::ByteWriter body(e.footprint + 64);
+      e.obj->serialize(body);
+      out.write_vector(seal_blob(std::move(body)));
+    } else {
+      // Already spilled: the stored blob is sealed; copy it verbatim.
+      auto blob = store_.load_sync(ptr.id);
+      if (!blob.is_ok()) {
+        throw std::runtime_error("mrts: checkpoint could not read spilled " +
+                                 to_string(ptr) + ": " +
+                                 blob.status().to_string());
+      }
+      out.write_vector(blob.value());
+    }
+  }
+}
+
+void Runtime::restore_from(util::ByteReader& in) {
+  next_seq_ = std::max(next_seq_, in.read<std::uint64_t>());
+  const auto count = in.read<std::uint64_t>();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const MobilePtr ptr{in.read<std::uint64_t>()};
+    const auto type = in.read<TypeId>();
+    const auto priority = in.read<std::int32_t>();
+    const auto queue_len = in.read<std::uint64_t>();
+    std::deque<QueuedMessage> queue;
+    for (std::uint64_t i = 0; i < queue_len; ++i) {
+      QueuedMessage msg;
+      msg.handler = in.read<HandlerId>();
+      msg.src = in.read<NodeId>();
+      msg.payload = in.read_vector<std::byte>();
+      queue.push_back(std::move(msg));
+    }
+    auto blob = in.read_vector<std::byte>();
+    auto obj = registry_.create(type);
+    {
+      util::ByteReader body(unseal_blob(blob));
+      obj->deserialize(body);
+    }
+    const std::size_t fp = obj->footprint_bytes();
+    while (ooc_.hard_pressure(fp) && spill_one_victim()) {
+    }
+    auto [it, inserted] = directory_.try_emplace(ptr, Entry{});
+    Entry& e = it->second;
+    if (!inserted && e.state != Residency::kRemote) {
+      throw std::logic_error("mrts: restore over an existing local object " +
+                             to_string(ptr));
+    }
+    e.state = Residency::kInCore;
+    e.type = type;
+    e.obj = std::move(obj);
+    e.priority = priority;
+    e.footprint = fp;
+    e.queue = std::move(queue);
+    ooc_.on_install(ptr.id, fp);
+    e.obj->on_register(*this, ptr);
+    queued_messages_.fetch_add(e.queue.size(), std::memory_order_acq_rel);
+    bump_activity();
+    if (!e.queue.empty()) push_ready(e, ptr);
+  }
+}
+
+void Runtime::note_remote_location(MobilePtr ptr, NodeId where) {
+  if (where == node_) return;
+  auto [it, inserted] = directory_.try_emplace(ptr, Entry{});
+  Entry& e = it->second;
+  if (!inserted && e.state != Residency::kRemote) return;  // we host it
+  e.state = Residency::kRemote;
+  e.last_known = where;
+}
+
+}  // namespace mrts::core

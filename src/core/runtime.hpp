@@ -1,0 +1,350 @@
+#pragma once
+
+// Per-node MRTS runtime: control layer plus the public programming model
+// (paper §II.C-§II.E). One Runtime instance exists per simulated node; its
+// control loop (progress_once) delivers incoming one-sided messages, runs
+// message handlers with the target object guaranteed in-core, schedules
+// asynchronous loads for out-of-core objects with pending messages, and
+// evicts victims under memory pressure.
+//
+// Threading contract: the entire public API below except the counters is
+// control-thread-only — it must be called either from the thread driving
+// progress_once()/Cluster::run() for this node, or from inside a message
+// handler (which runs on that same thread). Tasks spawned inside a handler
+// via pool() may only compute; they must not call Runtime methods.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "core/mobile_object.hpp"
+#include "core/mobile_ptr.hpp"
+#include "core/ooc_layer.hpp"
+#include "simnet/fabric.hpp"
+#include "storage/object_store.hpp"
+#include "tasking/task_pool.hpp"
+
+namespace mrts::core {
+
+struct RuntimeOptions {
+  OocOptions ooc;
+  tasking::PoolBackend pool_backend = tasking::PoolBackend::kWorkStealing;
+  /// Workers for intra-handler task parallelism (the computing layer).
+  std::size_t pool_workers = 1;
+  /// Messages processed from one object's queue before the control layer
+  /// considers switching to another object.
+  std::size_t max_messages_per_turn = 64;
+  /// Enables Runtime::try_deliver_inline (the shared-memory shortcut used by
+  /// the optimized ONUPDR, paper §III "Optimization").
+  bool enable_inline_delivery = true;
+  /// Lazy directory updates (paper [27]): after a forwarded delivery, every
+  /// node on the route learns the object's current location. Disable to
+  /// measure the cost of forwarding through stale entries forever.
+  bool lazy_location_updates = true;
+  /// Transient (kUnavailable) storage failures are retried this many times
+  /// by the storage layer before the error becomes fatal.
+  int storage_max_retries = 3;
+};
+
+/// Dynamic load-balancing knobs (paper §II.D: the control layer "serves
+/// system aspects like ... decision making for load-balancing"). The
+/// cluster monitor samples per-node queued work and advises overloaded
+/// nodes to shed mobile objects (with their message queues) to the least
+/// loaded node; overdecomposition (paper §II.C) is what makes the shed
+/// units small enough to matter.
+struct LoadBalanceOptions {
+  bool enabled = false;
+  /// Rebalance when max_load > factor * min_load + slack.
+  double imbalance_factor = 2.0;
+  std::uint64_t slack_messages = 8;
+  /// Objects shed per advice.
+  std::uint32_t objects_per_advice = 2;
+  /// Monitor sampling interval.
+  std::chrono::milliseconds interval{5};
+};
+
+/// Application-visible priority range; higher keeps objects in-core longer.
+inline constexpr int kMinPriority = 0;
+inline constexpr int kMaxPriority = 10;
+inline constexpr int kDefaultPriority = 5;
+
+class Runtime {
+ public:
+  Runtime(NodeId node, net::Endpoint& endpoint,
+          const ObjectTypeRegistry& registry,
+          std::unique_ptr<storage::StorageBackend> spill_backend,
+          RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- object lifetime ---------------------------------------------------
+
+  /// Installs `obj` (of registered type `type`) as a new local in-core
+  /// mobile object and returns its mobile pointer.
+  MobilePtr adopt(TypeId type, std::unique_ptr<MobileObject> obj);
+
+  /// Creates a T in place. T must be the class registered under `type`.
+  template <typename T, typename... Args>
+  std::pair<MobilePtr, T*> create(TypeId type, Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    MobilePtr p = adopt(type, std::move(owned));
+    return {p, raw};
+  }
+
+  /// Destroys a local object (must not be running a handler). Pending
+  /// messages are dropped; the spill blob, if any, is erased.
+  void destroy(MobilePtr ptr);
+
+  // --- messaging -----------------------------------------------------------
+
+  /// Posts a one-sided message to the object named by `dst`. Local targets
+  /// are queued (out-of-core ones are scheduled for loading); remote targets
+  /// are routed through the distributed directory.
+  void send(MobilePtr dst, HandlerId handler, std::vector<std::byte> payload);
+
+  void send(MobilePtr dst, HandlerId handler, util::ByteWriter&& w) {
+    send(dst, handler, w.take());
+  }
+
+  /// Shared-memory shortcut: if `dst` is local and in-core, runs the handler
+  /// synchronously on the calling (control) thread and returns true;
+  /// otherwise returns false and the caller should fall back to send().
+  bool try_deliver_inline(MobilePtr dst, HandlerId handler,
+                          std::span<const std::byte> payload);
+
+  /// Multicast mobile message (paper §III "Findings"): collects all
+  /// `targets` onto one node and in-core, then delivers the message to the
+  /// first `deliver_count` of them. Collection migrates remote targets to
+  /// the coordinator node (the current owner of targets[0]).
+  void send_multicast(std::vector<MobilePtr> targets,
+                      std::uint32_t deliver_count, HandlerId handler,
+                      std::vector<std::byte> payload);
+
+  // --- out-of-core control (paper §II.E) -----------------------------------
+
+  /// Pins a local object in memory; loads it first if necessary.
+  void lock_in_core(MobilePtr ptr);
+  void unlock(MobilePtr ptr);
+  void set_priority(MobilePtr ptr, int priority);
+  /// Hints the runtime to load an out-of-core object ahead of demand.
+  void prefetch(MobilePtr ptr);
+
+  /// Re-reads the object's footprint and relieves memory pressure. Handlers
+  /// get this automatically after they return; call it manually after
+  /// mutating a local object outside a handler (the paper's "allocation
+  /// check" against the hard swapping threshold).
+  void refresh_footprint(MobilePtr ptr);
+
+  [[nodiscard]] bool is_local(MobilePtr ptr) const;
+  [[nodiscard]] bool is_in_core(MobilePtr ptr) const;
+
+  /// Direct pointer to a local in-core object, nullptr otherwise. For
+  /// control-thread inspection; do not retain across progress calls.
+  [[nodiscard]] MobileObject* peek(MobilePtr ptr);
+
+  /// Moves a local, idle object to another node.
+  void migrate(MobilePtr ptr, NodeId dst);
+
+  // --- driving -------------------------------------------------------------
+
+  /// One control-loop iteration: deliver due network messages, finish
+  /// completed I/O, start advised loads/evictions, run at most one object's
+  /// message batch. Returns true if any work was performed.
+  bool progress_once();
+
+  /// True when this node has nothing runnable, queued, or in flight.
+  [[nodiscard]] bool is_idle() const;
+
+  /// Monotone counter of locally created work units; the cluster's
+  /// termination detector compares successive global snapshots.
+  [[nodiscard]] std::uint64_t activity_epoch() const {
+    return activity_.load(std::memory_order_acquire);
+  }
+
+  /// Messages currently queued at local objects (the load metric the
+  /// balancer samples). Thread-safe.
+  [[nodiscard]] std::uint64_t queued_messages() const {
+    return queued_messages_.load(std::memory_order_acquire);
+  }
+
+  /// Thread-safe advice from the cluster monitor: shed up to `count`
+  /// queued objects to `target` at the next control-loop iteration.
+  void advise_shed(std::uint32_t count, NodeId target);
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] NodeCounters& counters() { return counters_; }
+  [[nodiscard]] const NodeCounters& counters() const { return counters_; }
+  [[nodiscard]] tasking::TaskPool& pool() { return *pool_; }
+  [[nodiscard]] const ObjectTypeRegistry& registry() const { return registry_; }
+  [[nodiscard]] std::size_t in_core_bytes() const { return ooc_.in_core_bytes(); }
+  [[nodiscard]] std::size_t resident_objects() const {
+    return ooc_.resident_count();
+  }
+  [[nodiscard]] std::size_t local_objects() const;
+  [[nodiscard]] const storage::StorageBackend& spill_backend() const {
+    return store_.backend();
+  }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+
+  /// Drains outstanding spills (used by tests and at phase boundaries).
+  void flush_stores() { store_.drain(); }
+
+  // --- checkpoint/restore support (see core/checkpoint.hpp) ---------------
+
+  /// Serializes every local object (in-core or spilled) with its queue and
+  /// metadata. Phase-boundary only: no handler running, no I/O in flight.
+  void checkpoint_to(util::ByteWriter& out);
+
+  /// Installs objects previously written by checkpoint_to on this node.
+  void restore_from(util::ByteReader& in);
+
+  /// Seeds the directory cache: the object is currently hosted at `where`.
+  /// Used after restore so home nodes relearn migrated objects' locations.
+  void note_remote_location(MobilePtr ptr, NodeId where);
+
+  /// Invokes fn(ptr) for every object hosted on this node.
+  template <typename Fn>
+  void for_each_local_object(Fn&& fn) const {
+    for (const auto& [ptr, e] : directory_) {
+      if (e.state != Residency::kRemote) fn(ptr);
+    }
+  }
+
+ private:
+  enum class Residency { kInCore, kLoading, kStoring, kOnDisk, kRemote };
+
+  struct QueuedMessage {
+    HandlerId handler;
+    NodeId src;
+    std::vector<std::byte> payload;
+  };
+
+  struct MulticastOp {
+    std::uint64_t id;
+    std::vector<MobilePtr> targets;
+    std::uint32_t deliver_count;
+    HandlerId handler;
+    std::vector<std::byte> payload;
+    NodeId origin_src;
+    /// Per-target flag: a migrate request has been issued for this target.
+    std::vector<bool> requested;
+  };
+
+  struct Entry {
+    Residency state = Residency::kRemote;
+    TypeId type = 0;
+    std::unique_ptr<MobileObject> obj;
+    NodeId last_known = 0;
+    std::deque<QueuedMessage> queue;
+    int priority = kDefaultPriority;
+    int lock_count = 0;
+    bool running = false;
+    bool in_ready_list = false;
+    bool load_wanted = false;   // lock/prefetch asked for a load
+    bool load_queued = false;   // present in load_queue_
+    std::size_t footprint = 0;
+    std::size_t blob_bytes = 0;  // size of the on-disk blob
+    std::uint64_t collect_for = 0;  // nonzero: reserved by a multicast op
+  };
+
+  struct Completion {
+    std::uint64_t key;
+    bool is_load;
+    util::Status status;
+    std::vector<std::byte> bytes;  // load payload
+  };
+
+  // wire protocol -----------------------------------------------------------
+  void register_am_handlers();
+  void am_deliver(NodeId src, util::ByteReader& in);
+  void am_location_update(NodeId src, util::ByteReader& in);
+  void am_install(NodeId src, util::ByteReader& in);
+  void am_migrate_request(NodeId src, util::ByteReader& in);
+  void am_multicast(NodeId src, util::ByteReader& in);
+
+  void route_remote(MobilePtr dst, HandlerId handler, NodeId origin,
+                    std::vector<NodeId> route, std::vector<std::byte> payload);
+
+  // control loop helpers ------------------------------------------------------
+  void enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg);
+  void push_ready(Entry& e, MobilePtr ptr);
+  bool run_ready_object();
+  void execute_message(MobilePtr ptr, Entry& e, QueuedMessage& msg);
+  bool drain_completions();
+  void finish_load(Entry& e, MobilePtr ptr, std::vector<std::byte> bytes);
+  bool schedule_loads();
+  bool relieve_pressure();
+  void start_load(Entry& e, MobilePtr ptr);
+  bool spill_one_victim(bool allow_relaxed = true);
+  void spill(MobilePtr ptr, Entry& e);
+  /// Strict: idle objects only. Relaxed additionally allows objects with
+  /// queued messages (they reload when scheduled) — the escape hatch when
+  /// every resident object has pending work and memory must still be freed.
+  [[nodiscard]] bool evictable(const Entry& e) const;
+  [[nodiscard]] bool evictable_relaxed(const Entry& e) const;
+  void after_handler_accounting(MobilePtr ptr, Entry& e);
+  bool advance_multicasts();
+  bool advance_pending_migrations();
+  bool apply_shed_advice();
+  void do_migrate(MobilePtr ptr, Entry& e, NodeId dst);
+  /// Records a unit of created work. Also clears the idle flag immediately:
+  /// work can be created while the control thread is deep inside a long
+  /// message handler (e.g. an AM delivery during poll()), and the
+  /// termination detector must not observe a stale idle=true in that
+  /// window after the fabric's delivered-counter has caught up.
+  void bump_activity() {
+    idle_.store(false, std::memory_order_release);
+    activity_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  Entry& entry_of(MobilePtr ptr);
+  [[nodiscard]] const Entry* find_entry(MobilePtr ptr) const;
+  Entry* find_entry(MobilePtr ptr);
+
+  NodeId node_;
+  net::Endpoint& endpoint_;
+  const ObjectTypeRegistry& registry_;
+  RuntimeOptions options_;
+  NodeCounters counters_;
+  OocLayer ooc_;
+  storage::ObjectStore store_;
+  std::unique_ptr<tasking::TaskPool> pool_;
+
+  std::unordered_map<MobilePtr, Entry> directory_;
+  std::deque<MobilePtr> ready_;
+  std::deque<MobilePtr> load_queue_;
+  std::vector<MulticastOp> multicasts_;
+  /// Migration requests that found the object busy; retried each loop.
+  std::vector<std::pair<MobilePtr, NodeId>> pending_migrations_;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_multicast_id_ = 1;
+  int outstanding_loads_ = 0;
+  int outstanding_stores_ = 0;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  std::atomic<int> completions_available_{0};
+
+  std::atomic<std::uint64_t> activity_{0};
+  std::atomic<bool> idle_{false};
+  std::atomic<std::uint64_t> queued_messages_{0};
+  std::atomic<std::uint32_t> shed_count_{0};
+  std::atomic<NodeId> shed_target_{0};
+
+  net::AmHandlerId am_deliver_id_ = 0;
+  net::AmHandlerId am_location_update_id_ = 0;
+  net::AmHandlerId am_install_id_ = 0;
+  net::AmHandlerId am_migrate_request_id_ = 0;
+  net::AmHandlerId am_multicast_id_ = 0;
+};
+
+}  // namespace mrts::core

@@ -1,0 +1,249 @@
+#include "jobsim/jobsim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+namespace mrts::jobsim {
+namespace {
+
+/// Widths observed on small academic clusters: mostly narrow jobs, a
+/// power-of-two bias, occasional full-machine requests.
+int draw_width(util::Rng& rng, int cluster_nodes) {
+  const double u = rng.uniform();
+  int width;
+  if (u < 0.30) {
+    width = 1 + static_cast<int>(rng.below(4));  // 1-4 nodes
+  } else if (u < 0.60) {
+    width = 1 << (2 + rng.below(3));  // 4, 8, 16
+  } else if (u < 0.85) {
+    width = 1 << (4 + rng.below(2));  // 16, 32
+  } else if (u < 0.97) {
+    width = 64;
+  } else {
+    width = cluster_nodes;  // whole machine
+  }
+  return std::min(width, cluster_nodes);
+}
+
+/// Tracks node availability as a step function over time.
+class NodeTimeline {
+ public:
+  explicit NodeTimeline(int nodes) : total_(nodes) {}
+
+  /// Nodes free at time t (counting jobs that end exactly at t as done).
+  [[nodiscard]] int free_at(double t) const {
+    int used = 0;
+    for (const auto& [end, width] : running_) {
+      if (end > t) used += width;
+    }
+    return total_ - used;
+  }
+
+  /// Earliest time >= t at which `width` nodes are simultaneously free.
+  [[nodiscard]] double earliest_start(double t, int width) const {
+    if (free_at(t) >= width) return t;
+    // Candidate times are job completions.
+    std::vector<double> ends;
+    ends.reserve(running_.size());
+    for (const auto& [end, w] : running_) {
+      if (end > t) ends.push_back(end);
+    }
+    std::sort(ends.begin(), ends.end());
+    for (double e : ends) {
+      if (free_at(e) >= width) return e;
+    }
+    return t;  // unreachable if width <= total
+  }
+
+  void add(double end, int width) { running_.emplace_back(end, width); }
+
+  /// Earliest completion strictly after t, or +inf.
+  [[nodiscard]] double next_completion(double t) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [end, w] : running_) {
+      if (end > t) best = std::min(best, end);
+    }
+    return best;
+  }
+
+  void prune(double t) {
+    std::erase_if(running_, [t](const auto& p) { return p.first <= t; });
+  }
+
+ private:
+  int total_;
+  std::vector<std::pair<double, int>> running_;  // (end time, width)
+};
+
+}  // namespace
+
+std::vector<Job> make_synthetic_trace(const TraceConfig& config) {
+  util::Rng rng(config.seed);
+  // Expected node-seconds per job = E[width] * mean_runtime; arrival rate
+  // chosen so the cluster runs at the requested load.
+  double mean_width = 0.0;
+  {
+    util::Rng probe(config.seed ^ 0x5555);
+    for (int i = 0; i < 4096; ++i) {
+      mean_width += draw_width(probe, config.cluster_nodes);
+    }
+    mean_width /= 4096.0;
+  }
+  const double node_seconds_per_job = mean_width * config.mean_runtime_s;
+  const double arrival_rate = config.load *
+                              static_cast<double>(config.cluster_nodes) /
+                              node_seconds_per_job;
+  std::vector<Job> jobs;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / arrival_rate);
+    if (t > config.duration_s) break;
+    Job job;
+    job.arrival_s = t;
+    job.width = draw_width(rng, config.cluster_nodes);
+    job.runtime_s = std::max(60.0, rng.exponential(config.mean_runtime_s));
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<ScheduledJob> schedule_easy_backfill(int cluster_nodes,
+                                                 std::vector<Job> jobs) {
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival_s < b.arrival_s;
+  });
+  std::vector<ScheduledJob> out;
+  out.reserve(jobs.size());
+  NodeTimeline timeline(cluster_nodes);
+  std::deque<Job> queue;
+  std::size_t next = 0;
+  double now = 0.0;
+
+  // Event loop: each iteration starts every job that can start at `now`,
+  // then advances to the next interesting instant.
+  while (next < jobs.size() || !queue.empty()) {
+    while (next < jobs.size() && jobs[next].arrival_s <= now) {
+      queue.push_back(jobs[next++]);
+    }
+    timeline.prune(now);
+    bool started = true;
+    while (started && !queue.empty()) {
+      started = false;
+      // FCFS head.
+      if (timeline.free_at(now) >= queue.front().width) {
+        const Job job = queue.front();
+        queue.pop_front();
+        timeline.add(now + job.runtime_s, job.width);
+        out.push_back(ScheduledJob{job, now});
+        started = true;
+        continue;
+      }
+      // EASY backfill: the head gets a reservation at its earliest start;
+      // a later job may run now iff it finishes by then or fits into the
+      // nodes the reservation does not need.
+      const double shadow = timeline.earliest_start(now, queue.front().width);
+      const int spare_at_shadow = timeline.free_at(shadow) - queue.front().width;
+      for (std::size_t k = 1; k < queue.size(); ++k) {
+        const Job& cand = queue[k];
+        if (timeline.free_at(now) < cand.width) continue;
+        const bool fits_before_shadow = now + cand.runtime_s <= shadow;
+        const bool fits_beside_head = cand.width <= spare_at_shadow;
+        if (fits_before_shadow || fits_beside_head) {
+          const Job job = cand;
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(k));
+          timeline.add(now + job.runtime_s, job.width);
+          out.push_back(ScheduledJob{job, now});
+          started = true;
+          break;
+        }
+      }
+    }
+    // Advance: next arrival or next completion (completions can unlock the
+    // head or new backfill candidates).
+    double next_time = std::numeric_limits<double>::infinity();
+    if (next < jobs.size()) next_time = jobs[next].arrival_s;
+    if (!queue.empty()) {
+      next_time = std::min(next_time, timeline.next_completion(now));
+    }
+    if (next_time == std::numeric_limits<double>::infinity()) break;
+    now = std::max(now + 1e-9, next_time);
+  }
+  return out;
+}
+
+std::vector<ScheduledJob> schedule_fcfs(int cluster_nodes,
+                                        std::vector<Job> jobs) {
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival_s < b.arrival_s;
+  });
+  std::vector<ScheduledJob> out;
+  out.reserve(jobs.size());
+  NodeTimeline timeline(cluster_nodes);
+  // Strict FCFS: no overtaking — a job starts no earlier than the start of
+  // its predecessor, at the first instant enough nodes are free.
+  double prev_start = 0.0;
+  for (const Job& job : jobs) {
+    const double ready = std::max(job.arrival_s, prev_start);
+    const double start = timeline.earliest_start(ready, job.width);
+    timeline.add(start + job.runtime_s, job.width);
+    out.push_back(ScheduledJob{job, start});
+    prev_start = start;
+  }
+  return out;
+}
+
+std::vector<WaitByWidth> wait_statistics(
+    const std::vector<ScheduledJob>& schedule,
+    const std::vector<int>& width_buckets) {
+  std::vector<WaitByWidth> out;
+  out.reserve(width_buckets.size());
+  for (int w : width_buckets) {
+    WaitByWidth bucket;
+    bucket.width = w;
+    out.push_back(bucket);
+  }
+  for (const ScheduledJob& sj : schedule) {
+    // Assign to the smallest bucket >= width.
+    std::size_t best = width_buckets.size();
+    for (std::size_t i = 0; i < width_buckets.size(); ++i) {
+      if (sj.job.width <= width_buckets[i] &&
+          (best == width_buckets.size() ||
+           width_buckets[i] < width_buckets[best])) {
+        best = i;
+      }
+    }
+    if (best < out.size()) {
+      out[best].wait_s.add(sj.wait_s());
+      out[best].samples_s.push_back(sj.wait_s());
+    }
+  }
+  return out;
+}
+
+double WaitByWidth::quantile_s(double q) const {
+  if (samples_s.empty()) return 0.0;
+  std::vector<double> sorted = samples_s;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+double utilization(const std::vector<ScheduledJob>& schedule,
+                   int cluster_nodes) {
+  if (schedule.empty()) return 0.0;
+  double node_seconds = 0.0;
+  double span_end = 0.0;
+  double span_begin = std::numeric_limits<double>::infinity();
+  for (const ScheduledJob& sj : schedule) {
+    node_seconds += sj.job.runtime_s * sj.job.width;
+    span_end = std::max(span_end, sj.finish_s());
+    span_begin = std::min(span_begin, sj.start_s);
+  }
+  const double span = span_end - span_begin;
+  return span > 0 ? node_seconds / (span * cluster_nodes) : 0.0;
+}
+
+}  // namespace mrts::jobsim

@@ -1,0 +1,121 @@
+#include "mesh/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/format.hpp"
+
+namespace mrts::mesh {
+namespace {
+
+struct Frame {
+  Rect bb;
+  double scale = 1.0;
+  double height = 0.0;
+
+  [[nodiscard]] double x(double v) const { return (v - bb.xlo) * scale; }
+  /// SVG's y axis points down.
+  [[nodiscard]] double y(double v) const { return height - (v - bb.ylo) * scale; }
+};
+
+Frame frame_for(const Rect& bb, double width_px) {
+  Frame f;
+  f.bb = bb;
+  f.scale = width_px / std::max(bb.width(), 1e-12);
+  f.height = bb.height() * f.scale;
+  return f;
+}
+
+/// Pleasant distinct hues for fragment tinting.
+std::string hue_fill(std::size_t index) {
+  const double h = std::fmod(static_cast<double>(index) * 137.508, 360.0);
+  return util::format("hsl({:.0f}, 55%, 78%)", h);
+}
+
+void svg_prologue(std::ofstream& out, const Frame& f, double width_px) {
+  out << util::format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0f}\" "
+      "height=\"{:.0f}\" viewBox=\"0 0 {:.2f} {:.2f}\">\n",
+      width_px, f.height, width_px, f.height);
+}
+
+}  // namespace
+
+util::Status write_svg(const Triangulation& tri,
+                       const std::filesystem::path& path,
+                       const SvgOptions& options) {
+  std::vector<CompactMesh> one{extract_inside(tri)};
+  return write_svg(one, path, options);
+}
+
+util::Status write_svg(const std::vector<CompactMesh>& fragments,
+                       const std::filesystem::path& path,
+                       const SvgOptions& options) {
+  Rect bb{1e300, 1e300, -1e300, -1e300};
+  for (const auto& m : fragments) {
+    for (const auto& p : m.verts) {
+      bb.xlo = std::min(bb.xlo, p.x);
+      bb.ylo = std::min(bb.ylo, p.y);
+      bb.xhi = std::max(bb.xhi, p.x);
+      bb.yhi = std::max(bb.yhi, p.y);
+    }
+  }
+  if (bb.xhi < bb.xlo) {
+    return {util::StatusCode::kInvalidArgument, "no vertices to export"};
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return {util::StatusCode::kIoError, "cannot open " + path.string()};
+  }
+  const Frame f = frame_for(bb, options.width_px);
+  svg_prologue(out, f, options.width_px);
+  const double stroke = options.stroke_fraction * options.width_px;
+  for (std::size_t k = 0; k < fragments.size(); ++k) {
+    const auto& m = fragments[k];
+    const std::string fill =
+        options.fill ? hue_fill(k) : std::string("none");
+    out << util::format(
+        "<g stroke=\"#333\" stroke-width=\"{:.3f}\" fill=\"{}\" "
+        "stroke-linejoin=\"round\">\n",
+        stroke, fill);
+    for (const auto& t : m.tris) {
+      const Point2& a = m.verts[t[0]];
+      const Point2& b = m.verts[t[1]];
+      const Point2& c = m.verts[t[2]];
+      out << util::format(
+          "<path d=\"M{:.2f} {:.2f} L{:.2f} {:.2f} L{:.2f} {:.2f} Z\"/>\n",
+          f.x(a.x), f.y(a.y), f.x(b.x), f.y(b.y), f.x(c.x), f.y(c.y));
+    }
+    out << "</g>\n";
+  }
+  out << "</svg>\n";
+  out.flush();
+  if (!out) {
+    return {util::StatusCode::kIoError, "short write to " + path.string()};
+  }
+  return util::Status::ok();
+}
+
+util::Status write_off(const Triangulation& tri,
+                       const std::filesystem::path& path) {
+  const CompactMesh m = extract_inside(tri);
+  std::ofstream out(path);
+  if (!out) {
+    return {util::StatusCode::kIoError, "cannot open " + path.string()};
+  }
+  out << "OFF\n" << m.verts.size() << " " << m.tris.size() << " 0\n";
+  for (const auto& p : m.verts) {
+    out << util::format("{} {} 0\n", p.x, p.y);
+  }
+  for (const auto& t : m.tris) {
+    out << util::format("3 {} {} {}\n", t[0], t[1], t[2]);
+  }
+  out.flush();
+  if (!out) {
+    return {util::StatusCode::kIoError, "short write to " + path.string()};
+  }
+  return util::Status::ok();
+}
+
+}  // namespace mrts::mesh

@@ -1,0 +1,38 @@
+#pragma once
+
+// Mesh export for inspection and debugging: SVG (browser-viewable, with
+// per-subdomain coloring for decomposed meshes) and OFF (Geomview /
+// MeshLab). Only inside triangles are written.
+
+#include <filesystem>
+#include <vector>
+
+#include "mesh/triangulation.hpp"
+#include "util/status.hpp"
+
+namespace mrts::mesh {
+
+struct SvgOptions {
+  double width_px = 1000.0;
+  /// Stroke width relative to the domain diagonal.
+  double stroke_fraction = 4e-4;
+  /// Fill triangles (per-fragment hue) or draw wireframe only.
+  bool fill = true;
+};
+
+/// Writes one triangulation.
+util::Status write_svg(const Triangulation& tri,
+                       const std::filesystem::path& path,
+                       const SvgOptions& options = {});
+
+/// Writes several mesh fragments (e.g. one per subdomain), each tinted with
+/// its own hue so the decomposition is visible.
+util::Status write_svg(const std::vector<CompactMesh>& fragments,
+                       const std::filesystem::path& path,
+                       const SvgOptions& options = {});
+
+/// OFF format (vertices + triangles) of the inside mesh.
+util::Status write_off(const Triangulation& tri,
+                       const std::filesystem::path& path);
+
+}  // namespace mrts::mesh

@@ -1,0 +1,41 @@
+#pragma once
+
+// Robust geometric predicates for 2D Delaunay triangulation, after
+// Shewchuk's "Adaptive Precision Floating-Point Arithmetic and Fast Robust
+// Geometric Predicates". Each predicate first evaluates a floating-point
+// approximation with a forward error bound; only when the result is within
+// the bound of zero does it fall back to an exact evaluation built on
+// expansion arithmetic (error-free transformations). Unlike Shewchuk's
+// four-stage adaptivity we go straight from the filtered estimate to the
+// fully exact value — simpler, equally correct, and the fallback triggers
+// only on nearly-degenerate inputs.
+//
+// This translation unit must be compiled with -ffp-contract=off: fused
+// multiply-adds would break the error-free transformations.
+
+namespace mrts::mesh {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// > 0 if a,b,c wind counterclockwise, < 0 clockwise, 0 collinear.
+/// The sign is always exact; the magnitude approximates twice the signed
+/// triangle area.
+double orient2d(const Point2& a, const Point2& b, const Point2& c);
+
+/// > 0 if d lies strictly inside the circumcircle of the CCW triangle
+/// a,b,c; < 0 strictly outside; 0 on the circle. The sign is always exact.
+double incircle(const Point2& a, const Point2& b, const Point2& c,
+                const Point2& d);
+
+/// Number of times either predicate fell back to exact evaluation since
+/// process start (diagnostic; relaxed atomic).
+unsigned long long predicate_exact_fallbacks();
+
+}  // namespace mrts::mesh

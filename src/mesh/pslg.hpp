@@ -1,0 +1,62 @@
+#pragma once
+
+// Planar straight-line graph (PSLG): the input model for guaranteed-quality
+// Delaunay refinement. Points, constraining segments between them, and hole
+// seeds (a point strictly inside each hole). Includes the built-in domains
+// used by the benchmark suite: unit square, rectangle with hole grid, pipe
+// cross-section (annulus), and a key-shaped polygon.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mesh/geom.hpp"
+#include "util/archive.hpp"
+
+namespace mrts::mesh {
+
+struct Pslg {
+  std::vector<Point2> points;
+  /// Indices into `points`; each pair is a constraining segment.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+  /// One seed strictly inside each hole.
+  std::vector<Point2> holes;
+
+  [[nodiscard]] Rect bounding_box() const;
+
+  /// Appends a closed polygon (consecutive points joined, last to first).
+  /// Returns the index of the first added point.
+  std::uint32_t add_polygon(const std::vector<Point2>& ring);
+
+  void serialize(util::ByteWriter& out) const;
+  static Pslg deserialized(util::ByteReader& in);
+
+  /// True if `p` is inside the region bounded by the segments (even-odd rule
+  /// via ray casting against all segments). Points on the boundary give an
+  /// arbitrary but consistent answer. Hole seeds are not consulted; the
+  /// segment set of a well-formed PSLG already separates holes.
+  [[nodiscard]] bool contains(const Point2& p) const;
+};
+
+/// Axis-aligned rectangle domain.
+Pslg make_rectangle(const Rect& r);
+
+/// Unit square.
+Pslg make_unit_square();
+
+/// Rectangle with an nx-by-ny grid of square holes (a perforated plate;
+/// exercises many boundary segments and holes).
+Pslg make_perforated_plate(const Rect& r, int nx, int ny,
+                           double hole_fraction = 0.4);
+
+/// Pipe cross-section: outer circle of radius `router`, concentric bore of
+/// radius `rinner`, each approximated by `sides` segments. The classic
+/// graded-refinement geometry from the paper's Table VII experiments.
+Pslg make_pipe_section(double router = 1.0, double rinner = 0.45,
+                       int sides = 64);
+
+/// Key-shaped polygon (non-convex outline, one hole) for irregular-domain
+/// tests.
+Pslg make_key_shape();
+
+}  // namespace mrts::mesh

@@ -1,0 +1,187 @@
+#include "pumg/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrts::pumg {
+
+using mesh::Point2;
+using mesh::Rect;
+
+namespace {
+
+double along_coord(const Point2& p, int side) {
+  return (side == kWest || side == kEast) ? p.y : p.x;
+}
+
+Rect expanded_bbox(const mesh::Pslg& domain, double margin_fraction) {
+  Rect bb = domain.bounding_box();
+  const double margin =
+      margin_fraction * std::max(bb.width(), bb.height());
+  return bb.expanded(margin);
+}
+
+/// Detects adjacency between every cell pair and records T-junction points.
+void compute_adjacency(std::vector<CellTopology>& cells) {
+  const auto n = static_cast<std::uint32_t>(cells.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      CellTopology& a = cells[i];
+      const CellTopology& b = cells[j];
+      // b east of a?
+      if (a.rect.xhi == b.rect.xlo) {
+        const double lo = std::max(a.rect.ylo, b.rect.ylo);
+        const double hi = std::min(a.rect.yhi, b.rect.yhi);
+        if (lo < hi) {
+          a.neighbors[kEast].push_back(j);
+          for (double y : {b.rect.ylo, b.rect.yhi}) {
+            if (y > a.rect.ylo && y < a.rect.yhi) {
+              a.extra_border_points.push_back({a.rect.xhi, y});
+            }
+          }
+        }
+      }
+      if (a.rect.xlo == b.rect.xhi) {
+        const double lo = std::max(a.rect.ylo, b.rect.ylo);
+        const double hi = std::min(a.rect.yhi, b.rect.yhi);
+        if (lo < hi) {
+          a.neighbors[kWest].push_back(j);
+          for (double y : {b.rect.ylo, b.rect.yhi}) {
+            if (y > a.rect.ylo && y < a.rect.yhi) {
+              a.extra_border_points.push_back({a.rect.xlo, y});
+            }
+          }
+        }
+      }
+      if (a.rect.yhi == b.rect.ylo) {
+        const double lo = std::max(a.rect.xlo, b.rect.xlo);
+        const double hi = std::min(a.rect.xhi, b.rect.xhi);
+        if (lo < hi) {
+          a.neighbors[kNorth].push_back(j);
+          for (double x : {b.rect.xlo, b.rect.xhi}) {
+            if (x > a.rect.xlo && x < a.rect.xhi) {
+              a.extra_border_points.push_back({x, a.rect.yhi});
+            }
+          }
+        }
+      }
+      if (a.rect.ylo == b.rect.yhi) {
+        const double lo = std::max(a.rect.xlo, b.rect.xlo);
+        const double hi = std::min(a.rect.xhi, b.rect.xhi);
+        if (lo < hi) {
+          a.neighbors[kSouth].push_back(j);
+          for (double x : {b.rect.xlo, b.rect.xhi}) {
+            if (x > a.rect.xlo && x < a.rect.xhi) {
+              a.extra_border_points.push_back({x, a.rect.ylo});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> Decomposition::neighbor_for(
+    std::uint32_t cell, int side, const Point2& m) const {
+  const double t = along_coord(m, side);
+  for (std::uint32_t j : cells[cell].neighbors[side]) {
+    const Rect& r = cells[j].rect;
+    const double lo = (side == kWest || side == kEast) ? r.ylo : r.xlo;
+    const double hi = (side == kWest || side == kEast) ? r.yhi : r.xhi;
+    if (t >= lo && t <= hi) return j;
+  }
+  return std::nullopt;
+}
+
+Decomposition make_grid(const mesh::Pslg& domain, int nx, int ny,
+                        double margin_fraction) {
+  const Rect bb = expanded_bbox(domain, margin_fraction);
+  Decomposition d;
+  d.cells.reserve(static_cast<std::size_t>(nx) * ny);
+  // Dyadic-friendly cut coordinates are not required for the grid; exact
+  // equality across neighbours is guaranteed by computing each line once.
+  std::vector<double> xs(nx + 1), ys(ny + 1);
+  for (int i = 0; i <= nx; ++i) {
+    xs[i] = bb.xlo + bb.width() * (static_cast<double>(i) / nx);
+  }
+  for (int j = 0; j <= ny; ++j) {
+    ys[j] = bb.ylo + bb.height() * (static_cast<double>(j) / ny);
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      CellTopology c;
+      c.rect = Rect{xs[i], ys[j], xs[i + 1], ys[j + 1]};
+      d.cells.push_back(std::move(c));
+    }
+  }
+  compute_adjacency(d.cells);
+  return d;
+}
+
+Decomposition make_strips(const mesh::Pslg& domain, int n,
+                          double margin_fraction) {
+  return make_grid(domain, n, 1, margin_fraction);
+}
+
+double estimate_elements(const Rect& rect, const mesh::Pslg& domain,
+                         const mesh::SizeField& size_field) {
+  constexpr int kSamples = 8;
+  const double sample_area =
+      rect.width() * rect.height() / (kSamples * kSamples);
+  double estimate = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    for (int j = 0; j < kSamples; ++j) {
+      const Point2 p{rect.xlo + rect.width() * (i + 0.5) / kSamples,
+                     rect.ylo + rect.height() * (j + 0.5) / kSamples};
+      if (!domain.contains(p)) continue;
+      const double h = size_field ? size_field(p) : 0.0;
+      if (h <= 0.0) {
+        estimate += 1.0;  // unsized: count a token element per sample
+        continue;
+      }
+      // Equilateral triangle of side h has area sqrt(3)/4 h^2.
+      estimate += sample_area / (0.43301270189221935 * h * h);
+    }
+  }
+  return estimate;
+}
+
+Decomposition make_quadtree(const mesh::Pslg& domain,
+                            const mesh::SizeField& size_field,
+                            std::size_t leaf_element_budget, int max_depth,
+                            double margin_fraction) {
+  const Rect bb = expanded_bbox(domain, margin_fraction);
+  Decomposition d;
+  // Iterative subdivision; children reuse the parent's midpoint values so
+  // adjacent leaves agree bitwise on shared cut lines.
+  struct Node {
+    Rect rect;
+    int depth;
+  };
+  std::vector<Node> stack{{bb, 0}};
+  while (!stack.empty()) {
+    const Node node = stack.back();
+    stack.pop_back();
+    const double est = estimate_elements(node.rect, domain, size_field);
+    if (est > static_cast<double>(leaf_element_budget) &&
+        node.depth < max_depth) {
+      const double mx = 0.5 * (node.rect.xlo + node.rect.xhi);
+      const double my = 0.5 * (node.rect.ylo + node.rect.yhi);
+      stack.push_back({Rect{node.rect.xlo, node.rect.ylo, mx, my}, node.depth + 1});
+      stack.push_back({Rect{mx, node.rect.ylo, node.rect.xhi, my}, node.depth + 1});
+      stack.push_back({Rect{node.rect.xlo, my, mx, node.rect.yhi}, node.depth + 1});
+      stack.push_back({Rect{mx, my, node.rect.xhi, node.rect.yhi}, node.depth + 1});
+      continue;
+    }
+    CellTopology c;
+    c.rect = node.rect;
+    d.cells.push_back(std::move(c));
+  }
+  compute_adjacency(d.cells);
+  return d;
+}
+
+}  // namespace mrts::pumg

@@ -1,0 +1,68 @@
+#pragma once
+
+// Domain decompositions for the three PUMG methods:
+//   make_grid     — uniform nx-by-ny cells (UPDR);
+//   make_strips   — n vertical strips (PCDM);
+//   make_quadtree — adaptive quadtree whose leaves bound the estimated
+//                   element count (NUPDR), with T-junction points recorded
+//                   so neighbouring leaves of different sizes still share
+//                   an identical border discretization.
+//
+// All decompositions cover the domain's bounding box *expanded by a small
+// irrational-ish margin*, so internal cell borders never coincide with
+// input geometry (which would create collinear constraint conflicts).
+
+#include <cstdint>
+#include <optional>
+
+#include "mesh/refine.hpp"
+#include "pumg/subdomain.hpp"
+
+namespace mrts::pumg {
+
+struct CellTopology {
+  mesh::Rect rect;
+  /// Neighbour cell indices per side (several across quadtree T-junctions).
+  std::array<std::vector<std::uint32_t>, 4> neighbors;
+  /// Border points this cell must include up front (T-junction corners of
+  /// finer neighbours).
+  std::vector<mesh::Point2> extra_border_points;
+};
+
+struct Decomposition {
+  std::vector<CellTopology> cells;
+
+  /// The neighbour that owns the border location `m` across `side` of
+  /// `cell`, or nullopt when the border is on the decomposition boundary.
+  [[nodiscard]] std::optional<std::uint32_t> neighbor_for(
+      std::uint32_t cell, int side, const mesh::Point2& m) const;
+
+  [[nodiscard]] std::size_t size() const { return cells.size(); }
+};
+
+/// Default expansion of the bounding box, as a fraction of its larger
+/// dimension. Deliberately an "ugly" constant so cut lines stay clear of
+/// input features.
+inline constexpr double kDefaultMarginFraction = 0.0137042;
+
+Decomposition make_grid(const mesh::Pslg& domain, int nx, int ny,
+                        double margin_fraction = kDefaultMarginFraction);
+
+Decomposition make_strips(const mesh::Pslg& domain, int n,
+                          double margin_fraction = kDefaultMarginFraction);
+
+/// Splits leaves while the estimated element count (from the size field
+/// integrated over the leaf ∩ domain) exceeds `leaf_element_budget`.
+Decomposition make_quadtree(const mesh::Pslg& domain,
+                            const mesh::SizeField& size_field,
+                            std::size_t leaf_element_budget,
+                            int max_depth = 10,
+                            double margin_fraction = kDefaultMarginFraction);
+
+/// Rough element-count estimate for refining `rect ∩ domain` to the size
+/// field (equilateral-area heuristic; used for quadtree construction and
+/// load estimates).
+double estimate_elements(const mesh::Rect& rect, const mesh::Pslg& domain,
+                         const mesh::SizeField& size_field);
+
+}  // namespace mrts::pumg

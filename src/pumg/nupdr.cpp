@@ -1,0 +1,121 @@
+#include "pumg/nupdr.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace mrts::pumg {
+namespace {
+
+enum class LeafState : std::uint8_t { kIdle, kQueued, kRefining };
+
+}  // namespace
+
+MeshRunStats run_nupdr(const MeshProblem& problem, const NupdrConfig& config,
+                       tasking::TaskPool& pool,
+                       std::vector<Subdomain>* out_subs,
+                       Decomposition* out_decomp) {
+  util::WallTimer timer;
+  Decomposition decomp =
+      make_quadtree(problem.domain, problem.refine.size_field,
+                    config.leaf_element_budget, config.max_depth);
+  const auto n = static_cast<std::uint32_t>(decomp.size());
+
+  std::vector<Subdomain> subs(n);
+  tasking::parallel_for(pool, 0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      subs[i] = Subdomain(problem.domain, decomp.cells[i].rect,
+                          decomp.cells[i].extra_border_points);
+    }
+  });
+
+  MeshRunStats stats;
+  std::vector<std::vector<BoundarySplit>> inbox(n);
+  std::vector<LeafState> state(n, LeafState::kIdle);
+  std::deque<std::uint32_t> queue;  // the paper's refinement queue
+
+  auto enqueue = [&](std::uint32_t i) {
+    if (state[i] == LeafState::kIdle) {
+      state[i] = LeafState::kQueued;
+      queue.push_back(i);
+    }
+  };
+
+  auto route = [&](std::uint32_t origin,
+                   const std::vector<BoundarySplit>& splits) {
+    for (const BoundarySplit& s : splits) {
+      const auto target = decomp.neighbor_for(origin, s.side, s.m);
+      if (!target) continue;
+      inbox[*target].push_back(s);
+      ++stats.boundary_splits_exchanged;
+      enqueue(*target);
+    }
+  };
+
+  // Segment-recovery splits from construction seed the queue.
+  for (std::uint32_t i = 0; i < n; ++i) route(i, subs[i].initial_splits());
+  for (std::uint32_t i = 0; i < n; ++i) enqueue(i);
+
+  // Master loop with worker tasks on the pool. The master integrates
+  // results serially; workers only touch their own leaf.
+  struct Completion {
+    std::uint32_t leaf;
+    std::vector<BoundarySplit> splits;
+  };
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::deque<Completion> done;
+  std::size_t outstanding = 0;
+
+  while (!queue.empty() || outstanding > 0) {
+    if (++stats.rounds > config.max_turns) {
+      throw std::runtime_error("run_nupdr: refinement queue did not drain");
+    }
+    // Dispatch every queued leaf to a worker.
+    while (!queue.empty()) {
+      const std::uint32_t i = queue.front();
+      queue.pop_front();
+      state[i] = LeafState::kRefining;
+      ++outstanding;
+      // Hand the pending mirrors to the worker by value; the master may
+      // keep appending to inbox[i] while the worker runs.
+      auto mirrors = std::move(inbox[i]);
+      inbox[i].clear();
+      pool.submit([&, i, mirrors = std::move(mirrors)]() mutable {
+        for (const BoundarySplit& s : mirrors) {
+          subs[i].apply_mirror_split(s);
+        }
+        auto outcome = subs[i].refine(problem.refine);
+        std::lock_guard lock(done_mutex);
+        done.push_back(Completion{i, std::move(outcome.splits)});
+        done_cv.notify_one();
+      });
+    }
+    // Integrate at least one completion.
+    std::deque<Completion> batch;
+    {
+      std::unique_lock lock(done_mutex);
+      done_cv.wait(lock, [&] { return !done.empty(); });
+      batch = std::move(done);
+      done.clear();
+    }
+    for (Completion& c : batch) {
+      --outstanding;
+      state[c.leaf] = LeafState::kIdle;
+      route(c.leaf, c.splits);
+      if (!inbox[c.leaf].empty()) enqueue(c.leaf);
+    }
+  }
+
+  stats.quality_goal_deg = problem.refine.min_angle_deg;
+  for (const Subdomain& sub : subs) accumulate_stats(stats, sub);
+  stats.wall_seconds = timer.seconds();
+  if (out_subs != nullptr) *out_subs = std::move(subs);
+  if (out_decomp != nullptr) *out_decomp = std::move(decomp);
+  return stats;
+}
+
+}  // namespace mrts::pumg

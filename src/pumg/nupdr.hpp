@@ -1,0 +1,27 @@
+#pragma once
+
+// NUPDR — Non-Uniform Parallel Delaunay Refinement (paper §I.A, [5][32]).
+// Adaptive quadtree decomposition sized by the (graded) size field, driven
+// by a master-worker scheme: the master owns the refinement queue, hands
+// leaves to workers, integrates the boundary splits each worker reports,
+// and re-queues affected neighbour leaves. Intra-leaf refinement runs as
+// tasks on the computing-layer pool (this is the method the paper uses for
+// the TBB-vs-GCD comparison in Table VII).
+
+#include "pumg/method.hpp"
+#include "tasking/task_pool.hpp"
+
+namespace mrts::pumg {
+
+struct NupdrConfig {
+  std::size_t leaf_element_budget = 4000;
+  int max_depth = 10;
+  std::size_t max_turns = 1000000;
+};
+
+MeshRunStats run_nupdr(const MeshProblem& problem, const NupdrConfig& config,
+                       tasking::TaskPool& pool,
+                       std::vector<Subdomain>* out_subs = nullptr,
+                       Decomposition* out_decomp = nullptr);
+
+}  // namespace mrts::pumg

@@ -1,0 +1,88 @@
+#pragma once
+
+// Out-of-core ports of the three PUMG methods onto the MRTS runtime
+// (paper §III and [1][2]):
+//
+//   OPCDM  — every strip is a mobile object; boundary-split batches travel
+//            as one-sided messages directly between strip objects; the run
+//            ends at natural MRTS quiescence. Fully asynchronous.
+//   OUPDR  — grid cells are mobile objects; a coordinator object drives
+//            bulk-synchronous phases: cells refine, report "done" with the
+//            set of neighbours they dirtied, the coordinator launches the
+//            next phase. Structured communication + global synchronization.
+//   ONUPDR — quadtree leaves are mobile objects; a refinement-queue object
+//            (locked in-core, as the paper prescribes) owns the scheduling:
+//            it dispatches one leaf at a time per free neighbourhood,
+//            carrying pending boundary splits in the refine message, and
+//            workers report dirtied leaves back via `update` messages.
+//            Optionally (paper §III "Findings") each dispatch uses a
+//            multicast mobile message to collect the leaf and its buffer
+//            in-core on one node first, and boundary splits are then
+//            applied through direct inline handler calls.
+//
+// All cell objects serialize their full subdomain triangulation, so the
+// out-of-core layer can swap any of them to disk between messages.
+
+#include "core/cluster.hpp"
+#include "pumg/method.hpp"
+
+namespace mrts::pumg {
+
+struct OocRunResult {
+  MeshRunStats mesh;
+  core::RunReport report;  // timing breakdown of the main parallel phase
+  std::uint64_t objects_spilled = 0;
+  std::uint64_t objects_loaded = 0;
+  std::uint64_t bytes_spilled = 0;
+  std::uint64_t bytes_loaded = 0;
+  std::uint64_t messages_executed = 0;
+  std::uint64_t inline_deliveries = 0;
+  std::uint64_t migrations = 0;
+  /// ONUPDR diagnostics: leaves still marked dirty / splits still pending in
+  /// the refinement queue when the run went quiescent (must be zero).
+  std::uint64_t dirty_left = 0;
+  std::uint64_t pending_left = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct OpcdmOocConfig {
+  core::ClusterOptions cluster;
+  int strips = 8;
+};
+
+struct OupdrOocConfig {
+  core::ClusterOptions cluster;
+  int nx = 4;
+  int ny = 4;
+  std::size_t max_phases = 1000;
+};
+
+struct OnupdrOocConfig {
+  core::ClusterOptions cluster;
+  std::size_t leaf_element_budget = 4000;
+  int max_depth = 10;
+  /// Use multicast mobile messages to collect leaf + buffer before each
+  /// refinement (the paper's experimental extension); otherwise pending
+  /// splits are carried through the refinement-queue object.
+  bool use_multicast = false;
+  /// Concurrently refining neighbourhoods (paper: number of workers).
+  std::size_t max_concurrent_leaves = 8;
+};
+
+/// Each runner optionally copies out the final subdomains and the
+/// decomposition (for conformity checking and visualization).
+OocRunResult run_opcdm_ooc(const MeshProblem& problem,
+                           const OpcdmOocConfig& config,
+                           std::vector<Subdomain>* out_subs = nullptr,
+                           Decomposition* out_decomp = nullptr);
+OocRunResult run_oupdr_ooc(const MeshProblem& problem,
+                           const OupdrOocConfig& config,
+                           std::vector<Subdomain>* out_subs = nullptr,
+                           Decomposition* out_decomp = nullptr);
+OocRunResult run_onupdr_ooc(const MeshProblem& problem,
+                            const OnupdrOocConfig& config,
+                            std::vector<Subdomain>* out_subs = nullptr,
+                            Decomposition* out_decomp = nullptr);
+
+}  // namespace mrts::pumg

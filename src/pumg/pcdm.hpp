@@ -1,0 +1,27 @@
+#pragma once
+
+// PCDM — Parallel Constrained Delaunay Meshing (paper §I.A, [6]).
+// Domain decomposition into strips whose shared borders are constrained
+// segments. Fully asynchronous: when a strip splits a shared boundary
+// subsegment it posts a small message to the neighbouring strip, which
+// mirrors the split and continues refining. Messages produced by one
+// refinement pass are aggregated into one batch per neighbour (the paper's
+// startup-overhead optimization). There is no master and no barrier; the
+// run ends at quiescence.
+
+#include "pumg/method.hpp"
+#include "tasking/task_pool.hpp"
+
+namespace mrts::pumg {
+
+struct PcdmConfig {
+  int strips = 8;
+  std::size_t max_turns = 1000000;
+};
+
+MeshRunStats run_pcdm(const MeshProblem& problem, const PcdmConfig& config,
+                      tasking::TaskPool& pool,
+                      std::vector<Subdomain>* out_subs = nullptr,
+                      Decomposition* out_decomp = nullptr);
+
+}  // namespace mrts::pumg

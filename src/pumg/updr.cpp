@@ -1,0 +1,84 @@
+#include "pumg/updr.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace mrts::pumg {
+
+MeshRunStats run_updr(const MeshProblem& problem, const UpdrConfig& config,
+                      tasking::TaskPool& pool,
+                      std::vector<Subdomain>* out_subs,
+                      Decomposition* out_decomp) {
+  util::WallTimer timer;
+  Decomposition decomp = make_grid(problem.domain, config.nx, config.ny);
+  const auto n = static_cast<std::uint32_t>(decomp.size());
+
+  std::vector<Subdomain> subs(n);
+  std::vector<std::vector<BoundarySplit>> inbox(n);
+  std::vector<std::vector<BoundarySplit>> outbox(n);
+  std::mutex stats_mutex;
+  MeshRunStats stats;
+
+  // Round 0: construct all cells in parallel; their segment-recovery splits
+  // seed the first exchange.
+  tasking::parallel_for(pool, 0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      subs[i] = Subdomain(problem.domain, decomp.cells[i].rect,
+                          decomp.cells[i].extra_border_points);
+      outbox[i] = subs[i].initial_splits();
+    }
+  });
+
+  std::vector<std::uint32_t> dirty(n);
+  for (std::uint32_t i = 0; i < n; ++i) dirty[i] = i;
+
+  while (!dirty.empty()) {
+    if (++stats.rounds > config.max_rounds) {
+      throw std::runtime_error("run_updr: exchange did not converge");
+    }
+    // Parallel refinement of dirty cells (mirrors first, then refine).
+    tasking::parallel_for(
+        pool, 0, dirty.size(), 1, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            const std::uint32_t i = dirty[k];
+            for (const BoundarySplit& s : inbox[i]) {
+              subs[i].apply_mirror_split(s);
+            }
+            inbox[i].clear();
+            auto outcome = subs[i].refine(problem.refine);
+            for (BoundarySplit& s : outcome.splits) {
+              outbox[i].push_back(std::move(s));
+            }
+          }
+        });
+    // Barrier reached: route splits (serial; this is the "structured
+    // communication with global synchronization" step).
+    std::vector<std::uint8_t> is_dirty(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const BoundarySplit& s : outbox[i]) {
+        const auto target = decomp.neighbor_for(i, s.side, s.m);
+        if (!target) continue;  // decomposition boundary: nothing to notify
+        inbox[*target].push_back(s);
+        is_dirty[*target] = 1;
+        ++stats.boundary_splits_exchanged;
+      }
+      outbox[i].clear();
+    }
+    dirty.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (is_dirty[i]) dirty.push_back(i);
+    }
+  }
+
+  stats.quality_goal_deg = problem.refine.min_angle_deg;
+  for (const Subdomain& sub : subs) accumulate_stats(stats, sub);
+  stats.wall_seconds = timer.seconds();
+  if (out_subs != nullptr) *out_subs = std::move(subs);
+  if (out_decomp != nullptr) *out_decomp = std::move(decomp);
+  (void)stats_mutex;
+  return stats;
+}
+
+}  // namespace mrts::pumg

@@ -1,0 +1,27 @@
+#pragma once
+
+// UPDR — Uniform Parallel Delaunay Refinement (paper §I.A, [7][11]).
+// Uniform grid decomposition; bulk-synchronous rounds: every dirty cell
+// refines concurrently, a barrier follows, boundary splits are exchanged,
+// and the next round refines the cells that received splits. The structured
+// communication + global synchronization pattern is the method's signature
+// (and what the paper uses UPDR to stress in the runtime).
+
+#include "pumg/method.hpp"
+#include "tasking/task_pool.hpp"
+
+namespace mrts::pumg {
+
+struct UpdrConfig {
+  int nx = 4;
+  int ny = 4;
+  /// Safety valve for the exchange loop.
+  std::size_t max_rounds = 1000;
+};
+
+MeshRunStats run_updr(const MeshProblem& problem, const UpdrConfig& config,
+                      tasking::TaskPool& pool,
+                      std::vector<Subdomain>* out_subs = nullptr,
+                      Decomposition* out_decomp = nullptr);
+
+}  // namespace mrts::pumg

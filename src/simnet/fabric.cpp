@@ -1,0 +1,109 @@
+#include "simnet/fabric.hpp"
+
+#include <cassert>
+
+namespace mrts::net {
+
+Fabric::Fabric(std::size_t node_count, LinkModel link)
+    : link_(link), jitter_rng_(link.jitter_seed) {
+  assert(node_count > 0);
+  endpoints_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    endpoints_.push_back(std::unique_ptr<Endpoint>(
+        new Endpoint(*this, static_cast<NodeId>(i))));
+  }
+}
+
+FabricStats Fabric::stats() const {
+  return FabricStats{
+      .messages_sent = messages_sent_.load(std::memory_order_relaxed),
+      .messages_delivered =
+          messages_delivered_.load(std::memory_order_relaxed),
+      .bytes_sent = bytes_sent_.load(std::memory_order_relaxed),
+  };
+}
+
+std::chrono::nanoseconds Fabric::transit_time(std::size_t bytes) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(link_.latency);
+  if (link_.bandwidth_bytes_per_sec > 0.0) {
+    ns += std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(bytes) / link_.bandwidth_bytes_per_sec * 1e9));
+  }
+  if (link_.jitter.count() > 0) {
+    std::lock_guard lock(jitter_mutex_);
+    ns += std::chrono::nanoseconds(static_cast<std::int64_t>(
+        jitter_rng_.uniform() *
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                link_.jitter)
+                                .count())));
+  }
+  return ns;
+}
+
+AmHandlerId Endpoint::register_handler(AmHandler handler) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_.push_back(std::move(handler));
+  return static_cast<AmHandlerId>(handlers_.size() - 1);
+}
+
+void Endpoint::send(NodeId dst, AmHandlerId handler,
+                    std::vector<std::byte> payload) {
+  std::optional<util::ScopedCharge> charge;
+  if (comm_time_ != nullptr) charge.emplace(*comm_time_);
+  const std::size_t bytes = payload.size();
+  fabric_->bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  Endpoint& target = fabric_->endpoint(dst);
+  // The send counter must be incremented before the message becomes
+  // deliverable so the termination detector can never observe
+  // sent == delivered while a message is being handed over.
+  fabric_->messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+  target.enqueue(Incoming{
+      .src = id_,
+      .handler = handler,
+      .payload = std::move(payload),
+      .deliverable_at = util::Clock::now() + fabric_->transit_time(bytes),
+  });
+}
+
+void Endpoint::enqueue(Incoming msg) {
+  std::lock_guard lock(mutex_);
+  inbox_.push_back(std::move(msg));
+}
+
+std::size_t Endpoint::poll() {
+  std::size_t delivered = 0;
+  for (;;) {
+    Incoming msg;
+    {
+      std::lock_guard lock(mutex_);
+      if (inbox_.empty()) break;
+      if (inbox_.front().deliverable_at > util::Clock::now()) break;
+      msg = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    AmHandler* handler = nullptr;
+    {
+      std::lock_guard lock(handlers_mutex_);
+      assert(msg.handler < handlers_.size());
+      handler = &handlers_[msg.handler];
+    }
+    {
+      std::optional<util::ScopedCharge> charge;
+      if (comm_time_ != nullptr) charge.emplace(*comm_time_);
+      util::ByteReader reader(msg.payload);
+      (*handler)(msg.src, reader);
+    }
+    // Delivered only after the handler ran: a handler that enqueues local
+    // work does so before the detector can see this message as consumed.
+    fabric_->messages_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    ++delivered;
+  }
+  return delivered;
+}
+
+bool Endpoint::inbox_empty() const {
+  std::lock_guard lock(mutex_);
+  return inbox_.empty();
+}
+
+}  // namespace mrts::net

@@ -1,0 +1,137 @@
+#pragma once
+
+// Simulated cluster interconnect. The paper runs MRTS over ARMCI one-sided
+// communication on real clusters; here every "node" is a thread inside one
+// process and the Fabric carries one-sided active messages between their
+// Endpoints. Semantics preserved from the ARMCI/AM model that the MRTS
+// control layer depends on:
+//   - one-sided: the receiver never posts a receive; a registered handler
+//     is invoked when the endpoint makes progress (poll), like a GASNet AM
+//     polling engine;
+//   - FIFO between any ordered pair of endpoints, no ordering across pairs;
+//   - payloads are byte blobs, physically copied between nodes (no sharing),
+//     so serialization is exercised exactly as on a real network.
+// A LinkModel adds per-message latency plus a bandwidth term, and optional
+// seeded jitter, for latency-tolerance experiments.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/archive.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mrts::net {
+
+using NodeId = std::uint32_t;
+using AmHandlerId = std::uint32_t;
+
+struct LinkModel {
+  std::chrono::microseconds latency{0};
+  double bandwidth_bytes_per_sec = 0.0;  // <= 0 means infinite
+  /// Uniform extra delay in [0, jitter] applied per message (seeded).
+  std::chrono::microseconds jitter{0};
+  std::uint64_t jitter_seed = 1;
+};
+
+struct FabricStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Fabric;
+
+/// Per-node communication endpoint. poll() drives delivery: it pops due
+/// messages from the inbox and invokes the registered handlers on the
+/// calling thread. All methods are thread-safe.
+class Endpoint {
+ public:
+  /// Handler receives the source node and a reader over the payload.
+  using AmHandler = std::function<void(NodeId src, util::ByteReader& payload)>;
+
+  /// Registers a handler and returns its id. Handler tables must be built
+  /// identically on every node (same registration order), mirroring how AM
+  /// libraries assign handler indices at init time.
+  AmHandlerId register_handler(AmHandler handler);
+
+  /// One-sided send: enqueue payload for `dst` and return immediately.
+  void send(NodeId dst, AmHandlerId handler, std::vector<std::byte> payload);
+
+  /// Delivers every due message; returns the number delivered.
+  std::size_t poll();
+
+  /// True when the inbox holds no messages (due or in flight).
+  [[nodiscard]] bool inbox_empty() const;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Charges send/deliver busy time to `acc` (may be null to disable).
+  void set_comm_accumulator(util::TimeAccumulator* acc) { comm_time_ = acc; }
+
+ private:
+  friend class Fabric;
+  Endpoint(Fabric& fabric, NodeId id) : fabric_(&fabric), id_(id) {}
+
+  struct Incoming {
+    NodeId src;
+    AmHandlerId handler;
+    std::vector<std::byte> payload;
+    util::Clock::time_point deliverable_at;
+  };
+
+  void enqueue(Incoming msg);
+
+  Fabric* fabric_;
+  NodeId id_;
+  mutable std::mutex mutex_;
+  std::deque<Incoming> inbox_;
+  std::vector<AmHandler> handlers_;  // guarded by handlers_mutex_
+  mutable std::mutex handlers_mutex_;
+  util::TimeAccumulator* comm_time_ = nullptr;
+};
+
+/// Owns the endpoints of one simulated cluster.
+class Fabric {
+ public:
+  explicit Fabric(std::size_t node_count, LinkModel link = {});
+
+  [[nodiscard]] std::size_t node_count() const { return endpoints_.size(); }
+  [[nodiscard]] Endpoint& endpoint(NodeId id) { return *endpoints_.at(id); }
+
+  [[nodiscard]] FabricStats stats() const;
+
+  /// True when every message ever sent has been delivered. Combined with
+  /// per-node idle flags by the runtime's termination detector.
+  [[nodiscard]] bool all_delivered() const {
+    return messages_sent_.load(std::memory_order_acquire) ==
+           messages_delivered_.load(std::memory_order_acquire);
+  }
+
+  /// Monotone counter of sends; used by the two-phase termination check to
+  /// detect activity between its probes.
+  [[nodiscard]] std::uint64_t send_epoch() const {
+    return messages_sent_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Endpoint;
+
+  std::chrono::nanoseconds transit_time(std::size_t bytes);
+
+  LinkModel link_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::mutex jitter_mutex_;
+  util::Rng jitter_rng_;
+};
+
+}  // namespace mrts::net

@@ -1,0 +1,56 @@
+#pragma once
+
+// Storage-layer backend interface (paper §II.D "storage layer"). The
+// underlying facility is hidden from the application: the runtime sees only
+// keyed blobs. Implementations: FileStore (real files on disk), MemStore
+// (in-memory, for tests), plus decorators adding modeled device latency and
+// injected faults.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mrts::storage {
+
+/// Globally unique identifier of a stored blob (the mobile object id).
+using ObjectKey = std::uint64_t;
+
+/// Byte counters maintained by every backend; used by the benches to report
+/// disk traffic.
+struct BackendStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t store_ops = 0;
+  std::uint64_t load_ops = 0;
+};
+
+/// Abstract keyed blob store. Implementations must be thread-safe: the
+/// ObjectStore I/O thread and application threads may call concurrently.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Writes (or atomically overwrites) the blob stored under `key`.
+  virtual util::Status store(ObjectKey key, std::span<const std::byte> bytes) = 0;
+
+  /// Reads the full blob stored under `key`.
+  virtual util::Result<std::vector<std::byte>> load(ObjectKey key) = 0;
+
+  /// Removes the blob; kNotFound if absent.
+  virtual util::Status erase(ObjectKey key) = 0;
+
+  virtual bool contains(ObjectKey key) const = 0;
+
+  /// Number of blobs currently stored.
+  virtual std::size_t count() const = 0;
+
+  /// Total bytes currently stored.
+  virtual std::uint64_t stored_bytes() const = 0;
+
+  virtual BackendStats stats() const = 0;
+};
+
+}  // namespace mrts::storage

@@ -1,0 +1,90 @@
+#include "storage/eviction.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mrts::storage {
+
+std::string_view to_string(EvictionScheme s) {
+  switch (s) {
+    case EvictionScheme::kLru: return "LRU";
+    case EvictionScheme::kLfu: return "LFU";
+    case EvictionScheme::kMru: return "MRU";
+    case EvictionScheme::kMu: return "MU";
+    case EvictionScheme::kLu: return "LU";
+  }
+  return "?";
+}
+
+std::optional<EvictionScheme> parse_scheme(std::string_view name) {
+  if (name == "LRU" || name == "lru") return EvictionScheme::kLru;
+  if (name == "LFU" || name == "lfu") return EvictionScheme::kLfu;
+  if (name == "MRU" || name == "mru") return EvictionScheme::kMru;
+  if (name == "MU" || name == "mu") return EvictionScheme::kMu;
+  if (name == "LU" || name == "lu") return EvictionScheme::kLu;
+  return std::nullopt;
+}
+
+void EvictionPolicy::on_insert(ObjectKey key) {
+  ++tick_;
+  auto& m = meta_[key];
+  m.last_access = tick_;
+  m.insert_tick = tick_;
+  m.count = 0;
+  m.aged_score = 0.0;
+  m.aged_tick = tick_;
+}
+
+void EvictionPolicy::on_access(ObjectKey key) {
+  auto it = meta_.find(key);
+  if (it == meta_.end()) return;  // not resident; nothing to track
+  ++tick_;
+  Meta& m = it->second;
+  m.aged_score = aged_score_at(m, tick_) + 1.0;
+  m.aged_tick = tick_;
+  m.last_access = tick_;
+  ++m.count;
+}
+
+void EvictionPolicy::on_erase(ObjectKey key) { meta_.erase(key); }
+
+double EvictionPolicy::aged_score_at(const Meta& m, std::uint64_t now) const {
+  const double dt = static_cast<double>(now - m.aged_tick);
+  return m.aged_score * std::exp2(-dt / kAgingHalfLife);
+}
+
+double EvictionPolicy::badness(const Meta& m, std::uint64_t now) const {
+  switch (scheme_) {
+    case EvictionScheme::kLru:
+      return -static_cast<double>(m.last_access);
+    case EvictionScheme::kMru:
+      return static_cast<double>(m.last_access);
+    case EvictionScheme::kLu:
+      // Least absolute access count; ties broken towards older access.
+      return -(static_cast<double>(m.count) +
+               static_cast<double>(m.last_access) * 1e-12);
+    case EvictionScheme::kMu:
+      return static_cast<double>(m.count) -
+             static_cast<double>(m.last_access) * 1e-12;
+    case EvictionScheme::kLfu:
+      return -aged_score_at(m, now);
+  }
+  return 0.0;
+}
+
+std::optional<ObjectKey> EvictionPolicy::victim(
+    const std::function<bool(ObjectKey)>& evictable) const {
+  std::optional<ObjectKey> best;
+  double best_badness = -std::numeric_limits<double>::infinity();
+  for (const auto& [key, m] : meta_) {
+    if (!evictable(key)) continue;
+    const double b = badness(m, tick_);
+    if (b > best_badness) {
+      best_badness = b;
+      best = key;
+    }
+  }
+  return best;
+}
+
+}  // namespace mrts::storage

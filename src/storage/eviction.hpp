@@ -1,0 +1,84 @@
+#pragma once
+
+// Swapping schemes of the MRTS storage layer (paper §II.E): in addition to
+// least-recently-used (LRU) the paper implements least-frequently-used
+// (LFU), most-recently-used (MRU), most-used (MU) and least-used (LU). The
+// paper does not define LFU/LU/MU formally; we use the common readings and
+// document them here:
+//   LRU — evict the object with the oldest last access.
+//   MRU — evict the object with the newest last access.
+//   LU  — evict the object with the smallest absolute access count.
+//   MU  — evict the object with the largest absolute access count.
+//   LFU — evict the object with the smallest exponentially-aged access
+//         score (half-life kAgingHalfLife ticks), i.e. frequency rather
+//         than raw count, so long-dead hot objects can still be evicted.
+//
+// Victim selection takes an `evictable` predicate so the out-of-core layer
+// can exclude locked (pinned) and message-active objects. Selection is a
+// linear scan over resident objects: resident counts are small (hundreds to
+// a few thousands) and eviction cost is dwarfed by the disk write that
+// follows, so O(n) is deliberate simplicity, not an oversight.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "storage/backend.hpp"
+
+namespace mrts::storage {
+
+enum class EvictionScheme { kLru, kLfu, kMru, kMu, kLu };
+
+[[nodiscard]] std::string_view to_string(EvictionScheme s);
+[[nodiscard]] std::optional<EvictionScheme> parse_scheme(std::string_view name);
+
+/// Tracks access recency/frequency of resident objects and picks eviction
+/// victims according to a scheme. Not thread-safe; the out-of-core layer
+/// serializes calls under its own mutex.
+class EvictionPolicy {
+ public:
+  explicit EvictionPolicy(EvictionScheme scheme) : scheme_(scheme) {}
+
+  /// Starts tracking a newly resident object.
+  void on_insert(ObjectKey key);
+
+  /// Records an access (message delivery or explicit touch).
+  void on_access(ObjectKey key);
+
+  /// Stops tracking an object (evicted or destroyed).
+  void on_erase(ObjectKey key);
+
+  [[nodiscard]] bool tracks(ObjectKey key) const { return meta_.contains(key); }
+  [[nodiscard]] std::size_t size() const { return meta_.size(); }
+  [[nodiscard]] EvictionScheme scheme() const { return scheme_; }
+
+  /// Picks the best victim among tracked objects for which
+  /// `evictable(key)` holds; nullopt if none qualifies.
+  [[nodiscard]] std::optional<ObjectKey> victim(
+      const std::function<bool(ObjectKey)>& evictable) const;
+
+ private:
+  struct Meta {
+    std::uint64_t last_access = 0;
+    std::uint64_t insert_tick = 0;
+    std::uint64_t count = 0;
+    double aged_score = 0.0;     // for LFU
+    std::uint64_t aged_tick = 0;  // tick at which aged_score was last updated
+  };
+
+  static constexpr double kAgingHalfLife = 1024.0;
+
+  [[nodiscard]] double aged_score_at(const Meta& m, std::uint64_t now) const;
+  /// Scheme-specific badness: the victim is the tracked object with the
+  /// highest badness.
+  [[nodiscard]] double badness(const Meta& m, std::uint64_t now) const;
+
+  EvictionScheme scheme_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<ObjectKey, Meta> meta_;
+};
+
+}  // namespace mrts::storage

@@ -1,0 +1,36 @@
+#include "storage/fault_store.hpp"
+
+namespace mrts::storage {
+
+bool FaultStore::roll(double p) {
+  if (p <= 0.0) return false;
+  std::lock_guard lock(rng_mutex_);
+  return rng_.uniform() < p;
+}
+
+util::Status FaultStore::store(ObjectKey key,
+                               std::span<const std::byte> bytes) {
+  if (roll(plan_.store_failure_rate)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return {util::StatusCode::kUnavailable, "injected store fault"};
+  }
+  return inner_->store(key, bytes);
+}
+
+util::Result<std::vector<std::byte>> FaultStore::load(ObjectKey key) {
+  if (roll(plan_.load_failure_rate)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return util::Status(util::StatusCode::kUnavailable, "injected load fault");
+  }
+  auto result = inner_->load(key);
+  if (result.is_ok() && !result.value().empty() &&
+      roll(plan_.corruption_rate)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    auto bytes = std::move(result).value();
+    bytes[bytes.size() / 2] ^= std::byte{0xFF};
+    return bytes;  // caller's CRC check should reject this
+  }
+  return result;
+}
+
+}  // namespace mrts::storage

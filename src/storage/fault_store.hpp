@@ -1,0 +1,51 @@
+#pragma once
+
+// Fault-injecting decorator for failure testing: makes a configurable
+// fraction of store/load operations fail with kUnavailable (transient) or,
+// optionally, corrupts loaded payloads so CRC-based detection can be
+// exercised end to end.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "storage/backend.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::storage {
+
+struct FaultPlan {
+  double store_failure_rate = 0.0;  // probability a store returns kUnavailable
+  double load_failure_rate = 0.0;   // probability a load returns kUnavailable
+  double corruption_rate = 0.0;     // probability a load's payload is flipped
+  std::uint64_t seed = 42;
+};
+
+class FaultStore final : public StorageBackend {
+ public:
+  FaultStore(std::unique_ptr<StorageBackend> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+  util::Status store(ObjectKey key, std::span<const std::byte> bytes) override;
+  util::Result<std::vector<std::byte>> load(ObjectKey key) override;
+  util::Status erase(ObjectKey key) override { return inner_->erase(key); }
+  bool contains(ObjectKey key) const override { return inner_->contains(key); }
+  std::size_t count() const override { return inner_->count(); }
+  std::uint64_t stored_bytes() const override { return inner_->stored_bytes(); }
+  BackendStats stats() const override { return inner_->stats(); }
+
+  [[nodiscard]] std::uint64_t injected_faults() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool roll(double p);
+
+  std::unique_ptr<StorageBackend> inner_;
+  FaultPlan plan_;
+  std::mutex rng_mutex_;
+  util::Rng rng_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace mrts::storage

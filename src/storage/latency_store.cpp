@@ -1,0 +1,30 @@
+#include "storage/latency_store.hpp"
+
+#include <thread>
+
+namespace mrts::storage {
+
+std::chrono::nanoseconds DeviceModel::cost(std::size_t bytes) const {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(access_latency);
+  if (bandwidth_bytes_per_sec > 0.0) {
+    ns += std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e9));
+  }
+  return ns;
+}
+
+util::Status LatencyStore::store(ObjectKey key,
+                                 std::span<const std::byte> bytes) {
+  std::this_thread::sleep_for(model_.cost(bytes.size()));
+  return inner_->store(key, bytes);
+}
+
+util::Result<std::vector<std::byte>> LatencyStore::load(ObjectKey key) {
+  auto result = inner_->load(key);
+  if (result.is_ok()) {
+    std::this_thread::sleep_for(model_.cost(result.value().size()));
+  }
+  return result;
+}
+
+}  // namespace mrts::storage

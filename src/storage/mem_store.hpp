@@ -1,0 +1,31 @@
+#pragma once
+
+// In-memory StorageBackend. Used in unit tests and as the base layer under
+// the latency-model decorator when benches need deterministic "disk" timing
+// decoupled from the host filesystem.
+
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/backend.hpp"
+
+namespace mrts::storage {
+
+class MemStore final : public StorageBackend {
+ public:
+  util::Status store(ObjectKey key, std::span<const std::byte> bytes) override;
+  util::Result<std::vector<std::byte>> load(ObjectKey key) override;
+  util::Status erase(ObjectKey key) override;
+  bool contains(ObjectKey key) const override;
+  std::size_t count() const override;
+  std::uint64_t stored_bytes() const override;
+  BackendStats stats() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<ObjectKey, std::vector<std::byte>> blobs_;
+  std::uint64_t stored_bytes_ = 0;
+  BackendStats stats_{};
+};
+
+}  // namespace mrts::storage

@@ -1,0 +1,147 @@
+#include "storage/object_store.hpp"
+
+#include <cassert>
+
+namespace mrts::storage {
+
+ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
+                         util::TimeAccumulator* disk_time,
+                         ObjectStoreOptions options)
+    : backend_(std::move(backend)), disk_time_(disk_time), options_(options) {
+  assert(backend_ != nullptr);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+ObjectStore::~ObjectStore() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  io_thread_.join();
+}
+
+void ObjectStore::store_async(ObjectKey key, std::vector<std::byte> bytes,
+                              StoreCallback done) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(Request{.is_store = true,
+                             .key = key,
+                             .bytes = std::move(bytes),
+                             .store_done = std::move(done),
+                             .load_done = {}});
+  }
+  cv_.notify_one();
+}
+
+void ObjectStore::load_async(ObjectKey key, LoadCallback done) {
+  {
+    std::lock_guard lock(mutex_);
+    Request req{.is_store = false,
+                .key = key,
+                .bytes = {},
+                .store_done = {},
+                .load_done = std::move(done)};
+    if (options_.prioritize_loads) {
+      queue_.push_front(std::move(req));
+    } else {
+      queue_.push_back(std::move(req));
+    }
+  }
+  cv_.notify_one();
+}
+
+util::Status ObjectStore::store_sync(ObjectKey key,
+                                     std::span<const std::byte> bytes) {
+  util::Status status;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    status = backend_->store(key, bytes);
+    if (status.code() != util::StatusCode::kUnavailable) return status;
+    std::lock_guard lock(mutex_);
+    ++retries_;
+  }
+  return status;
+}
+
+util::Result<std::vector<std::byte>> ObjectStore::load_sync(ObjectKey key) {
+  util::Result<std::vector<std::byte>> result =
+      util::Status(util::StatusCode::kUnavailable, "not attempted");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    result = backend_->load(key);
+    if (result.is_ok() ||
+        result.status().code() != util::StatusCode::kUnavailable) {
+      return result;
+    }
+    std::lock_guard lock(mutex_);
+    ++retries_;
+  }
+  return result;
+}
+
+util::Status ObjectStore::erase(ObjectKey key) { return backend_->erase(key); }
+
+void ObjectStore::drain() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ObjectStore::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+std::uint64_t ObjectStore::retries_performed() const {
+  std::lock_guard lock(mutex_);
+  return retries_;
+}
+
+void ObjectStore::io_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    execute(req);
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void ObjectStore::execute(Request& req) {
+  std::optional<util::ScopedCharge> charge;
+  if (disk_time_ != nullptr) charge.emplace(*disk_time_);
+  if (req.is_store) {
+    util::Status status;
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      status = backend_->store(req.key, req.bytes);
+      if (status.code() != util::StatusCode::kUnavailable) break;
+      std::lock_guard lk(mutex_);
+      ++retries_;
+    }
+    charge.reset();
+    if (req.store_done) req.store_done(status);
+  } else {
+    util::Result<std::vector<std::byte>> result =
+        util::Status(util::StatusCode::kUnavailable, "not attempted");
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      result = backend_->load(req.key);
+      if (result.is_ok() ||
+          result.status().code() != util::StatusCode::kUnavailable) {
+        break;
+      }
+      std::lock_guard lk(mutex_);
+      ++retries_;
+    }
+    charge.reset();
+    if (req.load_done) req.load_done(std::move(result));
+  }
+}
+
+}  // namespace mrts::storage

@@ -1,0 +1,91 @@
+#pragma once
+
+// Asynchronous object store: the storage layer's non-blocking load/store
+// interface (paper §II.D). A dedicated I/O thread drains a request queue so
+// serialization traffic overlaps with computation and communication — the
+// property measured as "Overlap" in the paper's Tables IV-VI. Busy time of
+// the I/O thread is charged to a TimeAccumulator supplied by the runtime.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "storage/backend.hpp"
+#include "util/timer.hpp"
+
+namespace mrts::storage {
+
+using StoreCallback = std::function<void(util::Status)>;
+using LoadCallback = std::function<void(util::Result<std::vector<std::byte>>)>;
+
+struct ObjectStoreOptions {
+  /// Transient (kUnavailable) backend failures are retried this many times
+  /// before the error is propagated to the callback.
+  int max_retries = 3;
+  /// Loads are served before stores when both are queued: a pending load
+  /// blocks a message handler, a pending store only delays reclamation.
+  bool prioritize_loads = true;
+};
+
+class ObjectStore {
+ public:
+  /// `disk_time` may be null; when set, I/O busy intervals are charged to it.
+  ObjectStore(std::unique_ptr<StorageBackend> backend,
+              util::TimeAccumulator* disk_time = nullptr,
+              ObjectStoreOptions options = {});
+  ~ObjectStore();
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Enqueues a write; `done` runs on the I/O thread after completion.
+  void store_async(ObjectKey key, std::vector<std::byte> bytes,
+                   StoreCallback done = {});
+
+  /// Enqueues a read; `done` runs on the I/O thread with the result.
+  void load_async(ObjectKey key, LoadCallback done);
+
+  /// Synchronous helpers (execute on the calling thread, still retried).
+  util::Status store_sync(ObjectKey key, std::span<const std::byte> bytes);
+  util::Result<std::vector<std::byte>> load_sync(ObjectKey key);
+
+  util::Status erase(ObjectKey key);
+
+  /// Blocks until every queued request has completed.
+  void drain();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const StorageBackend& backend() const { return *backend_; }
+  [[nodiscard]] std::uint64_t retries_performed() const;
+
+ private:
+  struct Request {
+    bool is_store;
+    ObjectKey key;
+    std::vector<std::byte> bytes;  // store payload
+    StoreCallback store_done;
+    LoadCallback load_done;
+  };
+
+  void io_loop();
+  void execute(Request& req);
+
+  std::unique_ptr<StorageBackend> backend_;
+  util::TimeAccumulator* disk_time_;
+  ObjectStoreOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Request> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::uint64_t retries_ = 0;
+
+  std::thread io_thread_;
+};
+
+}  // namespace mrts::storage

@@ -1,0 +1,82 @@
+#include "tasking/central_queue_pool.hpp"
+
+#include <cassert>
+
+namespace mrts::tasking {
+
+CentralQueuePool::CentralQueuePool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CentralQueuePool::~CentralQueuePool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void CentralQueuePool::submit(TaskFn fn) {
+  assert(fn);
+  unfinished_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void CentralQueuePool::finish_task() {
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void CentralQueuePool::worker_loop() {
+  for (;;) {
+    TaskFn fn;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+    finish_task();
+  }
+}
+
+bool CentralQueuePool::help_one() {
+  TaskFn fn;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    fn = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  fn();
+  finish_task();
+  return true;
+}
+
+void CentralQueuePool::wait_idle() {
+  while (help_one()) {
+  }
+  std::unique_lock lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace mrts::tasking

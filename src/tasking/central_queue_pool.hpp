@@ -1,0 +1,45 @@
+#pragma once
+
+// GCD-like backend: a single global FIFO queue drained by a fixed pool of
+// worker threads. Simpler than work stealing and fair across submitters,
+// but the shared queue serializes dispatch — the structural difference
+// behind the TBB-vs-GCD comparison in the paper's Table VII.
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "tasking/task_pool.hpp"
+
+namespace mrts::tasking {
+
+class CentralQueuePool final : public TaskPool {
+ public:
+  explicit CentralQueuePool(std::size_t workers);
+  ~CentralQueuePool() override;
+
+  void submit(TaskFn fn) override;
+  bool help_one() override;
+  [[nodiscard]] std::size_t worker_count() const override {
+    return workers_.size();
+  }
+  void wait_idle() override;
+  [[nodiscard]] std::uint64_t tasks_executed() const override {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+  void finish_task();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  std::deque<TaskFn> queue_;
+  std::atomic<std::size_t> unfinished_{0};
+  bool stop_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrts::tasking

@@ -1,0 +1,91 @@
+#pragma once
+
+// Computing layer (paper §II.D): a uniform task interface over
+// interchangeable multithreading backends. The paper wraps Intel TBB and
+// Apple GCD; we implement the two scheduling disciplines those libraries
+// embody, from scratch:
+//   kWorkStealing — per-worker deques with random stealing (TBB-like);
+//   kCentralQueue — one global FIFO feeding a thread pool (GCD-like).
+// Message handlers run as tasks and may spawn nested tasks through
+// TaskGroup, whose wait() helps execute pending work instead of blocking,
+// so nested parallelism cannot deadlock a small pool.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+namespace mrts::tasking {
+
+using TaskFn = std::function<void()>;
+
+enum class PoolBackend { kWorkStealing, kCentralQueue };
+
+[[nodiscard]] std::string_view to_string(PoolBackend b);
+
+/// Abstract task pool. Thread-safe. Tasks must not block indefinitely;
+/// cooperative helping (help_one) is the supported way to wait.
+class TaskPool {
+ public:
+  virtual ~TaskPool() = default;
+
+  /// Enqueues a task for asynchronous execution.
+  virtual void submit(TaskFn fn) = 0;
+
+  /// Runs one pending task on the calling thread if any is available.
+  /// Returns false when no task was ready.
+  virtual bool help_one() = 0;
+
+  [[nodiscard]] virtual std::size_t worker_count() const = 0;
+
+  /// Blocks until every task submitted so far has finished. Only valid when
+  /// no other thread keeps submitting concurrently.
+  virtual void wait_idle() = 0;
+
+  /// Total tasks executed since construction (for scheduler diagnostics).
+  [[nodiscard]] virtual std::uint64_t tasks_executed() const = 0;
+};
+
+std::unique_ptr<TaskPool> make_pool(PoolBackend backend, std::size_t workers);
+
+/// Fork-join scope: run() submits child tasks, wait() helps the pool until
+/// all children of this group have completed.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(TaskFn fn);
+  void wait();
+
+ private:
+  TaskPool& pool_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Splits [begin, end) into chunks of at most `grain` and runs
+/// `fn(chunk_begin, chunk_end)` across the pool, returning when all chunks
+/// are done.
+template <typename Fn>
+void parallel_for(TaskPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  TaskGroup group(pool);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(lo + grain, end);
+    group.run([&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.wait();
+}
+
+}  // namespace mrts::tasking

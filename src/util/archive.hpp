@@ -1,0 +1,180 @@
+#pragma once
+
+// Byte-oriented serialization archives used by the MRTS storage layer and by
+// mobile-object (de)serialization. Writers append into a growable byte
+// buffer; readers consume a read-only view. All multi-byte values are stored
+// in native byte order: archives are exchanged only between simulated nodes
+// of one process, never across machines.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mrts::util {
+
+/// Thrown by ByteReader when a read would run past the end of the buffer or
+/// when a decoded length field is implausible.
+class ArchiveError : public std::runtime_error {
+ public:
+  explicit ArchiveError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitive values, strings, and containers into a byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void write_string(std::string_view s) {
+    write<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  /// Element-wise variant for non-trivially-copyable payloads serialized via
+  /// a callable `fn(ByteWriter&, const T&)`.
+  template <typename T, typename Fn>
+  void write_vector_with(const std::vector<T>& v, Fn&& fn) {
+    write<std::uint64_t>(v.size());
+    for (const T& item : v) fn(*this, item);
+  }
+
+  template <typename K, typename V>
+    requires(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>)
+  void write_map(const std::unordered_map<K, V>& m) {
+    write<std::uint64_t>(m.size());
+    for (const auto& [k, v] : m) {
+      write(k);
+      write(v);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return buf_; }
+
+  /// Moves the accumulated buffer out; the writer is left empty and reusable.
+  [[nodiscard]] std::vector<std::byte> take() { return std::exchange(buf_, {}); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Consumes values from a byte buffer previously produced by ByteWriter.
+/// Does not own the underlying storage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read_length();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read_length();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> read_vector_with(Fn&& fn) {
+    const auto n = read_length();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(fn(*this));
+    return v;
+  }
+
+  template <typename K, typename V>
+    requires(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>)
+  std::unordered_map<K, V> read_map() {
+    const auto n = read_length();
+    std::unordered_map<K, V> m;
+    m.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      K k = read<K>();
+      V v = read<V>();
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+
+  std::span<const std::byte> read_bytes(std::size_t n) {
+    require(n);
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t read_length() {
+    const auto n = read<std::uint64_t>();
+    if (n > bytes_.size()) {
+      throw ArchiveError("archive length field exceeds buffer size");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw ArchiveError("archive read past end of buffer");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mrts::util

@@ -1,0 +1,17 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum serialized
+// mobile objects on their way to and from the storage layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mrts::util {
+
+/// Computes the CRC-32 of `bytes`, optionally continuing from a previous
+/// partial checksum (pass the prior return value as `seed`).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes,
+                                  std::uint32_t seed = 0);
+
+}  // namespace mrts::util

@@ -1,0 +1,104 @@
+#pragma once
+
+// Minimal std::format stand-in (libstdc++ 12 does not ship <format>).
+// Supports "{}" placeholders and the "{:.Nf}" / "{:x}" specs the codebase
+// uses; anything fancier prints with default formatting. Unmatched braces
+// are emitted literally.
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mrts::util {
+
+namespace detail {
+
+template <typename T>
+void append_with_spec(std::string& out, std::string_view spec, const T& v) {
+  std::ostringstream os;
+  if (!spec.empty() && spec.front() == ':') {
+    spec.remove_prefix(1);
+    // Width with zero fill, e.g. "016x".
+    bool zero = false;
+    if (!spec.empty() && spec.front() == '0') {
+      zero = true;
+      spec.remove_prefix(1);
+    }
+    int width = 0;
+    while (!spec.empty() && spec.front() >= '0' && spec.front() <= '9') {
+      width = width * 10 + (spec.front() - '0');
+      spec.remove_prefix(1);
+    }
+    if (!spec.empty() && spec.front() == '.') {
+      spec.remove_prefix(1);
+      int precision = 0;
+      while (!spec.empty() && spec.front() >= '0' && spec.front() <= '9') {
+        precision = precision * 10 + (spec.front() - '0');
+        spec.remove_prefix(1);
+      }
+      os << std::fixed << std::setprecision(precision);
+    }
+    if (!spec.empty() && (spec.front() == 'x' || spec.front() == 'X')) {
+      os << std::hex;
+    }
+    if (width > 0) {
+      os << std::setw(width);
+      if (zero) os << std::setfill('0');
+    }
+  }
+  os << v;
+  out += os.str();
+}
+
+/// Appends fmt with "{{" and "}}" unescaped to single braces.
+inline void append_unescaped(std::string& out, std::string_view fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    out += fmt[i];
+    if (i + 1 < fmt.size() &&
+        ((fmt[i] == '{' && fmt[i + 1] == '{') ||
+         (fmt[i] == '}' && fmt[i + 1] == '}'))) {
+      ++i;
+    }
+  }
+}
+
+inline void format_rest(std::string& out, std::string_view fmt) {
+  append_unescaped(out, fmt);
+}
+
+template <typename T, typename... Rest>
+void format_rest(std::string& out, std::string_view fmt, const T& v,
+                 const Rest&... rest) {
+  const auto open = fmt.find('{');
+  if (open == std::string_view::npos) {
+    append_unescaped(out, fmt);
+    return;
+  }
+  // "{{" escapes a literal brace.
+  if (open + 1 < fmt.size() && fmt[open + 1] == '{') {
+    append_unescaped(out, fmt.substr(0, open + 1));
+    format_rest(out, fmt.substr(open + 2), v, rest...);
+    return;
+  }
+  const auto close = fmt.find('}', open);
+  if (close == std::string_view::npos) {
+    append_unescaped(out, fmt);
+    return;
+  }
+  append_unescaped(out, fmt.substr(0, open));
+  append_with_spec(out, fmt.substr(open + 1, close - open - 1), v);
+  format_rest(out, fmt.substr(close + 1), rest...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::string out;
+  out.reserve(fmt.size() + sizeof...(args) * 8);
+  detail::format_rest(out, fmt, args...);
+  return out;
+}
+
+}  // namespace mrts::util

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mrts::util {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet initialized from environment
+std::mutex g_mutex;
+
+LogLevel parse_level(const char* s) {
+  if (!s) return LogLevel::kOff;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const LogLevel parsed = parse_level(std::getenv("MRTS_LOG"));
+    g_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    return parsed;
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void Log::write(LogLevel lvl, std::string_view msg) {
+  const auto now = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%12.6f] %-5s %.*s\n", now, level_name(lvl),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mrts::util

@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal leveled logger. Off by default so test and benchmark output stays
+// clean; enable with Log::set_level or the MRTS_LOG environment variable
+// (trace|debug|info|warn|error).
+
+#include <atomic>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace mrts::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  /// Reads MRTS_LOG from the environment; defaults to kOff.
+  static LogLevel level();
+
+  static void write(LogLevel level, std::string_view msg);
+
+  template <typename... Args>
+  static void log(LogLevel lvl, std::string_view fmt, const Args&... args) {
+    if (lvl >= level()) {
+      write(lvl, util::format(fmt, args...));
+    }
+  }
+};
+
+#define MRTS_LOG_TRACE(...) \
+  ::mrts::util::Log::log(::mrts::util::LogLevel::kTrace, __VA_ARGS__)
+#define MRTS_LOG_DEBUG(...) \
+  ::mrts::util::Log::log(::mrts::util::LogLevel::kDebug, __VA_ARGS__)
+#define MRTS_LOG_INFO(...) \
+  ::mrts::util::Log::log(::mrts::util::LogLevel::kInfo, __VA_ARGS__)
+#define MRTS_LOG_WARN(...) \
+  ::mrts::util::Log::log(::mrts::util::LogLevel::kWarn, __VA_ARGS__)
+#define MRTS_LOG_ERROR(...) \
+  ::mrts::util::Log::log(::mrts::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mrts::util

@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mrts::util {
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mu + sigma * u * factor;
+}
+
+}  // namespace mrts::util

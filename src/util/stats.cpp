@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mrts::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = bins_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / bin_width_);
+    i = std::min(i, bins_.size() - 1);
+  }
+  ++bins_[i];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double frac =
+          bins_[i] ? (target - cum) / static_cast<double>(bins_[i]) : 0.0;
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto bar = bins_[i] * width / peak;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << bins_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrts::util

@@ -1,0 +1,88 @@
+#pragma once
+
+// Lightweight Status / Result types used across the storage and transport
+// layers, where failures (missing key, injected fault, full disk) are
+// expected outcomes rather than programming errors.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrts::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kInvalidArgument,
+  kUnavailable,   // transient; retry may succeed
+  kShuttingDown,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = util::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace mrts::util

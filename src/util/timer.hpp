@@ -1,0 +1,75 @@
+#pragma once
+
+// Wall-clock timing helpers. TimeAccumulator is the primitive behind the
+// paper's computation / communication / disk-I/O breakdown (Tables IV-VI):
+// each runtime layer charges its busy intervals to a shared accumulator, and
+// overlap is derived from (sum of parts) vs. elapsed wall time.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mrts::util {
+
+using Clock = std::chrono::steady_clock;
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_);
+  }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Thread-safe accumulator of busy time, charged in nanosecond intervals.
+class TimeAccumulator {
+ public:
+  void add(std::chrono::nanoseconds d) {
+    ns_.fetch_add(d.count(), std::memory_order_relaxed);
+  }
+
+  void reset() { ns_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::chrono::nanoseconds total() const {
+    return std::chrono::nanoseconds(ns_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// RAII guard that charges the enclosing scope's duration to an accumulator.
+class ScopedCharge {
+ public:
+  explicit ScopedCharge(TimeAccumulator& acc)
+      : acc_(&acc), start_(Clock::now()) {}
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  ~ScopedCharge() {
+    acc_->add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start_));
+  }
+
+ private:
+  TimeAccumulator* acc_;
+  Clock::time_point start_;
+};
+
+}  // namespace mrts::util

@@ -1,0 +1,137 @@
+// Tests for the control layer's dynamic load balancing: a badly imbalanced
+// workload (every object and every message on node 0) must shed objects to
+// other nodes when balancing is on, must stay put when it is off, and the
+// results must be identical either way.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cluster.hpp"
+
+namespace mrts::core {
+namespace {
+
+class Work : public MobileObject {
+ public:
+  std::uint64_t done = 0;
+  std::vector<std::uint64_t> data = std::vector<std::uint64_t>(2000, 1);
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(done);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    done = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Work) + data.size() * 8;
+  }
+};
+
+struct Imbalanced {
+  std::unique_ptr<Cluster> cluster;
+  TypeId type = 0;
+  HandlerId h_crunch = 0;
+  std::vector<MobilePtr> ptrs;
+
+  explicit Imbalanced(bool balanced) {
+    ClusterOptions options;
+    options.nodes = 4;
+    options.spill = SpillMedium::kMemory;
+    options.balance.enabled = balanced;
+    options.balance.interval = std::chrono::milliseconds(2);
+    options.balance.slack_messages = 2;
+    cluster = std::make_unique<Cluster>(options);
+    type = cluster->registry().register_type<Work>("work");
+    h_crunch = cluster->registry().register_handler(
+        type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                 util::ByteReader&) {
+          auto& w = static_cast<Work&>(obj);
+          // A handler heavy enough that shedding pays off.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          ++w.done;
+        });
+    // EVERYTHING on node 0.
+    for (int i = 0; i < 16; ++i) {
+      ptrs.push_back(cluster->node(0).create<Work>(type).first);
+    }
+    for (int round = 0; round < 4; ++round) {
+      for (MobilePtr p : ptrs) {
+        cluster->node(0).send(p, h_crunch, std::vector<std::byte>{});
+      }
+    }
+  }
+
+  std::uint64_t total_done() {
+    std::uint64_t total = 0;
+    for (MobilePtr p : ptrs) {
+      for (std::size_t n = 0; n < cluster->size(); ++n) {
+        if (auto* obj = cluster->node(static_cast<NodeId>(n)).peek(p)) {
+          total += static_cast<Work*>(obj)->done;
+        }
+      }
+    }
+    return total;
+  }
+
+  std::size_t nodes_hosting_objects() {
+    std::size_t nodes = 0;
+    for (std::size_t n = 0; n < cluster->size(); ++n) {
+      if (cluster->node(static_cast<NodeId>(n)).local_objects() > 0) ++nodes;
+    }
+    return nodes;
+  }
+};
+
+TEST(LoadBalance, ShedsQueuedObjectsToIdleNodes) {
+  Imbalanced world(/*balanced=*/true);
+  const auto report = world.cluster->run();
+  ASSERT_FALSE(report.timed_out);
+  EXPECT_EQ(world.total_done(), 64u);  // every message ran exactly once
+  const auto migrations = world.cluster->sum_counters(
+      [](const NodeCounters& c) { return c.migrations_in.load(); });
+  EXPECT_GT(migrations, 0u);
+  EXPECT_GT(world.nodes_hosting_objects(), 1u);
+}
+
+TEST(LoadBalance, DisabledKeepsEverythingHome) {
+  Imbalanced world(/*balanced=*/false);
+  const auto report = world.cluster->run();
+  ASSERT_FALSE(report.timed_out);
+  EXPECT_EQ(world.total_done(), 64u);
+  const auto migrations = world.cluster->sum_counters(
+      [](const NodeCounters& c) { return c.migrations_in.load(); });
+  EXPECT_EQ(migrations, 0u);
+  EXPECT_EQ(world.nodes_hosting_objects(), 1u);
+}
+
+TEST(LoadBalance, AdviceIsBoundedPerRound) {
+  // advise_shed is one-shot: a node sheds at most objects_per_advice per
+  // advice, so the monitor cannot empty a node in one shot.
+  ClusterOptions options;
+  options.nodes = 2;
+  options.spill = SpillMedium::kMemory;
+  Cluster cluster(options);
+  const TypeId type = cluster.registry().register_type<Work>("work");
+  cluster.registry().register_handler(
+      type,
+      [](Runtime&, MobileObject&, MobilePtr, NodeId, util::ByteReader&) {});
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 8; ++i) {
+    ptrs.push_back(cluster.node(0).create<Work>(type).first);
+  }
+  // Queue a message on each so they are shed candidates, then advise once.
+  const HandlerId h = 0;
+  for (MobilePtr p : ptrs) {
+    cluster.node(0).send(p, h, std::vector<std::byte>{});
+  }
+  cluster.node(0).advise_shed(3, 1);
+  (void)cluster.run();
+  EXPECT_EQ(cluster.node(1).counters().migrations_in.load(), 3u);
+  EXPECT_EQ(cluster.node(0).local_objects(), 5u);
+}
+
+}  // namespace
+}  // namespace mrts::core

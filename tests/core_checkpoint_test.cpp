@@ -1,0 +1,197 @@
+// Tests for checkpoint/restore: a computation interrupted at a phase
+// boundary and resumed in a fresh cluster must finish with exactly the
+// state an uninterrupted run produces — including spilled objects, pending
+// message queues, migrated objects, and priorities.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "storage/file_store.hpp"
+
+namespace mrts::core {
+namespace {
+
+class Box : public MobileObject {
+ public:
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> data;
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(value);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    value = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Box) + data.size() * 8;
+  }
+};
+
+std::vector<std::byte> arg_u64(std::uint64_t v) {
+  util::ByteWriter w;
+  w.write(v);
+  return w.take();
+}
+
+struct World {
+  ClusterOptions options;
+  std::unique_ptr<Cluster> cluster;
+  TypeId type = 0;
+  HandlerId h_add = 0;
+
+  explicit World(std::size_t budget_kb = 1 << 20) {
+    options.nodes = 3;
+    options.runtime.ooc.memory_budget_bytes = budget_kb << 10;
+    options.spill = SpillMedium::kMemory;
+    cluster = std::make_unique<Cluster>(options);
+    type = cluster->registry().register_type<Box>("box");
+    h_add = cluster->registry().register_handler(
+        type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                 util::ByteReader& in) {
+          static_cast<Box&>(obj).value += in.read<std::uint64_t>();
+        });
+  }
+
+  Box* find(MobilePtr p) {
+    for (std::size_t n = 0; n < cluster->size(); ++n) {
+      if (auto* obj = cluster->node(static_cast<NodeId>(n)).peek(p)) {
+        return static_cast<Box*>(obj);
+      }
+    }
+    return nullptr;
+  }
+
+  void lock_all(const std::vector<MobilePtr>& ptrs) {
+    for (MobilePtr p : ptrs) {
+      for (std::size_t n = 0; n < cluster->size(); ++n) {
+        if (cluster->node(static_cast<NodeId>(n)).is_local(p)) {
+          cluster->node(static_cast<NodeId>(n)).lock_in_core(p);
+        }
+      }
+    }
+    (void)cluster->run();
+  }
+};
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = storage::make_temp_spill_dir("ckpt");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesStateAndContinuation) {
+  World w1;
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 9; ++i) {
+    auto [p, box] =
+        w1.cluster->node(static_cast<NodeId>(i % 3)).create<Box>(w1.type);
+    box->data.assign(1000 + 100 * i, static_cast<std::uint64_t>(i));
+    ptrs.push_back(p);
+  }
+  // Phase 1 everywhere, then migrate a few objects.
+  for (MobilePtr p : ptrs) w1.cluster->node(0).send(p, w1.h_add, arg_u64(10));
+  ASSERT_FALSE(w1.cluster->run().timed_out);
+  w1.cluster->node(0).migrate(ptrs[0], 2);
+  w1.cluster->node(1).migrate(ptrs[1], 0);
+  ASSERT_FALSE(w1.cluster->run().timed_out);
+  // Queue messages that have NOT run yet (checkpoint must carry them)...
+  // they would run at the next run(); checkpoint first.
+  for (MobilePtr p : ptrs) w1.cluster->node(1).send(p, w1.h_add, arg_u64(5));
+  // Let the sends route to their host queues without executing handlers:
+  // run() would execute them, so instead checkpoint right away only when
+  // they are still local... simpler: checkpoint after a full run and test
+  // queued delivery separately below.
+  ASSERT_FALSE(w1.cluster->run().timed_out);
+
+  ASSERT_TRUE(checkpoint_cluster(*w1.cluster, dir_).is_ok());
+
+  // A different world restores it; phases continue.
+  World w2;
+  ASSERT_TRUE(restore_cluster(*w2.cluster, dir_).is_ok());
+  for (MobilePtr p : ptrs) w2.cluster->node(2).send(p, w2.h_add, arg_u64(1));
+  ASSERT_FALSE(w2.cluster->run().timed_out);
+  w2.lock_all(ptrs);
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    Box* box = w2.find(ptrs[i]);
+    ASSERT_NE(box, nullptr) << "object " << i << " lost across restore";
+    EXPECT_EQ(box->value, 16u);
+    EXPECT_EQ(box->data.size(), 1000 + 100 * i);
+    EXPECT_EQ(box->data.back(), i);
+  }
+  // Migrated objects restored at their migrated location.
+  EXPECT_TRUE(w2.cluster->node(2).is_local(ptrs[0]));
+  EXPECT_TRUE(w2.cluster->node(0).is_local(ptrs[1]));
+}
+
+TEST_F(CheckpointTest, SpilledObjectsAreCheckpointedToo) {
+  World w(/*budget_kb=*/64);  // tiny: most boxes live on "disk"
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 12; ++i) {
+    auto [p, box] = w.cluster->node(0).create<Box>(w.type);
+    box->data.assign(4000, 7);
+    w.cluster->node(0).refresh_footprint(p);
+    ptrs.push_back(p);
+  }
+  for (MobilePtr p : ptrs) w.cluster->node(1).send(p, w.h_add, arg_u64(2));
+  ASSERT_FALSE(w.cluster->run().timed_out);
+  ASSERT_GT(w.cluster->node(0).counters().objects_spilled.load(), 0u);
+  ASSERT_TRUE(checkpoint_cluster(*w.cluster, dir_).is_ok());
+
+  World w2(/*budget_kb=*/64);
+  ASSERT_TRUE(restore_cluster(*w2.cluster, dir_).is_ok());
+  w2.lock_all(ptrs);
+  for (MobilePtr p : ptrs) {
+    Box* box = w2.find(p);
+    ASSERT_NE(box, nullptr);
+    EXPECT_EQ(box->value, 2u);
+    EXPECT_EQ(box->data.size(), 4000u);
+  }
+}
+
+TEST_F(CheckpointTest, PendingQueuesSurviveRestore) {
+  // Deliver messages to an object's queue without executing them (send,
+  // no run), checkpoint, restore: the restored run must execute them.
+  World w;
+  auto [p, box] = w.cluster->node(0).create<Box>(w.type);
+  ASSERT_FALSE(w.cluster->run().timed_out);
+  w.cluster->node(0).send(p, w.h_add, arg_u64(3));  // queued locally
+  w.cluster->node(0).send(p, w.h_add, arg_u64(4));
+  ASSERT_TRUE(checkpoint_cluster(*w.cluster, dir_).is_ok());
+
+  World w2;
+  ASSERT_TRUE(restore_cluster(*w2.cluster, dir_).is_ok());
+  ASSERT_FALSE(w2.cluster->run().timed_out);  // executes the restored queue
+  Box* restored = w2.find(p);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->value, 7u);
+}
+
+TEST_F(CheckpointTest, MismatchedClusterIsRejected) {
+  World w;
+  auto [p, box] = w.cluster->node(0).create<Box>(w.type);
+  ASSERT_TRUE(checkpoint_cluster(*w.cluster, dir_).is_ok());
+
+  ClusterOptions other;
+  other.nodes = 2;  // wrong node count
+  Cluster cluster2(other);
+  cluster2.registry().register_type<Box>("box");
+  EXPECT_FALSE(restore_cluster(cluster2, dir_).is_ok());
+}
+
+TEST_F(CheckpointTest, MissingDirectoryIsAnError) {
+  World w;
+  EXPECT_FALSE(restore_cluster(*w.cluster, dir_ / "nope").is_ok());
+}
+
+}  // namespace
+}  // namespace mrts::core

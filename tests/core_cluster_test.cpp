@@ -1,0 +1,258 @@
+// Multi-node tests of the MRTS cluster: remote messaging, the lazy-update
+// distributed directory, migration, multicast collection, termination
+// detection, and out-of-core behaviour under remote traffic.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace mrts::core {
+namespace {
+
+class Box : public MobileObject {
+ public:
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> data;
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(value);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    value = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Box) + data.size() * sizeof(std::uint64_t);
+  }
+};
+
+std::vector<std::byte> arg_u64(std::uint64_t v) {
+  util::ByteWriter w;
+  w.write(v);
+  return w.take();
+}
+
+std::vector<std::byte> arg_2u64(std::uint64_t a, std::uint64_t b) {
+  util::ByteWriter w;
+  w.write(a);
+  w.write(b);
+  return w.take();
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  explicit ClusterTest(std::size_t nodes = 4, std::size_t budget_mb = 64) {
+    ClusterOptions options;
+    options.nodes = nodes;
+    options.runtime.ooc.memory_budget_bytes = budget_mb << 20;
+    options.spill = SpillMedium::kMemory;
+    options.max_run_time = std::chrono::seconds(120);
+    cluster_ = std::make_unique<Cluster>(options);
+    type_ = cluster_->registry().register_type<Box>("box");
+    h_add_ = cluster_->registry().register_handler(
+        type_, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                  util::ByteReader& in) {
+          static_cast<Box&>(obj).value += in.read<std::uint64_t>();
+        });
+    // Ping-pong: forward a decrementing counter to the peer given in args.
+    h_pingpong_ = cluster_->registry().register_handler(
+        type_, [this](Runtime& rt, MobileObject& obj, MobilePtr, NodeId,
+                      util::ByteReader& in) {
+          const auto ttl = in.read<std::uint64_t>();
+          const MobilePtr peer{in.read<std::uint64_t>()};
+          auto& box = static_cast<Box&>(obj);
+          box.value += 1;
+          if (ttl > 0) {
+            util::ByteWriter w;
+            w.write(ttl - 1);
+            w.write(peer.id);  // payload keeps naming the other end
+            rt.send(peer, h_pingpong_, w.take());
+          }
+        });
+  }
+
+  Box& box_on(NodeId node, MobilePtr p) {
+    auto* obj = cluster_->node(node).peek(p);
+    EXPECT_NE(obj, nullptr) << "object not in-core on node " << node;
+    return static_cast<Box&>(*obj);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  TypeId type_ = 0;
+  HandlerId h_add_ = 0, h_pingpong_ = 0;
+};
+
+TEST_F(ClusterTest, RemoteSendReachesHomeNode) {
+  auto [ptr, box] = cluster_->node(2).create<Box>(type_);
+  cluster_->node(0).send(ptr, h_add_, arg_u64(21));
+  cluster_->node(1).send(ptr, h_add_, arg_u64(21));
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(box_on(2, ptr).value, 42u);
+  EXPECT_GE(cluster_->fabric().stats().messages_sent, 2u);
+}
+
+TEST_F(ClusterTest, PingPongAcrossNodesTerminates) {
+  auto [a, boxa] = cluster_->node(0).create<Box>(type_);
+  auto [b, boxb] = cluster_->node(3).create<Box>(type_);
+  util::ByteWriter w;
+  w.write<std::uint64_t>(99);  // 100 handler executions in total
+  w.write(a.id);               // b's peer is a
+  cluster_->node(0).send(b, h_pingpong_, w.take());
+  // The payload names a fixed peer, so a's peer must be b: reconstruct by
+  // sending the first hop to b with peer=a; the chain alternates correctly
+  // because each hop swaps target and peer.
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(box_on(0, a).value + box_on(3, b).value, 100u);
+}
+
+TEST_F(ClusterTest, MigrationMovesObjectAndQueue) {
+  auto [ptr, box] = cluster_->node(0).create<Box>(type_);
+  box->data.assign(1000, 17);
+  cluster_->node(0).send(ptr, h_add_, arg_u64(1));
+  cluster_->node(0).migrate(ptr, 2);
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_FALSE(cluster_->node(0).is_local(ptr));
+  ASSERT_TRUE(cluster_->node(2).is_local(ptr));
+  cluster_->node(2).lock_in_core(ptr);
+  (void)cluster_->run();
+  EXPECT_EQ(box_on(2, ptr).value, 1u);
+  EXPECT_EQ(box_on(2, ptr).data.size(), 1000u);
+  EXPECT_EQ(cluster_->node(2).counters().migrations_in.load(), 1u);
+}
+
+TEST_F(ClusterTest, LazyDirectoryForwardsAndLearns) {
+  auto [ptr, box] = cluster_->node(0).create<Box>(type_);
+  cluster_->node(0).migrate(ptr, 1);
+  (void)cluster_->run();
+  ASSERT_TRUE(cluster_->node(1).is_local(ptr));
+
+  // Node 3 has never heard of the object: its message goes to the home node
+  // (0), which forwards to 1; the delivery triggers location updates.
+  cluster_->node(3).send(ptr, h_add_, arg_u64(5));
+  (void)cluster_->run();
+  EXPECT_EQ(box_on(1, ptr).value, 5u);
+  EXPECT_GE(cluster_->node(0).counters().messages_forwarded.load(), 1u);
+  const auto updates_after_first =
+      cluster_->node(1).counters().location_updates.load();
+  EXPECT_GE(updates_after_first, 1u);
+
+  // Second message from node 3 must go directly (no new forwards).
+  const auto forwards_before =
+      cluster_->node(0).counters().messages_forwarded.load();
+  cluster_->node(3).send(ptr, h_add_, arg_u64(5));
+  (void)cluster_->run();
+  EXPECT_EQ(box_on(1, ptr).value, 10u);
+  EXPECT_EQ(cluster_->node(0).counters().messages_forwarded.load(),
+            forwards_before);
+}
+
+TEST_F(ClusterTest, MulticastCollectsAndDelivers) {
+  auto [a, boxa] = cluster_->node(0).create<Box>(type_);
+  auto [b, boxb] = cluster_->node(1).create<Box>(type_);
+  auto [c, boxc] = cluster_->node(2).create<Box>(type_);
+  // Deliver to the first 2 of {a, b, c} once all three are co-resident.
+  cluster_->node(0).send_multicast({a, b, c}, 2, h_add_, arg_u64(100));
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  // All three collected on node 0 (owner of the first target).
+  EXPECT_TRUE(cluster_->node(0).is_local(a));
+  EXPECT_TRUE(cluster_->node(0).is_local(b));
+  EXPECT_TRUE(cluster_->node(0).is_local(c));
+  EXPECT_EQ(box_on(0, a).value, 100u);
+  EXPECT_EQ(box_on(0, b).value, 100u);
+  EXPECT_EQ(box_on(0, c).value, 0u);  // beyond deliver_count
+}
+
+TEST_F(ClusterTest, MulticastFromNonOwnerRoutesToOwner) {
+  auto [a, boxa] = cluster_->node(1).create<Box>(type_);
+  auto [b, boxb] = cluster_->node(2).create<Box>(type_);
+  cluster_->node(3).send_multicast({a, b}, 1, h_add_, arg_u64(7));
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_TRUE(cluster_->node(1).is_local(a));
+  EXPECT_TRUE(cluster_->node(1).is_local(b));  // collected at a's owner
+  EXPECT_EQ(box_on(1, a).value, 7u);
+  EXPECT_EQ(box_on(1, b).value, 0u);
+}
+
+TEST_F(ClusterTest, TwoPhaseRunsAccumulate) {
+  auto [ptr, box] = cluster_->node(0).create<Box>(type_);
+  cluster_->node(1).send(ptr, h_add_, arg_u64(1));
+  (void)cluster_->run();
+  EXPECT_EQ(box_on(0, ptr).value, 1u);
+  cluster_->node(1).send(ptr, h_add_, arg_u64(2));
+  (void)cluster_->run();
+  EXPECT_EQ(box_on(0, ptr).value, 3u);
+}
+
+TEST_F(ClusterTest, EmptyRunTerminatesImmediately) {
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_LT(report.total_seconds, 5.0);
+}
+
+class OocClusterTest : public ClusterTest {
+ protected:
+  OocClusterTest() : ClusterTest(2, /*budget_mb=*/1) {}
+};
+
+TEST_F(OocClusterTest, RemoteTrafficDrivesSwapping) {
+  // Fill node 0 with ~80 KB objects well past its 1 MB budget, then hammer
+  // them with remote messages from node 1.
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 32; ++i) {
+    auto [p, box] = cluster_->node(0).create<Box>(type_);
+    box->data.assign(10000, static_cast<std::uint64_t>(i));
+    cluster_->node(0).refresh_footprint(p);
+    ptrs.push_back(p);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (MobilePtr p : ptrs) {
+      cluster_->node(1).send(p, h_add_, arg_u64(1));
+    }
+  }
+  auto report = cluster_->run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_GT(cluster_->node(0).counters().objects_spilled.load(), 0u);
+  EXPECT_GT(cluster_->node(0).counters().objects_loaded.load(), 0u);
+  // While eviction is possible the budget is honoured (small slack for the
+  // object being processed).
+  EXPECT_LE(cluster_->node(0).in_core_bytes(),
+            2 * cluster_->node(0).options().ooc.memory_budget_bytes);
+  // Every message must have been applied exactly once despite the churn.
+  // Pinning all objects intentionally exceeds the budget; the runtime must
+  // honour the locks rather than deadlock.
+  for (MobilePtr p : ptrs) {
+    cluster_->node(0).lock_in_core(p);
+  }
+  auto report2 = cluster_->run();
+  EXPECT_FALSE(report2.timed_out);
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    ASSERT_TRUE(cluster_->node(0).is_in_core(ptrs[i]));
+    EXPECT_EQ(box_on(0, ptrs[i]).value, 2u);
+    EXPECT_EQ(box_on(0, ptrs[i]).data[9999], i);
+  }
+}
+
+TEST_F(OocClusterTest, BreakdownCountersPopulated) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) {
+    auto [p, box] = cluster_->node(0).create<Box>(type_);
+    box->data.assign(10000, 1);
+    cluster_->node(0).refresh_footprint(p);
+    ptrs.push_back(p);
+  }
+  for (MobilePtr p : ptrs) cluster_->node(1).send(p, h_add_, arg_u64(1));
+  auto report = cluster_->run();
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.comp_seconds, 0.0);
+  EXPECT_GT(report.comm_seconds, 0.0);
+  EXPECT_GE(report.disk_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace mrts::core

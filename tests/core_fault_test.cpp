@@ -1,0 +1,128 @@
+// Failure-injection tests: the runtime must ride out transient storage
+// faults (retried by the object store) and must detect corrupted spill
+// blobs instead of silently deserializing garbage.
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "simnet/fabric.hpp"
+#include "storage/fault_store.hpp"
+#include "storage/mem_store.hpp"
+
+namespace mrts::core {
+namespace {
+
+class Box : public MobileObject {
+ public:
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> data;
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(value);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    value = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Box) + data.size() * 8;
+  }
+};
+
+struct Harness {
+  net::Fabric fabric{1};
+  ObjectTypeRegistry registry;
+  std::unique_ptr<Runtime> rt;
+  TypeId type = 0;
+  HandlerId h_add = 0;
+
+  explicit Harness(storage::FaultPlan plan, std::size_t budget_kb = 256) {
+    RuntimeOptions options;
+    options.ooc.memory_budget_bytes = budget_kb << 10;
+    options.storage_max_retries = 12;  // ride out bursts of injected faults
+    rt = std::make_unique<Runtime>(
+        0, fabric.endpoint(0), registry,
+        std::make_unique<storage::FaultStore>(
+            std::make_unique<storage::MemStore>(), plan),
+        options);
+    type = registry.register_type<Box>("box");
+    h_add = registry.register_handler(
+        type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                 util::ByteReader& in) {
+          static_cast<Box&>(obj).value += in.read<std::uint64_t>();
+        });
+  }
+
+  MobilePtr make_box(std::size_t words) {
+    auto [ptr, box] = rt->create<Box>(type);
+    box->data.assign(words, 3);
+    rt->refresh_footprint(ptr);
+    return ptr;
+  }
+
+  void pump() {
+    int quiet = 0;
+    for (int i = 0; i < 100000 && quiet < 3; ++i) {
+      if (!rt->progress_once()) {
+        if (rt->is_idle()) ++quiet;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        quiet = 0;
+      }
+    }
+  }
+
+  static std::vector<std::byte> arg_u64(std::uint64_t v) {
+    util::ByteWriter w;
+    w.write(v);
+    return w.take();
+  }
+};
+
+TEST(FaultInjection, TransientFaultsAreRetriedTransparently) {
+  // 30% of stores and loads fail transiently; the object store retries.
+  Harness h(storage::FaultPlan{.store_failure_rate = 0.3,
+                               .load_failure_rate = 0.3,
+                               .seed = 99});
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(h.make_box(8000));
+  for (int round = 0; round < 3; ++round) {
+    for (MobilePtr p : ptrs) h.rt->send(p, h.h_add, Harness::arg_u64(1));
+    h.pump();
+  }
+  for (MobilePtr p : ptrs) h.rt->lock_in_core(p);
+  h.pump();
+  for (MobilePtr p : ptrs) {
+    auto* obj = h.rt->peek(p);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(static_cast<Box&>(*obj).value, 3u);
+  }
+  EXPECT_GT(h.rt->counters().objects_spilled.load(), 0u);
+}
+
+TEST(FaultInjection, CorruptedBlobIsDetectedNotDeserialized) {
+  // Every load is corrupted: the runtime's CRC check must throw rather
+  // than hand garbage to deserialize().
+  Harness h(storage::FaultPlan{.corruption_rate = 1.0, .seed = 7});
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(h.make_box(8000));
+  h.pump();
+  h.rt->flush_stores();
+  MobilePtr cold = kNullPtr;
+  for (MobilePtr p : ptrs) {
+    if (!h.rt->is_in_core(p)) cold = p;
+  }
+  ASSERT_FALSE(cold.is_null()) << "budget did not force any spills";
+  h.rt->send(cold, h.h_add, Harness::arg_u64(1));
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100000; ++i) {
+          h.rt->progress_once();
+        }
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mrts::core

@@ -1,0 +1,273 @@
+// Single-node tests of the MRTS runtime: object lifetime, message delivery,
+// out-of-core spilling/reloading, locking, priorities, inline delivery.
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "simnet/fabric.hpp"
+#include "storage/mem_store.hpp"
+
+namespace mrts::core {
+namespace {
+
+/// Test mobile object: a named box of bytes plus an event log.
+class Box : public MobileObject {
+ public:
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> data;
+  int register_calls = 0;
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(value);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    value = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Box) + data.size() * sizeof(std::uint64_t);
+  }
+  void on_register(Runtime&, MobilePtr) override { ++register_calls; }
+};
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  explicit RuntimeTest(std::size_t budget_mb = 64) {
+    RuntimeOptions options;
+    options.ooc.memory_budget_bytes = budget_mb << 20;
+    rt_ = std::make_unique<Runtime>(0, fabric_.endpoint(0), registry_,
+                                    std::make_unique<storage::MemStore>(),
+                                    options);
+    type_ = registry_.register_type<Box>("box");
+    h_add_ = registry_.register_handler(
+        type_, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                  util::ByteReader& in) {
+          static_cast<Box&>(obj).value += in.read<std::uint64_t>();
+        });
+    h_grow_ = registry_.register_handler(
+        type_, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+                  util::ByteReader& in) {
+          auto& box = static_cast<Box&>(obj);
+          box.data.resize(in.read<std::uint64_t>(), 7);
+        });
+    h_self_ = registry_.register_handler(
+        type_, [this](Runtime& rt, MobileObject& obj, MobilePtr self, NodeId,
+                      util::ByteReader& in) {
+          auto ttl = in.read<std::uint64_t>();
+          static_cast<Box&>(obj).value += 1;
+          if (ttl > 0) {
+            util::ByteWriter w;
+            w.write(ttl - 1);
+            rt.send(self, h_self_, w.take());
+          }
+        });
+  }
+
+  /// Pumps the control loop until it goes idle (or the iteration cap).
+  void pump() {
+    int quiet = 0;
+    for (int i = 0; i < 200000 && quiet < 3; ++i) {
+      if (!rt_->progress_once()) {
+        if (rt_->is_idle()) ++quiet;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        quiet = 0;
+      }
+    }
+  }
+
+  static std::vector<std::byte> arg_u64(std::uint64_t v) {
+    util::ByteWriter w;
+    w.write(v);
+    return w.take();
+  }
+
+  MobilePtr make_box(std::size_t words = 0) {
+    auto [ptr, box] = rt_->create<Box>(type_);
+    box->data.resize(words, 1);
+    rt_->refresh_footprint(ptr);
+    return ptr;
+  }
+
+  Box& box_at(MobilePtr p) {
+    auto* obj = rt_->peek(p);
+    EXPECT_NE(obj, nullptr);
+    return static_cast<Box&>(*obj);
+  }
+
+  net::Fabric fabric_{1};
+  ObjectTypeRegistry registry_;
+  std::unique_ptr<Runtime> rt_;
+  TypeId type_ = 0;
+  HandlerId h_add_ = 0, h_grow_ = 0, h_self_ = 0;
+};
+
+TEST_F(RuntimeTest, CreatePeekDestroy) {
+  const MobilePtr p = make_box();
+  EXPECT_TRUE(rt_->is_local(p));
+  EXPECT_TRUE(rt_->is_in_core(p));
+  EXPECT_EQ(p.home_node(), 0u);
+  EXPECT_EQ(box_at(p).register_calls, 1);
+  rt_->destroy(p);
+  EXPECT_FALSE(rt_->is_local(p));
+  EXPECT_EQ(rt_->peek(p), nullptr);
+}
+
+TEST_F(RuntimeTest, SendExecutesHandler) {
+  const MobilePtr p = make_box();
+  rt_->send(p, h_add_, arg_u64(5));
+  rt_->send(p, h_add_, arg_u64(7));
+  pump();
+  EXPECT_EQ(box_at(p).value, 12u);
+  EXPECT_EQ(rt_->counters().messages_executed.load(), 2u);
+}
+
+TEST_F(RuntimeTest, SelfSendChainsRun) {
+  const MobilePtr p = make_box();
+  rt_->send(p, h_self_, arg_u64(9));
+  pump();
+  EXPECT_EQ(box_at(p).value, 10u);  // initial message + 9 self-sends
+}
+
+TEST_F(RuntimeTest, MessageToDestroyedObjectIsDropped) {
+  const MobilePtr p = make_box();
+  rt_->destroy(p);
+  rt_->send(p, h_add_, arg_u64(1));  // must not crash
+  pump();
+  EXPECT_EQ(rt_->counters().messages_executed.load(), 0u);
+}
+
+TEST_F(RuntimeTest, InlineDeliveryRunsSynchronously) {
+  const MobilePtr p = make_box();
+  const auto arg = arg_u64(3);
+  EXPECT_TRUE(rt_->try_deliver_inline(p, h_add_, arg));
+  EXPECT_EQ(box_at(p).value, 3u);  // no pump needed
+  EXPECT_EQ(rt_->counters().inline_deliveries.load(), 1u);
+}
+
+class SmallBudgetTest : public RuntimeTest {
+ protected:
+  SmallBudgetTest() : RuntimeTest(1) {}  // 1 MB budget
+};
+
+TEST_F(SmallBudgetTest, PressureSpillsObjectsToDisk) {
+  // Each box is ~80 KB; a dozen exceed the 1 MB budget.
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(make_box(10000));
+  pump();
+  rt_->flush_stores();
+  EXPECT_GT(rt_->spill_backend().count(), 0u);
+  EXPECT_LE(rt_->in_core_bytes(), rt_->options().ooc.memory_budget_bytes);
+}
+
+TEST_F(SmallBudgetTest, SpilledObjectReloadsOnMessage) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(make_box(10000));
+  pump();
+  rt_->flush_stores();
+  // Find a spilled one and message it.
+  MobilePtr victim = kNullPtr;
+  for (MobilePtr p : ptrs) {
+    if (!rt_->is_in_core(p)) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.is_null());
+  rt_->send(victim, h_add_, arg_u64(11));
+  pump();
+  ASSERT_TRUE(rt_->is_in_core(victim));
+  EXPECT_EQ(box_at(victim).value, 11u);
+  EXPECT_GT(rt_->counters().objects_loaded.load(), 0u);
+  // Data survived the round trip.
+  EXPECT_EQ(box_at(victim).data.size(), 10000u);
+  EXPECT_EQ(box_at(victim).data[5000], 1u);
+}
+
+TEST_F(SmallBudgetTest, EveryObjectStillReachableUnderChurn) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 24; ++i) ptrs.push_back(make_box(5000));
+  // Message all of them repeatedly; the runtime must juggle loads/evictions.
+  for (int round = 0; round < 3; ++round) {
+    for (MobilePtr p : ptrs) rt_->send(p, h_add_, arg_u64(1));
+    pump();
+  }
+  for (MobilePtr p : ptrs) {
+    rt_->prefetch(p);
+  }
+  pump();
+  for (MobilePtr p : ptrs) {
+    rt_->lock_in_core(p);
+  }
+  pump();
+  for (MobilePtr p : ptrs) {
+    ASSERT_TRUE(rt_->is_in_core(p)) << to_string(p);
+    EXPECT_EQ(box_at(p).value, 3u);
+  }
+}
+
+TEST_F(SmallBudgetTest, LockedObjectIsNeverEvicted) {
+  const MobilePtr pinned = make_box(10000);
+  rt_->lock_in_core(pinned);
+  for (int i = 0; i < 16; ++i) make_box(10000);
+  pump();
+  rt_->flush_stores();
+  EXPECT_TRUE(rt_->is_in_core(pinned));
+  rt_->unlock(pinned);
+}
+
+TEST_F(SmallBudgetTest, LowPriorityEvictedBeforeHigh) {
+  const MobilePtr low = make_box(10000);
+  const MobilePtr high = make_box(10000);
+  rt_->set_priority(low, kMinPriority);
+  rt_->set_priority(high, kMaxPriority);
+  // Apply pressure until at least one of them must go.
+  for (int i = 0; i < 16 && rt_->is_in_core(low) && rt_->is_in_core(high);
+       ++i) {
+    make_box(10000);
+    pump();
+  }
+  // If either got evicted, the low-priority one must have gone first.
+  if (!rt_->is_in_core(high)) {
+    EXPECT_FALSE(rt_->is_in_core(low));
+  }
+  EXPECT_FALSE(rt_->is_in_core(low));
+}
+
+TEST_F(SmallBudgetTest, FootprintGrowthTriggersEviction) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 8; ++i) ptrs.push_back(make_box(100));
+  const MobilePtr grower = make_box(100);
+  rt_->send(grower, h_grow_, arg_u64(100000));  // grows to ~800 KB
+  pump();
+  rt_->flush_stores();
+  EXPECT_GT(rt_->counters().objects_spilled.load(), 0u);
+  // The grower itself may have been swapped by the soft-threshold trickle;
+  // force it back and verify the grown payload survived.
+  rt_->lock_in_core(grower);
+  pump();
+  ASSERT_TRUE(rt_->is_in_core(grower));
+  EXPECT_EQ(box_at(grower).data.size(), 100000u);
+}
+
+TEST_F(SmallBudgetTest, PrefetchBringsObjectInCore) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(make_box(10000));
+  pump();
+  rt_->flush_stores();
+  MobilePtr cold = kNullPtr;
+  for (MobilePtr p : ptrs) {
+    if (!rt_->is_in_core(p)) {
+      cold = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(cold.is_null());
+  rt_->prefetch(cold);
+  pump();
+  EXPECT_TRUE(rt_->is_in_core(cold));
+}
+
+}  // namespace
+}  // namespace mrts::core

@@ -1,0 +1,163 @@
+// Tests for the batch-scheduler simulator: schedule validity (capacity,
+// ordering), backfill benefits, and the Figure-1 shape (queue wait grows
+// steeply with requested width on a loaded cluster).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "jobsim/jobsim.hpp"
+
+namespace mrts::jobsim {
+namespace {
+
+/// Validates that a schedule never oversubscribes the cluster and never
+/// starts a job before its arrival.
+void check_schedule_valid(const std::vector<ScheduledJob>& schedule,
+                          int cluster_nodes) {
+  for (const ScheduledJob& sj : schedule) {
+    ASSERT_GE(sj.wait_s(), -1e-6) << "job started before arrival";
+  }
+  // Sweep events.
+  std::map<double, int> delta;
+  for (const ScheduledJob& sj : schedule) {
+    delta[sj.start_s] += sj.job.width;
+    delta[sj.finish_s()] -= sj.job.width;
+  }
+  int used = 0;
+  for (const auto& [t, d] : delta) {
+    used += d;
+    ASSERT_LE(used, cluster_nodes) << "oversubscribed at t=" << t;
+  }
+}
+
+TEST(Trace, GeneratesRequestedLoad) {
+  TraceConfig config;
+  config.duration_s = 14 * 24 * 3600.0;
+  const auto jobs = make_synthetic_trace(config);
+  ASSERT_GT(jobs.size(), 100u);
+  double node_seconds = 0.0;
+  for (const Job& j : jobs) node_seconds += j.width * j.runtime_s;
+  const double offered = node_seconds / (config.duration_s * config.cluster_nodes);
+  EXPECT_NEAR(offered, config.load, 0.15);
+  for (const Job& j : jobs) {
+    EXPECT_GE(j.width, 1);
+    EXPECT_LE(j.width, config.cluster_nodes);
+    EXPECT_GT(j.runtime_s, 0.0);
+  }
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig config;
+  const auto a = make_synthetic_trace(config);
+  const auto b = make_synthetic_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].width, b[i].width);
+  }
+}
+
+TEST(Scheduler, EmptyAndSingleJob) {
+  EXPECT_TRUE(schedule_easy_backfill(8, {}).empty());
+  const auto s = schedule_easy_backfill(8, {{10.0, 4, 100.0}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].start_s, 10.0);
+}
+
+TEST(Scheduler, WideJobWaitsForNarrowOnes) {
+  // Two 4-node jobs fill an 8-node cluster; an 8-node job must wait.
+  std::vector<Job> jobs{{0.0, 4, 100.0}, {0.0, 4, 200.0}, {1.0, 8, 50.0}};
+  const auto s = schedule_easy_backfill(8, jobs);
+  check_schedule_valid(s, 8);
+  double wide_start = -1;
+  for (const auto& sj : s) {
+    if (sj.job.width == 8) wide_start = sj.start_s;
+  }
+  EXPECT_DOUBLE_EQ(wide_start, 200.0);  // after the longer 4-node job ends
+}
+
+TEST(Scheduler, BackfillRunsSmallJobEarly) {
+  // Head (8 nodes) waits until t=200; a later 2-node 50s job fits before
+  // the reservation and must be backfilled immediately.
+  std::vector<Job> jobs{
+      {0.0, 6, 200.0}, {1.0, 8, 100.0}, {2.0, 2, 50.0}};
+  const auto s = schedule_easy_backfill(8, jobs);
+  check_schedule_valid(s, 8);
+  double small_start = -1;
+  for (const auto& sj : s) {
+    if (sj.job.width == 2) small_start = sj.start_s;
+  }
+  EXPECT_NEAR(small_start, 2.0, 1e-6);
+  // Strict FCFS would hold it behind the 8-node job.
+  const auto f = schedule_fcfs(8, jobs);
+  double small_start_fcfs = -1;
+  for (const auto& sj : f) {
+    if (sj.job.width == 2) small_start_fcfs = sj.start_s;
+  }
+  EXPECT_GE(small_start_fcfs, 200.0);
+}
+
+TEST(Scheduler, BackfillNeverDelaysQueueHead) {
+  // The backfilled job must not push the 8-node head past its reservation.
+  std::vector<Job> jobs{
+      {0.0, 6, 200.0}, {1.0, 8, 100.0}, {2.0, 2, 10000.0}};
+  const auto s = schedule_easy_backfill(8, jobs);
+  check_schedule_valid(s, 8);
+  double head_start = -1, long_small = -1;
+  for (const auto& sj : s) {
+    if (sj.job.width == 8) head_start = sj.start_s;
+    if (sj.job.width == 2) long_small = sj.start_s;
+  }
+  EXPECT_DOUBLE_EQ(head_start, 200.0);
+  // The long 2-node job does not fit before the shadow time and does not
+  // fit beside the 8-node head: it must wait until the head finishes.
+  EXPECT_GE(long_small, 300.0 - 1e-6);
+}
+
+TEST(Scheduler, FullTraceIsValidAndUtilized) {
+  TraceConfig config;
+  config.duration_s = 7 * 24 * 3600.0;
+  const auto jobs = make_synthetic_trace(config);
+  const auto s = schedule_easy_backfill(config.cluster_nodes, jobs);
+  ASSERT_EQ(s.size(), jobs.size());
+  check_schedule_valid(s, config.cluster_nodes);
+  EXPECT_GT(utilization(s, config.cluster_nodes), 0.5);
+}
+
+TEST(Figure1Shape, WaitGrowsWithRequestedWidth) {
+  TraceConfig config;
+  config.duration_s = 14 * 24 * 3600.0;
+  const auto jobs = make_synthetic_trace(config);
+  const auto s = schedule_easy_backfill(config.cluster_nodes, jobs);
+  const auto stats = wait_statistics(s, {16, 32, 128});
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& b : stats) {
+    ASSERT_GT(b.wait_s.count(), 0u) << "no jobs in bucket " << b.width;
+  }
+  // The paper's Fig. 1 (typical waits): <=16-node requests start within a
+  // couple of minutes; 32-node requests wait on the order of half an hour
+  // to an hour; requests over a hundred nodes wait several hours.
+  EXPECT_LT(stats[0].median_s(), 10 * 60.0);
+  EXPECT_GT(stats[1].median_s(), 15 * 60.0);
+  EXPECT_LT(stats[1].median_s(), 4 * 3600.0);
+  EXPECT_GT(stats[2].median_s(), 2 * 3600.0);
+  EXPECT_LT(stats[0].median_s(), stats[1].median_s());
+  EXPECT_LT(stats[1].median_s(), stats[2].median_s());
+}
+
+TEST(Scheduler, BackfillBeatsFcfsOnAverageWait) {
+  TraceConfig config;
+  config.duration_s = 7 * 24 * 3600.0;
+  config.load = 0.9;
+  const auto jobs = make_synthetic_trace(config);
+  const auto bf = schedule_easy_backfill(config.cluster_nodes, jobs);
+  const auto fc = schedule_fcfs(config.cluster_nodes, jobs);
+  double bf_wait = 0, fc_wait = 0;
+  for (const auto& sj : bf) bf_wait += sj.wait_s();
+  for (const auto& sj : fc) fc_wait += sj.wait_s();
+  EXPECT_LT(bf_wait, fc_wait);
+}
+
+}  // namespace
+}  // namespace mrts::jobsim

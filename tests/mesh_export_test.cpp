@@ -1,0 +1,111 @@
+// Tests for SVG/OFF export: well-formedness, one path per inside triangle,
+// fragment grouping, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "mesh/export.hpp"
+#include "mesh/refine.hpp"
+#include "storage/file_store.hpp"
+
+namespace mrts::mesh {
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = storage::make_temp_spill_dir("svg"); }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExportTest, SvgHasOnePathPerInsideTriangle) {
+  Triangulation t = refine_pslg(
+      make_unit_square(),
+      {.min_angle_deg = 20.0, .size_field = uniform_size(0.2)});
+  const auto path = dir_ / "mesh.svg";
+  ASSERT_TRUE(write_svg(t, path).is_ok());
+  const std::string svg = slurp(path);
+  EXPECT_EQ(count_occurrences(svg, "<path "), t.inside_triangles());
+  EXPECT_NE(svg.find("<svg "), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST_F(ExportTest, FragmentsGetTheirOwnGroups) {
+  Triangulation a = refine_pslg(
+      make_rectangle(Rect{0, 0, 1, 1}),
+      {.min_angle_deg = 20.0, .size_field = uniform_size(0.3)});
+  Triangulation b = refine_pslg(
+      make_rectangle(Rect{1, 0, 2, 1}),
+      {.min_angle_deg = 20.0, .size_field = uniform_size(0.3)});
+  std::vector<CompactMesh> frags{extract_inside(a), extract_inside(b)};
+  const auto path = dir_ / "frags.svg";
+  ASSERT_TRUE(write_svg(frags, path).is_ok());
+  const std::string svg = slurp(path);
+  EXPECT_EQ(count_occurrences(svg, "<g "), 2u);
+  EXPECT_EQ(count_occurrences(svg, "<path "),
+            a.inside_triangles() + b.inside_triangles());
+}
+
+TEST_F(ExportTest, OffListsVerticesAndTriangles) {
+  Triangulation t = refine_pslg(
+      make_unit_square(),
+      {.min_angle_deg = 20.0, .size_field = uniform_size(0.4)});
+  const auto path = dir_ / "mesh.off";
+  ASSERT_TRUE(write_off(t, path).is_ok());
+  std::ifstream in(path);
+  std::string magic;
+  std::size_t nv = 0, nt = 0, ne = 0;
+  in >> magic >> nv >> nt >> ne;
+  EXPECT_EQ(magic, "OFF");
+  EXPECT_EQ(nt, t.inside_triangles());
+  EXPECT_GT(nv, 3u);
+  // Every face line references valid vertex indices.
+  for (std::size_t i = 0; i < nv; ++i) {
+    double x, y, z;
+    in >> x >> y >> z;
+  }
+  for (std::size_t i = 0; i < nt; ++i) {
+    std::size_t k, v0, v1, v2;
+    in >> k >> v0 >> v1 >> v2;
+    EXPECT_EQ(k, 3u);
+    EXPECT_LT(v0, nv);
+    EXPECT_LT(v1, nv);
+    EXPECT_LT(v2, nv);
+  }
+  EXPECT_TRUE(in.good() || in.eof());
+}
+
+TEST_F(ExportTest, EmptyExportIsAnError) {
+  std::vector<CompactMesh> none;
+  EXPECT_FALSE(write_svg(none, dir_ / "x.svg").is_ok());
+}
+
+TEST_F(ExportTest, UnwritablePathIsAnError) {
+  Triangulation t = Triangulation::conforming(make_unit_square());
+  EXPECT_FALSE(write_svg(t, dir_ / "no" / "such" / "dir" / "x.svg").is_ok());
+}
+
+}  // namespace
+}  // namespace mrts::mesh

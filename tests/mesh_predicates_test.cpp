@@ -1,0 +1,218 @@
+// Tests for the robust predicates: sign correctness on adversarial
+// near-degenerate inputs, consistency under permutation, and agreement with
+// high-precision reference evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/geom.hpp"
+#include "mesh/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::mesh {
+namespace {
+
+int sign_of(double x) { return (x > 0) - (x < 0); }
+
+/// Reference orient2d in long double (not exact, but 64-bit mantissa gives
+/// a solid cross-check away from the hardest cases).
+int orient_ref(const Point2& a, const Point2& b, const Point2& c) {
+  const long double det =
+      (static_cast<long double>(a.x) - c.x) * (static_cast<long double>(b.y) - c.y) -
+      (static_cast<long double>(a.y) - c.y) * (static_cast<long double>(b.x) - c.x);
+  return (det > 0) - (det < 0);
+}
+
+TEST(Orient2d, BasicOrientations) {
+  const Point2 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(orient2d(a, b, c), 0.0);
+  EXPECT_LT(orient2d(a, c, b), 0.0);
+  EXPECT_EQ(orient2d(a, b, Point2{2, 0}), 0.0);
+  EXPECT_EQ(orient2d(a, b, Point2{0.5, 0.0}), 0.0);
+}
+
+TEST(Orient2d, ExactlyCollinearWithUglyCoordinates) {
+  // Points on the line y = x scaled by a value with a long mantissa.
+  const double k = 0.1234567890123456789;
+  const Point2 a{k, k}, b{2 * k, 2 * k}, c{4 * k, 4 * k};
+  // 2*k and 4*k are exact scalings by powers of two: truly collinear.
+  EXPECT_EQ(orient2d(a, b, c), 0.0);
+}
+
+TEST(Orient2d, TinyPerturbationDetected) {
+  // c sits on segment (a, b) except for a one-ulp nudge in y.
+  const Point2 a{0.0, 0.0}, b{1.0, 1.0};
+  const double y = 0.5;
+  const Point2 c_on{0.5, y};
+  const Point2 c_up{0.5, std::nextafter(y, 1.0)};
+  const Point2 c_dn{0.5, std::nextafter(y, 0.0)};
+  EXPECT_EQ(sign_of(orient2d(a, b, c_on)), 0);
+  EXPECT_EQ(sign_of(orient2d(a, b, c_up)), 1);
+  EXPECT_EQ(sign_of(orient2d(a, b, c_dn)), -1);
+}
+
+TEST(Orient2d, AntisymmetryAndRotationInvariance) {
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 a{rng.uniform(), rng.uniform()};
+    const Point2 b{rng.uniform(), rng.uniform()};
+    const Point2 c{rng.uniform(), rng.uniform()};
+    const int s = sign_of(orient2d(a, b, c));
+    EXPECT_EQ(sign_of(orient2d(b, c, a)), s);
+    EXPECT_EQ(sign_of(orient2d(c, a, b)), s);
+    EXPECT_EQ(sign_of(orient2d(b, a, c)), -s);
+    EXPECT_EQ(s, orient_ref(a, b, c));
+  }
+}
+
+TEST(Orient2d, NearDegenerateGridPoints) {
+  // Classic predicate torture: points on a tiny grid around a base point,
+  // where double arithmetic loses all significance.
+  const double base = 12345.6789;
+  const double ulp = std::nextafter(base, 2 * base) - base;
+  int exact_disagreements = 0;
+  for (int i = -4; i <= 4; ++i) {
+    for (int j = -4; j <= 4; ++j) {
+      const Point2 a{base, base};
+      const Point2 b{base + 8 * ulp, base + 8 * ulp};
+      const Point2 c{base + i * ulp, base + j * ulp};
+      const int got = sign_of(orient2d(a, b, c));
+      // The truth: c relative to the diagonal line through a with slope 1.
+      const int want = sign_of(static_cast<double>(j - i));
+      if (got != want) ++exact_disagreements;
+    }
+  }
+  EXPECT_EQ(exact_disagreements, 0);
+}
+
+TEST(Incircle, BasicInOut) {
+  const Point2 a{0, 0}, b{1, 0}, c{0, 1};  // circumcircle center (.5,.5)
+  EXPECT_GT(incircle(a, b, c, Point2{0.5, 0.5}), 0.0);
+  EXPECT_LT(incircle(a, b, c, Point2{2.0, 2.0}), 0.0);
+  EXPECT_EQ(incircle(a, b, c, Point2{1.0, 1.0}), 0.0);  // cocircular corner
+}
+
+TEST(Incircle, ExactlyCocircularPoints) {
+  // Four points of an axis-aligned square are exactly cocircular.
+  const Point2 a{-1, -1}, b{1, -1}, c{1, 1}, d{-1, 1};
+  EXPECT_EQ(incircle(a, b, c, d), 0.0);
+  // One-ulp inward/outward displacements flip the sign deterministically.
+  const Point2 d_in{-std::nextafter(1.0, 0.0), 1.0};
+  const Point2 d_out{-std::nextafter(1.0, 2.0), 1.0};
+  EXPECT_GT(incircle(a, b, c, d_in), 0.0);
+  EXPECT_LT(incircle(a, b, c, d_out), 0.0);
+}
+
+TEST(Incircle, SymmetryUnderEvenPermutation) {
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    Point2 a{rng.uniform(), rng.uniform()};
+    Point2 b{rng.uniform(), rng.uniform()};
+    Point2 c{rng.uniform(), rng.uniform()};
+    const Point2 d{rng.uniform(), rng.uniform()};
+    if (orient2d(a, b, c) < 0) std::swap(b, c);  // need CCW abc
+    const int s = sign_of(incircle(a, b, c, d));
+    EXPECT_EQ(sign_of(incircle(b, c, a, d)), s);
+    EXPECT_EQ(sign_of(incircle(c, a, b, d)), s);
+  }
+}
+
+TEST(Incircle, AgreesWithDistanceComparison) {
+  util::Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    Point2 a{rng.uniform(), rng.uniform()};
+    Point2 b{rng.uniform(), rng.uniform()};
+    Point2 c{rng.uniform(), rng.uniform()};
+    if (orient2d(a, b, c) == 0.0) continue;
+    if (orient2d(a, b, c) < 0) std::swap(b, c);
+    const auto cc = circumcenter(a, b, c);
+    if (!cc) continue;
+    const double r2 = dist2(*cc, a);
+    // Pick test points clearly inside/outside to dodge rounding of cc.
+    const Point2 inside{cc->x, cc->y};
+    const Point2 outside{cc->x + 3 * std::sqrt(r2), cc->y};
+    EXPECT_GT(incircle(a, b, c, inside), 0.0);
+    EXPECT_LT(incircle(a, b, c, outside), 0.0);
+  }
+}
+
+TEST(Predicates, ExactFallbackIsExercised) {
+  const auto before = predicate_exact_fallbacks();
+  // Exactly collinear points with non-power-of-two coordinates force the
+  // filtered path to give up.
+  const Point2 a{0.1, 0.1};
+  const Point2 b{0.2, 0.2};
+  const Point2 c{0.30000000000000004, 0.30000000000000004};  // 0.1+0.2
+  (void)orient2d(a, b, c);
+  EXPECT_GT(predicate_exact_fallbacks(), before);
+}
+
+// --- geometry helpers --------------------------------------------------------
+
+TEST(Geom, CircumcenterEquidistant) {
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Point2 a{rng.uniform(), rng.uniform()};
+    const Point2 b{rng.uniform(), rng.uniform()};
+    const Point2 c{rng.uniform(), rng.uniform()};
+    const auto cc = circumcenter(a, b, c);
+    if (!cc) continue;
+    const double da = dist(*cc, a), db = dist(*cc, b), dc = dist(*cc, c);
+    EXPECT_NEAR(da, db, 1e-6 * (1.0 + da));
+    EXPECT_NEAR(da, dc, 1e-6 * (1.0 + da));
+  }
+}
+
+TEST(Geom, CircumcenterDegenerateReturnsNullopt) {
+  EXPECT_FALSE(circumcenter({0, 0}, {1, 1}, {2, 2}).has_value());
+}
+
+TEST(Geom, MinAngleEquilateral) {
+  const Point2 a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3.0) / 2};
+  EXPECT_NEAR(min_angle_deg(a, b, c), 60.0, 1e-9);
+}
+
+TEST(Geom, MinAngleRightIsosceles) {
+  EXPECT_NEAR(min_angle_deg({0, 0}, {1, 0}, {0, 1}), 45.0, 1e-9);
+}
+
+TEST(Geom, DiametralCircle) {
+  const Point2 a{0, 0}, b{2, 0};
+  EXPECT_TRUE(in_diametral_circle(a, b, {1.0, 0.5}));
+  EXPECT_FALSE(in_diametral_circle(a, b, {1.0, 1.5}));
+  EXPECT_FALSE(in_diametral_circle(a, b, {1.0, 1.0}));  // on the circle
+}
+
+TEST(Geom, ClipSegmentCases) {
+  const Rect r{0, 0, 1, 1};
+  // Fully inside.
+  auto c1 = clip_segment({0.2, 0.2}, {0.8, 0.8}, r);
+  ASSERT_TRUE(c1);
+  EXPECT_EQ(c1->first.x, 0.2);
+  EXPECT_EQ(c1->second.x, 0.8);
+  // Crossing.
+  auto c2 = clip_segment({-1, 0.5}, {2, 0.5}, r);
+  ASSERT_TRUE(c2);
+  EXPECT_NEAR(c2->first.x, 0.0, 1e-12);
+  EXPECT_NEAR(c2->second.x, 1.0, 1e-12);
+  // Missing entirely.
+  EXPECT_FALSE(clip_segment({-1, 2}, {2, 2}, r).has_value());
+  // Parallel to an edge, outside.
+  EXPECT_FALSE(clip_segment({-0.5, -1}, {-0.5, 2}, r).has_value());
+}
+
+TEST(Geom, RectBasics) {
+  const Rect r{0, 0, 2, 1};
+  EXPECT_TRUE(r.contains({1, 0.5}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains_strict({0, 0}));
+  EXPECT_FALSE(r.contains({3, 0.5}));
+  EXPECT_EQ(r.center().x, 1.0);
+  const Rect e = r.expanded(0.5);
+  EXPECT_EQ(e.xlo, -0.5);
+  EXPECT_EQ(e.yhi, 1.5);
+}
+
+}  // namespace
+}  // namespace mrts::mesh

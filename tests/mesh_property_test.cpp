@@ -1,0 +1,144 @@
+// Property tests of the mesh library over randomized domains: refinement
+// of random convex polygons (optionally with a hole) must always produce a
+// structurally valid, Delaunay, quality-conforming mesh whose area matches
+// the polygon, and all of it must survive serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mesh/refine.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::mesh {
+namespace {
+
+/// Convex hull (gift wrapping is fine for ~12 points) of random points.
+std::vector<Point2> random_convex_polygon(util::Rng& rng, int points) {
+  std::vector<Point2> pts(points);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  // Andrew's monotone chain.
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  auto build = [&](auto begin, auto end) {
+    std::vector<Point2> chain;
+    for (auto it = begin; it != end; ++it) {
+      while (chain.size() >= 2 &&
+             orient2d(chain[chain.size() - 2], chain.back(), *it) <= 0) {
+        chain.pop_back();
+      }
+      chain.push_back(*it);
+    }
+    return chain;
+  };
+  auto lower = build(pts.begin(), pts.end());
+  auto upper = build(pts.rbegin(), pts.rend());
+  lower.pop_back();
+  upper.pop_back();
+  lower.insert(lower.end(), upper.begin(), upper.end());
+  return lower;
+}
+
+double polygon_area(const std::vector<Point2>& ring) {
+  double a = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Point2& p = ring[i];
+    const Point2& q = ring[(i + 1) % ring.size()];
+    a += p.x * q.y - q.x * p.y;
+  }
+  return 0.5 * a;
+}
+
+Point2 centroid_of(const std::vector<Point2>& ring) {
+  Point2 c{0, 0};
+  for (const Point2& p : ring) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  c.x /= static_cast<double>(ring.size());
+  c.y /= static_cast<double>(ring.size());
+  return c;
+}
+
+class RandomDomains : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDomains, RefinedMeshSatisfiesAllInvariants) {
+  util::Rng rng(GetParam());
+  const auto ring = random_convex_polygon(rng, 12);
+  if (ring.size() < 4) GTEST_SKIP() << "degenerate hull";
+  Pslg g;
+  g.add_polygon(ring);
+  double expected_area = polygon_area(ring);
+
+  // Half the seeds get a hole: the polygon scaled to 30% about its centroid.
+  const bool with_hole = (GetParam() % 2) == 0;
+  if (with_hole) {
+    const Point2 c = centroid_of(ring);
+    std::vector<Point2> hole;
+    hole.reserve(ring.size());
+    for (const Point2& p : ring) {
+      hole.push_back({c.x + 0.3 * (p.x - c.x), c.y + 0.3 * (p.y - c.y)});
+    }
+    g.add_polygon(hole);
+    g.holes.push_back(c);
+    expected_area -= polygon_area(hole);
+  }
+
+  const double h = 0.05 + 0.1 * rng.uniform();
+  Triangulation t = refine_pslg(
+      g, {.min_angle_deg = 20.0, .size_field = uniform_size(h)});
+
+  ASSERT_TRUE(t.check_invariants().empty()) << t.check_invariants();
+  EXPECT_TRUE(t.is_delaunay());
+  EXPECT_GE(t.min_inside_angle_deg(), 20.0);
+  double area = 0.0;
+  std::size_t oversized = 0;
+  t.for_each_inside([&](TriId, const TriRec& rec) {
+    area += 0.5 * orient2d(t.point(rec.v[0]), t.point(rec.v[1]),
+                           t.point(rec.v[2]));
+    if (longest_edge(t.point(rec.v[0]), t.point(rec.v[1]),
+                     t.point(rec.v[2])) > h + 1e-12) {
+      ++oversized;
+    }
+  });
+  EXPECT_NEAR(area, expected_area, 1e-9 * std::max(1.0, expected_area));
+  EXPECT_EQ(oversized, 0u);
+
+  // Serialization must preserve everything, including continued usability.
+  util::ByteWriter w;
+  t.serialize(w);
+  const auto bytes = w.take();
+  util::ByteReader r(bytes);
+  Triangulation back = Triangulation::deserialized(r);
+  EXPECT_EQ(back.inside_triangles(), t.inside_triangles());
+  EXPECT_TRUE(back.check_invariants().empty());
+  const CompactMesh cm = extract_inside(back);
+  EXPECT_EQ(cm.tris.size(), t.inside_triangles());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDomains,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+TEST(MeshProperty, RefinementIsMonotoneInSizeField) {
+  // Smaller h must never produce fewer elements.
+  std::size_t prev = 0;
+  for (double h : {0.2, 0.1, 0.05, 0.025}) {
+    Triangulation t = refine_pslg(
+        make_key_shape(), {.min_angle_deg = 20.0, .size_field = uniform_size(h)});
+    EXPECT_GT(t.inside_triangles(), prev);
+    prev = t.inside_triangles();
+  }
+}
+
+TEST(MeshProperty, StricterAngleNeverReducesQuality) {
+  for (double angle : {10.0, 15.0, 20.0}) {
+    Triangulation t = refine_pslg(
+        make_unit_square(),
+        {.min_angle_deg = angle, .size_field = uniform_size(0.1)});
+    EXPECT_GE(t.min_inside_angle_deg(), angle);
+  }
+}
+
+}  // namespace
+}  // namespace mrts::mesh

@@ -1,0 +1,176 @@
+// Integration tests of the out-of-core PUMG methods on the MRTS runtime:
+// each method must produce a conforming quality mesh that matches its
+// in-core counterpart, both with ample memory (no swapping) and under a
+// tiny memory budget that forces heavy spilling.
+
+#include <gtest/gtest.h>
+
+#include "pumg/nupdr.hpp"
+#include "pumg/ooc.hpp"
+#include "pumg/pcdm.hpp"
+#include "pumg/updr.hpp"
+
+namespace mrts::pumg {
+namespace {
+
+MeshProblem square_problem(double h) {
+  return MeshProblem{mesh::make_unit_square(),
+                     {.min_angle_deg = 20.0, .size_field = mesh::uniform_size(h)}};
+}
+
+MeshProblem pipe_problem(double h) {
+  return MeshProblem{mesh::make_pipe_section(1.0, 0.45, 48),
+                     {.min_angle_deg = 20.0, .size_field = mesh::uniform_size(h)}};
+}
+
+MeshProblem graded_pipe_problem() {
+  return MeshProblem{
+      mesh::make_pipe_section(1.0, 0.45, 48),
+      {.min_angle_deg = 20.0,
+       .size_field = mesh::graded_size({0.0, 1.0}, 0.015, 0.15, 0.2, 1.2)}};
+}
+
+core::ClusterOptions cluster_options(std::size_t nodes, std::size_t budget_kb) {
+  core::ClusterOptions options;
+  options.nodes = nodes;
+  options.runtime.ooc.memory_budget_bytes = budget_kb << 10;
+  options.spill = core::SpillMedium::kMemory;
+  options.max_run_time = std::chrono::seconds(180);
+  return options;
+}
+
+TEST(OocPcdm, MatchesInCoreResultInCore) {
+  const auto problem = pipe_problem(0.08);
+  OpcdmOocConfig config{.cluster = cluster_options(2, 1 << 20), .strips = 5};
+  const auto ooc = run_opcdm_ooc(problem, config);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_EQ(ooc.objects_spilled, 0u);  // memory was ample
+
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, 2);
+  const auto incore = run_pcdm(problem, PcdmConfig{.strips = 5}, *pool);
+  // Asynchronous message interleaving shifts individual Steiner points, so
+  // sizes agree only approximately; area must match exactly.
+  EXPECT_NEAR(static_cast<double>(ooc.mesh.elements),
+              static_cast<double>(incore.elements), 0.05 * incore.elements);
+  EXPECT_NEAR(ooc.mesh.total_area, incore.total_area, 1e-9);
+  EXPECT_GE(ooc.mesh.min_angle_deg, 15.0);
+  EXPECT_LE(ooc.mesh.below_goal, ooc.mesh.elements / 200);
+}
+
+TEST(OocPcdm, HeavySwappingPreservesTheMesh) {
+  const auto problem = pipe_problem(0.05);
+  // ~300 KB budget on each of 2 nodes forces cells in and out of core.
+  OpcdmOocConfig config{.cluster = cluster_options(2, 300), .strips = 8};
+  std::vector<Subdomain> subs;
+  Decomposition decomp;
+  const auto ooc = run_opcdm_ooc(problem, config, &subs, &decomp);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_GT(ooc.objects_spilled, 0u);
+  EXPECT_GT(ooc.objects_loaded, 0u);
+  // Cross-cell conformity and structural invariants survive the swapping.
+  EXPECT_TRUE(check_conformity(decomp, subs).empty())
+      << check_conformity(decomp, subs);
+  for (const auto& sub : subs) {
+    EXPECT_TRUE(sub.tri().check_invariants().empty());
+  }
+
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, 2);
+  const auto incore = run_pcdm(problem, PcdmConfig{.strips = 8}, *pool);
+  EXPECT_NEAR(static_cast<double>(ooc.mesh.elements),
+              static_cast<double>(incore.elements), 0.05 * incore.elements);
+  EXPECT_NEAR(ooc.mesh.total_area, incore.total_area, 1e-9);
+  // Sharp strip-border/domain-boundary crossings admit a handful of
+  // below-goal triangles (Ruppert small-angle limitation).
+  EXPECT_GE(ooc.mesh.min_angle_deg, 15.0);
+  EXPECT_LE(ooc.mesh.below_goal, ooc.mesh.elements / 200);
+}
+
+TEST(OocUpdr, PhasesConvergeAndConform) {
+  const auto problem = square_problem(0.04);
+  OupdrOocConfig config{.cluster = cluster_options(3, 1 << 20), .nx = 3,
+                        .ny = 3};
+  const auto ooc = run_oupdr_ooc(problem, config);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_NEAR(ooc.mesh.total_area, 1.0, 1e-9);
+  EXPECT_GE(ooc.mesh.min_angle_deg, 20.0);
+  EXPECT_GE(ooc.mesh.rounds, 1u);
+
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, 2);
+  const auto incore = run_updr(problem, UpdrConfig{.nx = 3, .ny = 3}, *pool);
+  EXPECT_EQ(ooc.mesh.elements, incore.elements);
+}
+
+TEST(OocUpdr, SwappingRun) {
+  const auto problem = square_problem(0.03);
+  OupdrOocConfig config{.cluster = cluster_options(2, 400), .nx = 4, .ny = 4};
+  std::vector<Subdomain> subs;
+  Decomposition decomp;
+  const auto ooc = run_oupdr_ooc(problem, config, &subs, &decomp);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_GT(ooc.objects_spilled, 0u);
+  EXPECT_NEAR(ooc.mesh.total_area, 1.0, 1e-9);
+  EXPECT_GE(ooc.mesh.min_angle_deg, 20.0);
+  EXPECT_TRUE(check_conformity(decomp, subs).empty())
+      << check_conformity(decomp, subs);
+}
+
+TEST(OocNupdr, QueueDrivenRefinementMatchesInCore) {
+  const auto problem = graded_pipe_problem();
+  OnupdrOocConfig config{.cluster = cluster_options(2, 1 << 20),
+                         .leaf_element_budget = 300};
+  const auto ooc = run_onupdr_ooc(problem, config);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_GE(ooc.mesh.min_angle_deg, 20.0);
+  EXPECT_GT(ooc.mesh.rounds, ooc.mesh.cells);  // re-dispatches happened
+
+  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, 2);
+  const auto incore =
+      run_nupdr(problem, NupdrConfig{.leaf_element_budget = 300}, *pool);
+  EXPECT_NEAR(static_cast<double>(ooc.mesh.elements),
+              static_cast<double>(incore.elements), 0.05 * incore.elements);
+  EXPECT_NEAR(ooc.mesh.total_area, incore.total_area, 1e-6);
+  EXPECT_EQ(ooc.mesh.cells, incore.cells);  // same quadtree either way
+}
+
+TEST(OocNupdr, MulticastCollectionVariant) {
+  const auto problem = graded_pipe_problem();
+  OnupdrOocConfig base{.cluster = cluster_options(3, 1 << 20),
+                       .leaf_element_budget = 300,
+                       .use_multicast = false};
+  OnupdrOocConfig multi{.cluster = cluster_options(3, 1 << 20),
+                        .leaf_element_budget = 300,
+                        .use_multicast = true};
+  const auto r_base = run_onupdr_ooc(problem, base);
+  const auto r_multi = run_onupdr_ooc(problem, multi);
+  EXPECT_FALSE(r_multi.report.timed_out);
+  // Equivalent meshes either way (schedules differ slightly).
+  EXPECT_NEAR(static_cast<double>(r_base.mesh.elements),
+              static_cast<double>(r_multi.mesh.elements),
+              0.05 * r_base.mesh.elements);
+  EXPECT_NEAR(r_base.mesh.total_area, r_multi.mesh.total_area, 1e-9);
+  EXPECT_GE(r_multi.mesh.min_angle_deg, 20.0);
+  // The multicast variant collects neighbourhoods (migrations) and applies
+  // splits through direct handler calls (inline deliveries).
+  EXPECT_GT(r_multi.migrations, 0u);
+  EXPECT_GT(r_multi.inline_deliveries, 0u);
+}
+
+TEST(OocNupdr, SwappingRunWithSmallLeaves) {
+  const auto problem = graded_pipe_problem();
+  OnupdrOocConfig config{.cluster = cluster_options(2, 256),
+                         .leaf_element_budget = 250,
+                         .max_concurrent_leaves = 4};
+  std::vector<Subdomain> subs;
+  Decomposition decomp;
+  const auto ooc = run_onupdr_ooc(problem, config, &subs, &decomp);
+  EXPECT_FALSE(ooc.report.timed_out);
+  EXPECT_GT(ooc.objects_spilled, 0u);
+  EXPECT_GE(ooc.mesh.min_angle_deg, 20.0);
+  EXPECT_EQ(ooc.dirty_left, 0u);
+  EXPECT_EQ(ooc.pending_left, 0u);
+  EXPECT_TRUE(check_conformity(decomp, subs).empty())
+      << check_conformity(decomp, subs);
+}
+
+}  // namespace
+}  // namespace mrts::pumg

@@ -1,0 +1,113 @@
+// Tests for the remote-memory out-of-core backend (paper [33]): backend
+// contract, placement on peers only, capacity behaviour, and a full OOC
+// mesh run swapping into peers' RAM instead of disk.
+
+#include <gtest/gtest.h>
+
+#include "pumg/ooc.hpp"
+#include "storage/remote_store.hpp"
+
+namespace mrts {
+namespace {
+
+using storage::DeviceModel;
+using storage::ObjectKey;
+using storage::RemoteMemoryPool;
+
+std::vector<std::byte> blob(std::size_t n, int fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TEST(RemoteMemory, BackendContract) {
+  RemoteMemoryPool pool(4, DeviceModel{});
+  auto store = pool.backend_for(0);
+  EXPECT_FALSE(store->contains(1));
+  EXPECT_FALSE(store->load(1).is_ok());
+  ASSERT_TRUE(store->store(1, blob(100, 7)).is_ok());
+  EXPECT_TRUE(store->contains(1));
+  EXPECT_EQ(store->count(), 1u);
+  EXPECT_EQ(store->stored_bytes(), 100u);
+  auto r = store->load(1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), blob(100, 7));
+  ASSERT_TRUE(store->store(1, blob(10, 8)).is_ok());  // overwrite shrinks
+  EXPECT_EQ(store->stored_bytes(), 10u);
+  ASSERT_TRUE(store->erase(1).is_ok());
+  EXPECT_EQ(store->erase(1).code(), util::StatusCode::kNotFound);
+}
+
+TEST(RemoteMemory, BlobsLandOnPeersOnly) {
+  RemoteMemoryPool pool(4, DeviceModel{});
+  auto store = pool.backend_for(2);
+  for (ObjectKey k = 0; k < 64; ++k) {
+    ASSERT_TRUE(store->store(k, blob(100, static_cast<int>(k))).is_ok());
+  }
+  EXPECT_EQ(pool.stored_on(2), 0u);  // never the owner's own partition
+  std::uint64_t elsewhere = 0;
+  for (std::uint32_t n : {0u, 1u, 3u}) elsewhere += pool.stored_on(n);
+  EXPECT_EQ(elsewhere, 64u * 100u);
+  // Placement spreads across all peers.
+  for (std::uint32_t n : {0u, 1u, 3u}) EXPECT_GT(pool.stored_on(n), 0u);
+}
+
+TEST(RemoteMemory, SingleNodeFallsBackToSelf) {
+  RemoteMemoryPool pool(1, DeviceModel{});
+  auto store = pool.backend_for(0);
+  ASSERT_TRUE(store->store(5, blob(10, 1)).is_ok());
+  EXPECT_EQ(pool.stored_on(0), 10u);
+}
+
+TEST(RemoteMemory, CapacityLimitRejectsWithUnavailable) {
+  RemoteMemoryPool pool(2, DeviceModel{}, /*capacity_bytes=*/150);
+  auto store = pool.backend_for(0);
+  ASSERT_TRUE(store->store(1, blob(100, 1)).is_ok());
+  // Second blob would exceed the single peer partition's capacity.
+  EXPECT_EQ(store->store(2, blob(100, 2)).code(),
+            util::StatusCode::kUnavailable);
+  // Overwriting in place within capacity is fine.
+  ASSERT_TRUE(store->store(1, blob(140, 3)).is_ok());
+}
+
+TEST(RemoteMemory, TwoOwnersDoNotCollideOnKeys) {
+  RemoteMemoryPool pool(3, DeviceModel{});
+  auto a = pool.backend_for(0);
+  auto b = pool.backend_for(1);
+  // Note: keys are globally unique in MRTS (they embed the home node), but
+  // the pool must still keep same-key blobs from different owners distinct
+  // or reject them; here owners use disjoint keys as the runtime does.
+  ASSERT_TRUE(a->store(100, blob(10, 1)).is_ok());
+  ASSERT_TRUE(b->store(200, blob(20, 2)).is_ok());
+  EXPECT_EQ(a->load(100).value(), blob(10, 1));
+  EXPECT_EQ(b->load(200).value(), blob(20, 2));
+  EXPECT_FALSE(a->contains(200));
+}
+
+TEST(RemoteMemory, TransferModelChargesTime) {
+  RemoteMemoryPool pool(
+      2, DeviceModel{.access_latency = std::chrono::microseconds(3000)});
+  auto store = pool.backend_for(0);
+  util::WallTimer t;
+  ASSERT_TRUE(store->store(1, blob(64, 1)).is_ok());
+  (void)store->load(1);
+  EXPECT_GE(t.seconds(), 0.005);
+}
+
+TEST(RemoteMemory, OocMeshRunSwapsIntoPeerRam) {
+  pumg::MeshProblem problem{
+      mesh::make_unit_square(),
+      {.min_angle_deg = 20.0, .size_field = mesh::uniform_size(0.01)}};
+  core::ClusterOptions cluster;
+  cluster.nodes = 3;
+  cluster.runtime.ooc.memory_budget_bytes = 512 << 10;
+  cluster.spill = core::SpillMedium::kRemoteMemory;
+  cluster.max_run_time = std::chrono::seconds(120);
+  pumg::OpcdmOocConfig config{.cluster = cluster, .strips = 9};
+  const auto r = pumg::run_opcdm_ooc(problem, config);
+  EXPECT_FALSE(r.report.timed_out);
+  EXPECT_GT(r.objects_spilled, 0u);
+  EXPECT_NEAR(r.mesh.total_area, 1.0, 1e-9);
+  EXPECT_GE(r.mesh.min_angle_deg, 20.0);
+}
+
+}  // namespace
+}  // namespace mrts

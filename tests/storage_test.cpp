@@ -1,0 +1,311 @@
+// Unit tests for the storage layer: backends, decorators, the five swapping
+// schemes, and the asynchronous object store.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <future>
+#include <set>
+
+#include "storage/eviction.hpp"
+#include "storage/fault_store.hpp"
+#include "storage/file_store.hpp"
+#include "storage/latency_store.hpp"
+#include "storage/mem_store.hpp"
+#include "storage/object_store.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::storage {
+namespace {
+
+std::vector<std::byte> blob_of(std::initializer_list<int> xs) {
+  std::vector<std::byte> v;
+  for (int x : xs) v.push_back(static_cast<std::byte>(x));
+  return v;
+}
+
+std::vector<std::byte> random_blob(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng() & 0xFF);
+  return v;
+}
+
+template <typename MakeStore>
+void backend_contract(MakeStore make) {
+  auto store = make();
+  EXPECT_EQ(store->count(), 0u);
+  EXPECT_FALSE(store->contains(1));
+  EXPECT_FALSE(store->load(1).is_ok());
+  EXPECT_EQ(store->load(1).status().code(), util::StatusCode::kNotFound);
+
+  const auto b1 = random_blob(1000, 1);
+  ASSERT_TRUE(store->store(7, b1).is_ok());
+  EXPECT_TRUE(store->contains(7));
+  EXPECT_EQ(store->count(), 1u);
+  EXPECT_EQ(store->stored_bytes(), 1000u);
+  auto r = store->load(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), b1);
+
+  // Overwrite shrinks accounting.
+  const auto b2 = random_blob(10, 2);
+  ASSERT_TRUE(store->store(7, b2).is_ok());
+  EXPECT_EQ(store->stored_bytes(), 10u);
+  EXPECT_EQ(store->load(7).value(), b2);
+
+  EXPECT_TRUE(store->erase(7).is_ok());
+  EXPECT_FALSE(store->contains(7));
+  EXPECT_EQ(store->erase(7).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(store->stored_bytes(), 0u);
+
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.store_ops, 2u);
+  EXPECT_EQ(stats.load_ops, 2u);
+}
+
+TEST(MemStore, Contract) {
+  backend_contract([] { return std::make_unique<MemStore>(); });
+}
+
+TEST(FileStore, Contract) {
+  backend_contract([] {
+    return std::make_unique<FileStore>(make_temp_spill_dir("test"));
+  });
+}
+
+TEST(FileStore, EmptyBlobRoundTrips) {
+  FileStore store(make_temp_spill_dir("test"));
+  ASSERT_TRUE(store.store(1, {}).is_ok());
+  auto r = store.load(1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(FileStore, DetectsOnDiskCorruption) {
+  FileStore store(make_temp_spill_dir("test"));
+  ASSERT_TRUE(store.store(3, random_blob(256, 3)).is_ok());
+  // Flip a byte in the middle of the spill file.
+  const auto path = store.directory() / "0000000000000003.mob";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char c;
+    f.seekg(100);
+    f.get(c);
+    f.seekp(100);
+    f.put(static_cast<char>(c ^ 0xFF));
+  }
+  auto r = store.load(3);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(FileStore, ClearRemovesSpillFiles) {
+  auto dir = make_temp_spill_dir("test");
+  {
+    FileStore store(dir);
+    ASSERT_TRUE(store.store(1, random_blob(64, 1)).is_ok());
+    ASSERT_TRUE(store.store(2, random_blob(64, 2)).is_ok());
+  }  // destructor clears
+  std::size_t files = 0;
+  for (auto it = std::filesystem::directory_iterator(dir);
+       it != std::filesystem::directory_iterator(); ++it) {
+    ++files;
+  }
+  EXPECT_EQ(files, 0u);
+}
+
+TEST(LatencyStore, AddsModeledDelay) {
+  DeviceModel model{.access_latency = std::chrono::microseconds(2000),
+                    .bandwidth_bytes_per_sec = 0.0};
+  LatencyStore store(std::make_unique<MemStore>(), model);
+  util::WallTimer t;
+  ASSERT_TRUE(store.store(1, random_blob(10, 1)).is_ok());
+  (void)store.load(1);
+  EXPECT_GE(t.seconds(), 0.004);  // two ops, 2 ms each
+}
+
+TEST(DeviceModel, CostScalesWithBytes) {
+  DeviceModel model{.access_latency = std::chrono::microseconds(100),
+                    .bandwidth_bytes_per_sec = 1e6};
+  const auto small = model.cost(1000);
+  const auto big = model.cost(1000000);
+  EXPECT_NEAR(static_cast<double>(small.count()), 100e3 + 1e6, 1e3);
+  EXPECT_NEAR(static_cast<double>(big.count()), 100e3 + 1e9, 1e6);
+}
+
+TEST(FaultStore, InjectsTransientFailures) {
+  FaultStore store(std::make_unique<MemStore>(),
+                   FaultPlan{.store_failure_rate = 1.0});
+  EXPECT_EQ(store.store(1, random_blob(8, 1)).code(),
+            util::StatusCode::kUnavailable);
+  EXPECT_GE(store.injected_faults(), 1u);
+}
+
+TEST(FaultStore, CorruptsLoadedPayload) {
+  auto inner = std::make_unique<MemStore>();
+  auto* raw = inner.get();
+  FaultStore store(std::move(inner), FaultPlan{.corruption_rate = 1.0});
+  const auto original = random_blob(64, 9);
+  ASSERT_TRUE(raw->store(1, original).is_ok());
+  auto r = store.load(1);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NE(r.value(), original);
+}
+
+// --- eviction schemes -------------------------------------------------------
+
+std::function<bool(ObjectKey)> all_evictable() {
+  return [](ObjectKey) { return true; };
+}
+
+TEST(Eviction, LruPicksOldestAccess) {
+  EvictionPolicy p(EvictionScheme::kLru);
+  for (ObjectKey k : {1, 2, 3}) p.on_insert(k);
+  p.on_access(1);  // order now: 2 (oldest), 3, 1
+  EXPECT_EQ(p.victim(all_evictable()).value(), 2u);
+}
+
+TEST(Eviction, MruPicksNewestAccess) {
+  EvictionPolicy p(EvictionScheme::kMru);
+  for (ObjectKey k : {1, 2, 3}) p.on_insert(k);
+  p.on_access(1);
+  EXPECT_EQ(p.victim(all_evictable()).value(), 1u);
+}
+
+TEST(Eviction, LuPicksLeastTotalCount) {
+  EvictionPolicy p(EvictionScheme::kLu);
+  for (ObjectKey k : {1, 2, 3}) p.on_insert(k);
+  p.on_access(1);
+  p.on_access(1);
+  p.on_access(2);
+  p.on_access(3);
+  p.on_access(3);
+  EXPECT_EQ(p.victim(all_evictable()).value(), 2u);
+}
+
+TEST(Eviction, MuPicksMostTotalCount) {
+  EvictionPolicy p(EvictionScheme::kMu);
+  for (ObjectKey k : {1, 2, 3}) p.on_insert(k);
+  p.on_access(1);
+  p.on_access(2);
+  p.on_access(2);
+  EXPECT_EQ(p.victim(all_evictable()).value(), 2u);
+}
+
+TEST(Eviction, LfuAgesOldHotness) {
+  EvictionPolicy p(EvictionScheme::kLfu);
+  p.on_insert(1);
+  p.on_insert(2);
+  // Key 1 was hot long ago; key 2 mildly active now. With a 1024-tick
+  // half-life, 6000 intervening ticks decay key 1's score to near zero.
+  for (int i = 0; i < 50; ++i) p.on_access(1);
+  for (int i = 0; i < 6000; ++i) p.on_access(2);
+  EXPECT_EQ(p.victim(all_evictable()).value(), 1u);
+}
+
+TEST(Eviction, VictimRespectsPredicate) {
+  EvictionPolicy p(EvictionScheme::kLru);
+  for (ObjectKey k : {1, 2, 3}) p.on_insert(k);
+  auto v = p.victim([](ObjectKey k) { return k != 1; });
+  EXPECT_EQ(v.value(), 2u);
+  auto none = p.victim([](ObjectKey) { return false; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(Eviction, EraseStopsTracking) {
+  EvictionPolicy p(EvictionScheme::kLru);
+  p.on_insert(1);
+  p.on_insert(2);
+  p.on_erase(1);
+  EXPECT_FALSE(p.tracks(1));
+  EXPECT_EQ(p.victim(all_evictable()).value(), 2u);
+}
+
+TEST(Eviction, SchemeNamesRoundTrip) {
+  for (auto s : {EvictionScheme::kLru, EvictionScheme::kLfu,
+                 EvictionScheme::kMru, EvictionScheme::kMu,
+                 EvictionScheme::kLu}) {
+    EXPECT_EQ(parse_scheme(to_string(s)).value(), s);
+  }
+  EXPECT_FALSE(parse_scheme("bogus").has_value());
+}
+
+// --- object store -----------------------------------------------------------
+
+TEST(ObjectStore, AsyncStoreThenLoad) {
+  ObjectStore store(std::make_unique<MemStore>());
+  const auto blob = random_blob(512, 21);
+  std::promise<util::Status> stored;
+  store.store_async(5, blob, [&](util::Status s) { stored.set_value(s); });
+  ASSERT_TRUE(stored.get_future().get().is_ok());
+
+  std::promise<std::vector<std::byte>> loaded;
+  store.load_async(5, [&](util::Result<std::vector<std::byte>> r) {
+    ASSERT_TRUE(r.is_ok());
+    loaded.set_value(std::move(r).value());
+  });
+  EXPECT_EQ(loaded.get_future().get(), blob);
+}
+
+TEST(ObjectStore, DrainWaitsForQueue) {
+  util::TimeAccumulator disk;
+  ObjectStore store(
+      std::make_unique<LatencyStore>(
+          std::make_unique<MemStore>(),
+          DeviceModel{.access_latency = std::chrono::microseconds(500)}),
+      &disk);
+  for (ObjectKey k = 0; k < 20; ++k) {
+    store.store_async(k, random_blob(16, k), {});
+  }
+  store.drain();
+  EXPECT_EQ(store.pending(), 0u);
+  EXPECT_EQ(store.backend().count(), 20u);
+  EXPECT_GT(disk.seconds(), 0.008);  // 20 ops x 0.5 ms charged to disk time
+}
+
+TEST(ObjectStore, RetriesTransientFaults) {
+  // 50% failure rate with 3 retries: chance of 4 consecutive failures per op
+  // is 6.25%; use a seed verified to pass deterministically.
+  ObjectStore store(
+      std::make_unique<FaultStore>(std::make_unique<MemStore>(),
+                                   FaultPlan{.store_failure_rate = 0.5,
+                                             .seed = 1234}),
+      nullptr, ObjectStoreOptions{.max_retries = 10});
+  std::promise<util::Status> done;
+  store.store_async(1, random_blob(16, 1),
+                    [&](util::Status s) { done.set_value(s); });
+  EXPECT_TRUE(done.get_future().get().is_ok());
+  EXPECT_GE(store.retries_performed(), 0u);
+}
+
+TEST(ObjectStore, SyncHelpers) {
+  ObjectStore store(std::make_unique<MemStore>());
+  const auto blob = random_blob(64, 3);
+  ASSERT_TRUE(store.store_sync(9, blob).is_ok());
+  auto r = store.load_sync(9);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), blob);
+  ASSERT_TRUE(store.erase(9).is_ok());
+  EXPECT_FALSE(store.load_sync(9).is_ok());
+}
+
+TEST(ObjectStore, ManyConcurrentRequestsComplete) {
+  ObjectStore store(std::make_unique<MemStore>());
+  std::atomic<int> completed{0};
+  constexpr int kN = 200;
+  for (int k = 0; k < kN; ++k) {
+    store.store_async(static_cast<ObjectKey>(k), random_blob(32, k),
+                      [&](util::Status s) {
+                        EXPECT_TRUE(s.is_ok());
+                        completed.fetch_add(1);
+                      });
+  }
+  store.drain();
+  EXPECT_EQ(completed.load(), kN);
+}
+
+}  // namespace
+}  // namespace mrts::storage

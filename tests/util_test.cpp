@@ -1,0 +1,219 @@
+// Unit tests for the util module: archives, CRC, RNG, stats, format.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "util/archive.hpp"
+#include "util/crc32.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace mrts::util {
+namespace {
+
+TEST(Archive, RoundTripPrimitives) {
+  ByteWriter w;
+  w.write<std::uint32_t>(42);
+  w.write<double>(3.5);
+  w.write<std::int8_t>(-7);
+  w.write_string("hello mesh");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::uint32_t>(), 42u);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read<std::int8_t>(), -7);
+  EXPECT_EQ(r.read_string(), "hello mesh");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Archive, RoundTripVectorsAndMaps) {
+  ByteWriter w;
+  std::vector<std::uint64_t> v{1, 2, 3, 5, 8, 13};
+  std::unordered_map<std::uint32_t, double> m{{1, 1.5}, {2, 2.5}};
+  w.write_vector(v);
+  w.write_map(m);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_vector<std::uint64_t>(), v);
+  EXPECT_EQ((r.read_map<std::uint32_t, double>()), m);
+}
+
+TEST(Archive, RoundTripNestedWith) {
+  struct Item {
+    std::string name;
+    std::uint32_t n;
+  };
+  std::vector<Item> items{{"a", 1}, {"bc", 2}, {"def", 3}};
+  ByteWriter w;
+  w.write_vector_with(items, [](ByteWriter& out, const Item& it) {
+    out.write_string(it.name);
+    out.write(it.n);
+  });
+  ByteReader r(w.bytes());
+  auto back = r.read_vector_with<Item>([](ByteReader& in) {
+    Item it;
+    it.name = in.read_string();
+    it.n = in.read<std::uint32_t>();
+    return it;
+  });
+  ASSERT_EQ(back.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(back[i].name, items[i].name);
+    EXPECT_EQ(back[i].n, items[i].n);
+  }
+}
+
+TEST(Archive, ReadPastEndThrows) {
+  ByteWriter w;
+  w.write<std::uint16_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.read<std::uint16_t>();
+  EXPECT_THROW((void)r.read<std::uint32_t>(), ArchiveError);
+}
+
+TEST(Archive, BogusLengthFieldThrows) {
+  ByteWriter w;
+  w.write<std::uint64_t>(1ull << 40);  // implausible element count
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.read_vector<std::uint32_t>(), ArchiveError);
+}
+
+TEST(Archive, TakeResetsWriter) {
+  ByteWriter w;
+  w.write<std::uint32_t>(7);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926, the classic check value.
+  const char* s = "123456789";
+  const auto crc = crc32(std::as_bytes(std::span(s, 9)));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<std::byte> data(1000);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<std::byte>(rng() & 0xFF);
+  const auto whole = crc32(data);
+  auto part = crc32(std::span(data).subspan(0, 400));
+  part = crc32(std::span(data).subspan(400), part);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5A});
+  const auto before = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(before, crc32(data));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Histogram, BinningAndQuantile) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bin_count(i), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 0.5);
+}
+
+TEST(Histogram, EdgeSaturation) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Format, Basics) {
+  EXPECT_EQ(format("a{}c", "b"), "abc");
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:016x}", 0xABCDull), "000000000000abcd");
+  EXPECT_EQ(format("{{literal}}"), "{literal}");  // escaped braces
+  EXPECT_EQ(format("{{{}}}", 5), "{5}");
+  EXPECT_EQ(format("no placeholders", 1), "no placeholders");
+}
+
+TEST(Timer, AccumulatorAddsUp) {
+  TimeAccumulator acc;
+  acc.add(std::chrono::milliseconds(3));
+  acc.add(std::chrono::milliseconds(4));
+  EXPECT_NEAR(acc.seconds(), 0.007, 1e-9);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+}
+
+TEST(Timer, ScopedChargeMeasuresScope) {
+  TimeAccumulator acc;
+  {
+    ScopedCharge charge(acc);
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(acc.total().count(), 0);
+}
+
+}  // namespace
+}  // namespace mrts::util
