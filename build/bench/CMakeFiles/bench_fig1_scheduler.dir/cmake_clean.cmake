@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_scheduler.dir/bench_fig1_scheduler.cpp.o"
+  "CMakeFiles/bench_fig1_scheduler.dir/bench_fig1_scheduler.cpp.o.d"
+  "bench_fig1_scheduler"
+  "bench_fig1_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_updr_incore.dir/bench_fig5_updr_incore.cpp.o"
+  "CMakeFiles/bench_fig5_updr_incore.dir/bench_fig5_updr_incore.cpp.o.d"
+  "bench_fig5_updr_incore"
+  "bench_fig5_updr_incore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_updr_incore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

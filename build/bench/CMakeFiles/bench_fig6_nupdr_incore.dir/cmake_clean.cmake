@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nupdr_incore.dir/bench_fig6_nupdr_incore.cpp.o"
+  "CMakeFiles/bench_fig6_nupdr_incore.dir/bench_fig6_nupdr_incore.cpp.o.d"
+  "bench_fig6_nupdr_incore"
+  "bench_fig6_nupdr_incore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nupdr_incore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pcdm_incore.dir/bench_fig7_pcdm_incore.cpp.o"
+  "CMakeFiles/bench_fig7_pcdm_incore.dir/bench_fig7_pcdm_incore.cpp.o.d"
+  "bench_fig7_pcdm_incore"
+  "bench_fig7_pcdm_incore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pcdm_incore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_oupdr_ooc.dir/bench_fig8_oupdr_ooc.cpp.o"
+  "CMakeFiles/bench_fig8_oupdr_ooc.dir/bench_fig8_oupdr_ooc.cpp.o.d"
+  "bench_fig8_oupdr_ooc"
+  "bench_fig8_oupdr_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_oupdr_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overdecomposition.dir/bench_overdecomposition.cpp.o"
+  "CMakeFiles/bench_overdecomposition.dir/bench_overdecomposition.cpp.o.d"
+  "bench_overdecomposition"
+  "bench_overdecomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overdecomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_memory.dir/bench_remote_memory.cpp.o"
+  "CMakeFiles/bench_remote_memory.dir/bench_remote_memory.cpp.o.d"
+  "bench_remote_memory"
+  "bench_remote_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swap_schemes.dir/bench_swap_schemes.cpp.o"
+  "CMakeFiles/bench_swap_schemes.dir/bench_swap_schemes.cpp.o.d"
+  "bench_swap_schemes"
+  "bench_swap_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swap_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_updr_speed.dir/bench_tab1_updr_speed.cpp.o"
+  "CMakeFiles/bench_tab1_updr_speed.dir/bench_tab1_updr_speed.cpp.o.d"
+  "bench_tab1_updr_speed"
+  "bench_tab1_updr_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_updr_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

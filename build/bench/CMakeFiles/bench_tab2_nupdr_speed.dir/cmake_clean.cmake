@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_nupdr_speed.dir/bench_tab2_nupdr_speed.cpp.o"
+  "CMakeFiles/bench_tab2_nupdr_speed.dir/bench_tab2_nupdr_speed.cpp.o.d"
+  "bench_tab2_nupdr_speed"
+  "bench_tab2_nupdr_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_nupdr_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

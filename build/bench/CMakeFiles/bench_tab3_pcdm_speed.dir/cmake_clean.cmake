@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_pcdm_speed.dir/bench_tab3_pcdm_speed.cpp.o"
+  "CMakeFiles/bench_tab3_pcdm_speed.dir/bench_tab3_pcdm_speed.cpp.o.d"
+  "bench_tab3_pcdm_speed"
+  "bench_tab3_pcdm_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_pcdm_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_oupdr_overlap.dir/bench_tab4_oupdr_overlap.cpp.o"
+  "CMakeFiles/bench_tab4_oupdr_overlap.dir/bench_tab4_oupdr_overlap.cpp.o.d"
+  "bench_tab4_oupdr_overlap"
+  "bench_tab4_oupdr_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_oupdr_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

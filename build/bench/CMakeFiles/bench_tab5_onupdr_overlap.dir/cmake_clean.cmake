@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_onupdr_overlap.dir/bench_tab5_onupdr_overlap.cpp.o"
+  "CMakeFiles/bench_tab5_onupdr_overlap.dir/bench_tab5_onupdr_overlap.cpp.o.d"
+  "bench_tab5_onupdr_overlap"
+  "bench_tab5_onupdr_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_onupdr_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

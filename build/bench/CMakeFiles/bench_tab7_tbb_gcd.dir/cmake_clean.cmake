@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_tbb_gcd.dir/bench_tab7_tbb_gcd.cpp.o"
+  "CMakeFiles/bench_tab7_tbb_gcd.dir/bench_tab7_tbb_gcd.cpp.o.d"
+  "bench_tab7_tbb_gcd"
+  "bench_tab7_tbb_gcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_tbb_gcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

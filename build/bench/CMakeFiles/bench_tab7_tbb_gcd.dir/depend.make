@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab7_tbb_gcd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_meshing.dir/ooc_meshing.cpp.o"
+  "CMakeFiles/ooc_meshing.dir/ooc_meshing.cpp.o.d"
+  "ooc_meshing"
+  "ooc_meshing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_meshing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

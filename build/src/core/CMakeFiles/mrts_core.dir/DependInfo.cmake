@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/mrts_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/mrts_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/mrts_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/mrts_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/mobile_object.cpp" "src/core/CMakeFiles/mrts_core.dir/mobile_object.cpp.o" "gcc" "src/core/CMakeFiles/mrts_core.dir/mobile_object.cpp.o.d"
+  "/root/repo/src/core/ooc_layer.cpp" "src/core/CMakeFiles/mrts_core.dir/ooc_layer.cpp.o" "gcc" "src/core/CMakeFiles/mrts_core.dir/ooc_layer.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/mrts_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/mrts_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mrts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/mrts_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mrts_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/mrts_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/mrts_core.dir/cluster.cpp.o"
+  "CMakeFiles/mrts_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/mrts_core.dir/mobile_object.cpp.o"
+  "CMakeFiles/mrts_core.dir/mobile_object.cpp.o.d"
+  "CMakeFiles/mrts_core.dir/ooc_layer.cpp.o"
+  "CMakeFiles/mrts_core.dir/ooc_layer.cpp.o.d"
+  "CMakeFiles/mrts_core.dir/runtime.cpp.o"
+  "CMakeFiles/mrts_core.dir/runtime.cpp.o.d"
+  "libmrts_core.a"
+  "libmrts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

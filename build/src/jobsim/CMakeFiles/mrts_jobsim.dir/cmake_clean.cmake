@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_jobsim.dir/jobsim.cpp.o"
+  "CMakeFiles/mrts_jobsim.dir/jobsim.cpp.o.d"
+  "libmrts_jobsim.a"
+  "libmrts_jobsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_jobsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrts_jobsim.
+# This may be replaced when dependencies are built.

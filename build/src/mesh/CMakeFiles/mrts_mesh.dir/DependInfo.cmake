@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/export.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/export.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/export.cpp.o.d"
+  "/root/repo/src/mesh/geom.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/geom.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/geom.cpp.o.d"
+  "/root/repo/src/mesh/predicates.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/predicates.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/predicates.cpp.o.d"
+  "/root/repo/src/mesh/pslg.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/pslg.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/pslg.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/refine.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/refine.cpp.o.d"
+  "/root/repo/src/mesh/triangulation.cpp" "src/mesh/CMakeFiles/mrts_mesh.dir/triangulation.cpp.o" "gcc" "src/mesh/CMakeFiles/mrts_mesh.dir/triangulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

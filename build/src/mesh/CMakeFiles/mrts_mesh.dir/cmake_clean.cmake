@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_mesh.dir/export.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/export.cpp.o.d"
+  "CMakeFiles/mrts_mesh.dir/geom.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/geom.cpp.o.d"
+  "CMakeFiles/mrts_mesh.dir/predicates.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/predicates.cpp.o.d"
+  "CMakeFiles/mrts_mesh.dir/pslg.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/pslg.cpp.o.d"
+  "CMakeFiles/mrts_mesh.dir/refine.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/refine.cpp.o.d"
+  "CMakeFiles/mrts_mesh.dir/triangulation.cpp.o"
+  "CMakeFiles/mrts_mesh.dir/triangulation.cpp.o.d"
+  "libmrts_mesh.a"
+  "libmrts_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_pumg.dir/decomposition.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/decomposition.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/method.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/method.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/nupdr.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/nupdr.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/ooc.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/ooc.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/pcdm.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/pcdm.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/subdomain.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/subdomain.cpp.o.d"
+  "CMakeFiles/mrts_pumg.dir/updr.cpp.o"
+  "CMakeFiles/mrts_pumg.dir/updr.cpp.o.d"
+  "libmrts_pumg.a"
+  "libmrts_pumg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_pumg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

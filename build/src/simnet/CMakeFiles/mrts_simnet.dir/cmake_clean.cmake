@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/mrts_simnet.dir/fabric.cpp.o.d"
+  "libmrts_simnet.a"
+  "libmrts_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/eviction.cpp" "src/storage/CMakeFiles/mrts_storage.dir/eviction.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/eviction.cpp.o.d"
+  "/root/repo/src/storage/fault_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/fault_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/fault_store.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/file_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/file_store.cpp.o.d"
+  "/root/repo/src/storage/latency_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/latency_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/latency_store.cpp.o.d"
+  "/root/repo/src/storage/mem_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/mem_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/mem_store.cpp.o.d"
+  "/root/repo/src/storage/object_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/object_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/object_store.cpp.o.d"
+  "/root/repo/src/storage/remote_store.cpp" "src/storage/CMakeFiles/mrts_storage.dir/remote_store.cpp.o" "gcc" "src/storage/CMakeFiles/mrts_storage.dir/remote_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_storage.dir/eviction.cpp.o"
+  "CMakeFiles/mrts_storage.dir/eviction.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/fault_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/fault_store.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/file_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/file_store.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/latency_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/latency_store.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/mem_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/mem_store.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/object_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/object_store.cpp.o.d"
+  "CMakeFiles/mrts_storage.dir/remote_store.cpp.o"
+  "CMakeFiles/mrts_storage.dir/remote_store.cpp.o.d"
+  "libmrts_storage.a"
+  "libmrts_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

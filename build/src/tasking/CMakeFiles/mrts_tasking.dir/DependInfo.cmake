@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasking/central_queue_pool.cpp" "src/tasking/CMakeFiles/mrts_tasking.dir/central_queue_pool.cpp.o" "gcc" "src/tasking/CMakeFiles/mrts_tasking.dir/central_queue_pool.cpp.o.d"
+  "/root/repo/src/tasking/task_pool.cpp" "src/tasking/CMakeFiles/mrts_tasking.dir/task_pool.cpp.o" "gcc" "src/tasking/CMakeFiles/mrts_tasking.dir/task_pool.cpp.o.d"
+  "/root/repo/src/tasking/work_stealing_pool.cpp" "src/tasking/CMakeFiles/mrts_tasking.dir/work_stealing_pool.cpp.o" "gcc" "src/tasking/CMakeFiles/mrts_tasking.dir/work_stealing_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_tasking.dir/central_queue_pool.cpp.o"
+  "CMakeFiles/mrts_tasking.dir/central_queue_pool.cpp.o.d"
+  "CMakeFiles/mrts_tasking.dir/task_pool.cpp.o"
+  "CMakeFiles/mrts_tasking.dir/task_pool.cpp.o.d"
+  "CMakeFiles/mrts_tasking.dir/work_stealing_pool.cpp.o"
+  "CMakeFiles/mrts_tasking.dir/work_stealing_pool.cpp.o.d"
+  "libmrts_tasking.a"
+  "libmrts_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrts_tasking.a"
+)

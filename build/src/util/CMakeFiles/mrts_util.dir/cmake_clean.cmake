@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrts_util.dir/crc32.cpp.o"
+  "CMakeFiles/mrts_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/mrts_util.dir/log.cpp.o"
+  "CMakeFiles/mrts_util.dir/log.cpp.o.d"
+  "CMakeFiles/mrts_util.dir/rng.cpp.o"
+  "CMakeFiles/mrts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mrts_util.dir/stats.cpp.o"
+  "CMakeFiles/mrts_util.dir/stats.cpp.o.d"
+  "libmrts_util.a"
+  "libmrts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

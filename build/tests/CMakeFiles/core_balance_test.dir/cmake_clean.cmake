@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_balance_test.dir/core_balance_test.cpp.o"
+  "CMakeFiles/core_balance_test.dir/core_balance_test.cpp.o.d"
+  "core_balance_test"
+  "core_balance_test.pdb"
+  "core_balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_stress_test.cpp" "tests/CMakeFiles/core_stress_test.dir/core_stress_test.cpp.o" "gcc" "tests/CMakeFiles/core_stress_test.dir/core_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mrts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/mrts_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mrts_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobsim_test.dir/jobsim_test.cpp.o"
+  "CMakeFiles/jobsim_test.dir/jobsim_test.cpp.o.d"
+  "jobsim_test"
+  "jobsim_test.pdb"
+  "jobsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_export_test.dir/mesh_export_test.cpp.o"
+  "CMakeFiles/mesh_export_test.dir/mesh_export_test.cpp.o.d"
+  "mesh_export_test"
+  "mesh_export_test.pdb"
+  "mesh_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

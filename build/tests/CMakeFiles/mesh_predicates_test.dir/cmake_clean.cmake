@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_predicates_test.dir/mesh_predicates_test.cpp.o"
+  "CMakeFiles/mesh_predicates_test.dir/mesh_predicates_test.cpp.o.d"
+  "mesh_predicates_test"
+  "mesh_predicates_test.pdb"
+  "mesh_predicates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_predicates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_property_test.dir/mesh_property_test.cpp.o"
+  "CMakeFiles/mesh_property_test.dir/mesh_property_test.cpp.o.d"
+  "mesh_property_test"
+  "mesh_property_test.pdb"
+  "mesh_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

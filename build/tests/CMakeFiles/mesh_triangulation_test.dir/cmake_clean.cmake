@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_triangulation_test.dir/mesh_triangulation_test.cpp.o"
+  "CMakeFiles/mesh_triangulation_test.dir/mesh_triangulation_test.cpp.o.d"
+  "mesh_triangulation_test"
+  "mesh_triangulation_test.pdb"
+  "mesh_triangulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_triangulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pumg_incore_test.dir/pumg_incore_test.cpp.o"
+  "CMakeFiles/pumg_incore_test.dir/pumg_incore_test.cpp.o.d"
+  "pumg_incore_test"
+  "pumg_incore_test.pdb"
+  "pumg_incore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pumg_incore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pumg_ooc_test.dir/pumg_ooc_test.cpp.o"
+  "CMakeFiles/pumg_ooc_test.dir/pumg_ooc_test.cpp.o.d"
+  "pumg_ooc_test"
+  "pumg_ooc_test.pdb"
+  "pumg_ooc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pumg_ooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

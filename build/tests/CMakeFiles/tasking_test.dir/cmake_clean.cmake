@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasking_test.dir/tasking_test.cpp.o"
+  "CMakeFiles/tasking_test.dir/tasking_test.cpp.o.d"
+  "tasking_test"
+  "tasking_test.pdb"
+  "tasking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

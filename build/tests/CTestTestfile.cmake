@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/tasking_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_triangulation_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_refine_test[1]_include.cmake")
+include("/root/repo/build/tests/pumg_incore_test[1]_include.cmake")
+include("/root/repo/build/tests/pumg_ooc_test[1]_include.cmake")
+include("/root/repo/build/tests/jobsim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/core_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/core_balance_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_export_test[1]_include.cmake")
+include("/root/repo/build/tests/core_ooclayer_test[1]_include.cmake")
