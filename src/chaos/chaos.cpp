@@ -1,0 +1,105 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::chaos {
+namespace {
+
+// Domain-separation constants so each consumer of the master seed draws
+// from an independent stream.
+constexpr std::uint64_t kSchedDomain = 0x736368656475ull;   // "schedu"
+constexpr std::uint64_t kNetDomain = 0x6e6574ull;           // "net"
+constexpr std::uint64_t kStorageDomain = 0x7374726full;     // "stor"
+constexpr std::uint64_t kPauseDomain = 0x7061757365ull;     // "pause"
+
+std::uint64_t derive(std::uint64_t seed, std::uint64_t domain) {
+  std::uint64_t s = seed ^ domain;
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+Harness::Harness(ChaosPlan plan) : plan_(std::move(plan)) {
+  pauses_ = plan_.pauses;
+}
+
+bool Harness::storage_plan_active(const storage::FaultPlan& plan) {
+  return plan.store_failure_rate > 0.0 || plan.load_failure_rate > 0.0 ||
+         plan.corruption_rate > 0.0 || plan.torn_write_rate > 0.0 ||
+         plan.latency_spike_rate > 0.0 || !plan.schedule.empty();
+}
+
+void Harness::instrument(core::ClusterOptions& options) {
+  options.deterministic = true;
+  options.det_seed = derive(plan_.seed, kSchedDomain);
+  options.step_observer = this;
+  options.fabric_observer = this;
+
+  if (plan_.net.any()) {
+    net::NetFaultPlan net = plan_.net;
+    net.seed = derive(plan_.seed, kNetDomain);
+    options.net_faults = net;
+  }
+  if (storage_plan_active(plan_.storage)) {
+    storage::FaultPlan storage = plan_.storage;
+    storage.seed = derive(plan_.seed, kStorageDomain);
+    storage.observer = [this](const storage::StoreFaultEvent& e) {
+      trace_.storage_fault(e);
+    };
+    options.storage_faults = std::move(storage);
+  }
+
+  // Derived pause windows need the node count, so they materialize here.
+  if (plan_.random_pauses > 0) {
+    util::Rng rng(derive(plan_.seed, kPauseDomain));
+    for (std::size_t k = 0; k < plan_.random_pauses; ++k) {
+      PauseWindow w;
+      w.node = static_cast<net::NodeId>(rng.below(options.nodes));
+      w.begin_step =
+          1 + rng.below(std::max<std::uint64_t>(plan_.pause_horizon_steps, 1));
+      w.end_step = w.begin_step + 1 +
+                   rng.below(std::max<std::uint64_t>(plan_.max_pause_steps, 1));
+      pauses_.push_back(w);
+    }
+  }
+  trace_.set_step(1);
+  for (const PauseWindow& w : pauses_) {
+    trace_.note(util::format("pause node={} steps=[{},{})", w.node,
+                             w.begin_step, w.end_step));
+  }
+}
+
+bool Harness::node_runnable(net::NodeId node, std::uint64_t step) {
+  for (const PauseWindow& w : pauses_) {
+    if (w.node == node && step >= w.begin_step && step < w.end_step) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Harness::on_step(std::uint64_t step) { trace_.set_step(step + 1); }
+
+void Harness::on_message(const net::MessageEvent& event) {
+  trace_.message(event);
+  checker_.on_message(event);
+}
+
+InvariantReport Harness::check_transport() const {
+  InvariantReport report;
+  checker_.finish(report);
+  return report;
+}
+
+InvariantReport Harness::check(core::Cluster& cluster) const {
+  InvariantReport report;
+  checker_.finish(report);
+  check_directory_convergence(cluster, report);
+  check_budget(cluster, plan_.budget_overshoot_bytes, report);
+  return report;
+}
+
+}  // namespace mrts::chaos

@@ -1,0 +1,95 @@
+#pragma once
+
+// Chaos harness: configures a Cluster for a deterministic fault-injection
+// run and observes it across all three layers. One ChaosPlan seed fully
+// determines the node schedule, every network fault, every storage fault,
+// and every pause window — replaying the seed reproduces the run byte for
+// byte (EventTrace::crc compares two runs cheaply).
+//
+// Usage:
+//   chaos::Harness harness({.seed = 7, .net = {.drop_rate = 0.01}});
+//   core::ClusterOptions opts = ...;
+//   harness.instrument(opts);
+//   core::Cluster cluster(opts);
+//   ... build workload, cluster.run() ...
+//   chaos::InvariantReport report = harness.check(cluster);
+//   ASSERT_TRUE(report.ok()) << report.to_string();
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/event_trace.hpp"
+#include "chaos/invariants.hpp"
+#include "core/cluster.hpp"
+#include "simnet/fabric.hpp"
+#include "storage/fault_store.hpp"
+
+namespace mrts::chaos {
+
+/// Node `node` is paused (skipped by the deterministic driver: no polling,
+/// no handlers, no I/O) for steps in [begin_step, end_step).
+struct PauseWindow {
+  net::NodeId node = 0;
+  std::uint64_t begin_step = 0;
+  std::uint64_t end_step = 0;
+};
+
+struct ChaosPlan {
+  /// Master seed; the node schedule, network faults, storage faults, and
+  /// derived pauses all key off it.
+  std::uint64_t seed = 1;
+  /// Storage faults (rates/schedule); installed when any field is active.
+  storage::FaultPlan storage;
+  /// Network faults; installed when any rate or drop_handler is set.
+  net::NetFaultPlan net;
+  /// Explicit node pauses.
+  std::vector<PauseWindow> pauses;
+  /// Additionally derive this many seeded random pause windows.
+  std::size_t random_pauses = 0;
+  std::uint64_t max_pause_steps = 32;
+  /// Derived pauses start within [1, pause_horizon_steps].
+  std::uint64_t pause_horizon_steps = 512;
+  /// Slack the budget invariant allows over each node's memory budget
+  /// (reloads may legally overshoot while queues drain).
+  std::size_t budget_overshoot_bytes = 1u << 20;
+};
+
+class Harness final : public core::StepObserver, public net::FabricObserver {
+ public:
+  explicit Harness(ChaosPlan plan);
+
+  /// Wires the plan into `options`: deterministic driver, fault plans with
+  /// seeds derived from the master seed, and this harness as both the step
+  /// and fabric observer. Build the Cluster from the result.
+  void instrument(core::ClusterOptions& options);
+
+  // StepObserver
+  bool node_runnable(net::NodeId node, std::uint64_t step) override;
+  void on_step(std::uint64_t step) override;
+
+  // FabricObserver
+  void on_message(const net::MessageEvent& event) override;
+
+  [[nodiscard]] EventTrace& trace() { return trace_; }
+  [[nodiscard]] const TraceChecker& checker() const { return checker_; }
+  [[nodiscard]] const ChaosPlan& plan() const { return plan_; }
+
+  /// Runs every invariant checker against the quiesced cluster: transport
+  /// FIFO/exactly-once/no-loss, directory convergence, and the OOC budget.
+  [[nodiscard]] InvariantReport check(core::Cluster& cluster) const;
+
+  /// Transport-level invariants only — for pipelines (e.g. run_opcdm_ooc)
+  /// that build and destroy their cluster internally.
+  [[nodiscard]] InvariantReport check_transport() const;
+
+ private:
+  [[nodiscard]] static bool storage_plan_active(
+      const storage::FaultPlan& plan);
+
+  ChaosPlan plan_;
+  std::vector<PauseWindow> pauses_;  // explicit + derived
+  EventTrace trace_;
+  TraceChecker checker_;
+};
+
+}  // namespace mrts::chaos

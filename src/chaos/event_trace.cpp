@@ -1,0 +1,59 @@
+#include "chaos/event_trace.hpp"
+
+#include "util/crc32.hpp"
+#include "util/format.hpp"
+
+namespace mrts::chaos {
+
+void EventTrace::set_step(std::uint64_t step) {
+  std::lock_guard lock(mutex_);
+  step_ = step;
+}
+
+void EventTrace::append(std::string line) {
+  lines_.push_back(std::move(line));
+}
+
+void EventTrace::message(const net::MessageEvent& e) {
+  std::lock_guard lock(mutex_);
+  std::string line = util::format("[{}] net {} {}->{} h={} seq={} bytes={}",
+                                  step_, to_string(e.kind), e.src, e.dst,
+                                  e.handler, e.pair_seq, e.bytes);
+  if (e.kind == net::MsgEventKind::kDelay) {
+    line += util::format(" until={}", e.release_step);
+  }
+  append(std::move(line));
+}
+
+void EventTrace::storage_fault(const storage::StoreFaultEvent& e) {
+  std::lock_guard lock(mutex_);
+  append(util::format("[{}] disk {} node={} key={} op={}", step_,
+                      to_string(e.kind), e.tag, e.key, e.op_index));
+}
+
+void EventTrace::note(const std::string& text) {
+  std::lock_guard lock(mutex_);
+  append(util::format("[{}] note {}", step_, text));
+}
+
+std::size_t EventTrace::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_.size();
+}
+
+std::string EventTrace::text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint32_t EventTrace::crc() const {
+  const std::string t = text();
+  return util::crc32(std::as_bytes(std::span(t.data(), t.size())));
+}
+
+}  // namespace mrts::chaos

@@ -1,0 +1,44 @@
+#pragma once
+
+// Deterministic event trace of a chaos run. Every transport action, storage
+// fault, and harness note is appended as one text line stamped with the
+// virtual step it occurred at. Because the deterministic driver makes the
+// whole schedule a pure function of the seed, replaying a seed must yield a
+// byte-identical trace — crc() is the cheap way to compare two runs, text()
+// the way to diff them when they diverge.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "storage/fault_store.hpp"
+
+namespace mrts::chaos {
+
+class EventTrace {
+ public:
+  /// Stamps subsequent lines with `step` (the driver's sweep counter).
+  void set_step(std::uint64_t step);
+
+  void message(const net::MessageEvent& event);
+  void storage_fault(const storage::StoreFaultEvent& event);
+  void note(const std::string& text);
+
+  [[nodiscard]] std::size_t lines() const;
+  /// Full trace, one event per '\n'-terminated line.
+  [[nodiscard]] std::string text() const;
+  /// CRC-32 over text(); equal CRCs across two runs of the same seed is the
+  /// seed-replay acceptance check.
+  [[nodiscard]] std::uint32_t crc() const;
+
+ private:
+  void append(std::string line);
+
+  mutable std::mutex mutex_;
+  std::uint64_t step_ = 0;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace mrts::chaos

@@ -1,0 +1,197 @@
+#include "chaos/invariants.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace mrts::chaos {
+
+std::string InvariantReport::to_string() const {
+  if (violations.empty()) return "all invariants hold";
+  std::string out =
+      util::format("{} invariant violation(s):\n", violations.size());
+  for (const auto& v : violations) {
+    out += "  - ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Transport layer
+
+void TraceChecker::on_message(const net::MessageEvent& e) {
+  PairState& p =
+      pairs_[(static_cast<std::uint64_t>(e.src) << 32) | e.dst];
+  switch (e.kind) {
+    case net::MsgEventKind::kSend:
+      p.max_sent = std::max(p.max_sent, e.pair_seq);
+      break;
+    case net::MsgEventKind::kDrop:
+      p.dropped.insert(e.pair_seq);
+      break;
+    case net::MsgEventKind::kDuplicate:
+      p.duplicated.insert(e.pair_seq);
+      break;
+    case net::MsgEventKind::kDelay:
+    case net::MsgEventKind::kReorder:
+      p.disordered.insert(e.pair_seq);
+      break;
+    case net::MsgEventKind::kDeliver: {
+      ++p.delivered[e.pair_seq];
+      if (e.pair_seq < p.max_delivered) {
+        // Out of order. Explained when this message was itself delayed or
+        // reordered, when it is the second copy of an injected duplicate,
+        // or when some later message jumped ahead of it (a reorder fault
+        // on seq t > s makes s look late through no fault of its own).
+        bool explained = p.disordered.contains(e.pair_seq) ||
+                         p.duplicated.contains(e.pair_seq);
+        if (!explained) {
+          explained = std::any_of(
+              p.disordered.begin(), p.disordered.end(),
+              [&](std::uint64_t t) { return t > e.pair_seq; });
+        }
+        if (!explained) ++fifo_violations_;
+      }
+      p.max_delivered = std::max(p.max_delivered, e.pair_seq);
+      break;
+    }
+  }
+}
+
+std::uint64_t TraceChecker::duplicate_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, p] : pairs_) {
+    for (std::uint64_t seq = 1; seq <= p.max_sent; ++seq) {
+      const std::uint32_t expected =
+          p.dropped.contains(seq) ? 0u : (p.duplicated.contains(seq) ? 2u : 1u);
+      const auto it = p.delivered.find(seq);
+      const std::uint32_t actual = it == p.delivered.end() ? 0u : it->second;
+      if (actual > expected) total += actual - expected;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TraceChecker::lost_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, p] : pairs_) {
+    for (std::uint64_t seq = 1; seq <= p.max_sent; ++seq) {
+      const std::uint32_t expected =
+          p.dropped.contains(seq) ? 0u : (p.duplicated.contains(seq) ? 2u : 1u);
+      const auto it = p.delivered.find(seq);
+      const std::uint32_t actual = it == p.delivered.end() ? 0u : it->second;
+      if (actual < expected) total += expected - actual;
+    }
+  }
+  return total;
+}
+
+void TraceChecker::finish(InvariantReport& out) const {
+  if (fifo_violations_ > 0) {
+    out.add(util::format("{} unexplained out-of-order deliveries",
+                         fifo_violations_));
+  }
+  if (const auto dups = duplicate_deliveries(); dups > 0) {
+    out.add(util::format(
+        "{} deliveries beyond the expected per-message count", dups));
+  }
+  if (const auto lost = lost_messages(); lost > 0) {
+    out.add(util::format(
+        "{} messages sent but never delivered (and not injected-dropped)",
+        lost));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Directory layer
+
+void check_directory_convergence(core::Cluster& cluster,
+                                 InvariantReport& out) {
+  const std::size_t n = cluster.size();
+  // ptr.id -> hosting nodes / cached remote locations per node.
+  std::unordered_map<std::uint64_t, std::vector<net::NodeId>> hosts;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<net::NodeId, net::NodeId>>
+      remotes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    cluster.node(node).for_each_directory_entry(
+        [&](core::MobilePtr ptr, bool is_local, net::NodeId last_known) {
+          if (is_local) {
+            hosts[ptr.id].push_back(node);
+          } else {
+            remotes[ptr.id][node] = last_known;
+          }
+        });
+  }
+
+  for (const auto& [id, where] : hosts) {
+    if (where.size() > 1) {
+      out.add(util::format("{} hosted on {} nodes simultaneously",
+                           to_string(core::MobilePtr{id}), where.size()));
+    }
+  }
+
+  for (const auto& [id, cached] : remotes) {
+    const core::MobilePtr ptr{id};
+    const auto hit = hosts.find(id);
+    if (hit == hosts.end()) {
+      // Nobody hosts it. Distinguish "destroyed, stale caches linger"
+      // (home also forgot it or only caches it) from "lost": the home node
+      // is the routing fallback of last resort, so a home that still
+      // points somewhere while no host exists is a broken directory.
+      if (cached.contains(ptr.home_node())) {
+        out.add(util::format("{} has no host but its home still routes to "
+                             "node {}",
+                             to_string(ptr), cached.at(ptr.home_node())));
+      }
+      continue;
+    }
+    const net::NodeId host = hit->second.front();
+    for (const auto& [node, last_known] : cached) {
+      net::NodeId cur = last_known;
+      std::size_t hops = 0;
+      bool converged = false;
+      while (hops <= n) {
+        if (std::find(hit->second.begin(), hit->second.end(), cur) !=
+            hit->second.end()) {
+          converged = true;
+          break;
+        }
+        const auto& chain = remotes.at(id);
+        const auto next_it = chain.find(cur);
+        const net::NodeId next =
+            next_it != chain.end() ? next_it->second : ptr.home_node();
+        if (next == cur) break;  // self-loop, cannot converge
+        cur = next;
+        ++hops;
+      }
+      if (!converged) {
+        out.add(util::format(
+            "{} cached at node {} does not reach host {} (chain cycles)",
+            to_string(ptr), node, host));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Out-of-core layer
+
+void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
+                  InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& rt = cluster.node(static_cast<net::NodeId>(i));
+    const std::size_t budget = rt.options().ooc.memory_budget_bytes;
+    const std::size_t peak = rt.peak_in_core_bytes();
+    if (peak > budget + allowed_overshoot_bytes) {
+      out.add(util::format(
+          "node {} peak in-core {} exceeds budget {} by more than {}", i,
+          peak, budget, allowed_overshoot_bytes));
+    }
+  }
+}
+
+}  // namespace mrts::chaos

@@ -1,0 +1,77 @@
+#pragma once
+
+// Cross-layer invariant checkers for chaos runs. Three layers are covered:
+//
+//   transport — TraceChecker folds the fabric's per-(src,dst) sequence
+//     numbers into FIFO-order, exactly-once, and no-loss verdicts. Faults
+//     the plan injected on purpose (drops, duplicates, delays, reorders)
+//     are discounted: only *unexplained* anomalies count as violations.
+//
+//   directory — after quiescence every mobile object must be hosted by
+//     exactly one node, and every cached remote location must reach that
+//     host by chasing last_known pointers without cycling (lazy updates
+//     may leave stale entries, but stale means "longer chain", never
+//     "wrong answer").
+//
+//   out-of-core — no node's in-core high-watermark may exceed its memory
+//     budget by more than the allowed reload overshoot.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "simnet/fabric.hpp"
+
+namespace mrts::chaos {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  void add(std::string v) { violations.push_back(std::move(v)); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Feeds on fabric MessageEvents; call finish() once the run is quiescent.
+class TraceChecker {
+ public:
+  void on_message(const net::MessageEvent& event);
+
+  /// Appends transport-level violations to `out`.
+  void finish(InvariantReport& out) const;
+
+  [[nodiscard]] std::uint64_t fifo_violations() const {
+    return fifo_violations_;
+  }
+  /// Deliveries beyond the expected count (1, or 2 for an injected dup).
+  [[nodiscard]] std::uint64_t duplicate_deliveries() const;
+  /// Sent messages that were neither delivered nor injected-dropped.
+  [[nodiscard]] std::uint64_t lost_messages() const;
+
+ private:
+  struct PairState {
+    std::uint64_t max_sent = 0;
+    std::uint64_t max_delivered = 0;
+    std::unordered_map<std::uint64_t, std::uint32_t> delivered;
+    std::unordered_set<std::uint64_t> dropped;
+    std::unordered_set<std::uint64_t> duplicated;
+    std::unordered_set<std::uint64_t> disordered;  // delayed or reordered
+  };
+
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+  std::uint64_t fifo_violations_ = 0;
+};
+
+/// Directory convergence after migration storms (see file comment).
+void check_directory_convergence(core::Cluster& cluster, InvariantReport& out);
+
+/// Every node's peak in-core bytes must stay within budget plus
+/// `allowed_overshoot_bytes` (reloads may legally exceed the budget while
+/// queues drain; see Runtime::schedule_loads).
+void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
+                  InvariantReport& out);
+
+}  // namespace mrts::chaos

@@ -1,0 +1,147 @@
+#include "chaos/workload.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace mrts::chaos {
+
+void HopObject::serialize(util::ByteWriter& out) const {
+  out.write_vector(ballast);
+  out.write(hops);
+  out.write(acc);
+}
+
+void HopObject::deserialize(util::ByteReader& in) {
+  ballast = in.read_vector<std::uint64_t>();
+  hops = in.read<std::uint64_t>();
+  acc = in.read<std::uint64_t>();
+}
+
+std::size_t HopObject::footprint_bytes() const {
+  return sizeof(HopObject) + ballast.size() * sizeof(std::uint64_t);
+}
+
+HopWorkload::HopWorkload(core::Cluster& cluster, HopWorkloadOptions options)
+    : cluster_(cluster), options_(options) {
+  type_ = cluster_.registry().register_type<HopObject>("chaos-hop");
+  hop_handler_ = cluster_.registry().register_handler(
+      type_, [this](core::Runtime& rt, core::MobileObject& obj,
+                    core::MobilePtr self, net::NodeId /*src*/,
+                    util::ByteReader& in) {
+        const auto value = in.read<std::uint64_t>();
+        const auto index = in.read<std::uint32_t>();
+        const auto route = in.read_vector<std::uint64_t>();
+        auto& hop = static_cast<HopObject&>(obj);
+        ++hop.hops;
+        hop.acc += value;
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        if (index + 1 < route.size()) {
+          util::ByteWriter w(route.size() * 8 + 16);
+          w.write(value);
+          w.write<std::uint32_t>(index + 1);
+          w.write_vector(route);
+          rt.send(core::MobilePtr{route[index + 1]}, hop_handler_, w.take());
+        }
+        if (options_.migrate_every > 0 &&
+            hop.hops % options_.migrate_every == 0) {
+          const auto target = static_cast<net::NodeId>(
+              (value + hop.hops + index) % cluster_.size());
+          if (target != rt.node()) rt.migrate(self, target);
+        }
+      });
+}
+
+void HopWorkload::create_objects() {
+  std::uint64_t fill = options_.seed;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto& rt = cluster_.node(static_cast<net::NodeId>(i));
+    for (std::size_t j = 0; j < options_.objects_per_node; ++j) {
+      auto [ptr, obj] = rt.create<HopObject>(type_);
+      obj->ballast.resize(options_.payload_words);
+      for (auto& w : obj->ballast) w = util::splitmix64(fill);
+      rt.refresh_footprint(ptr);
+      objects_.push_back(ptr);
+    }
+  }
+}
+
+void HopWorkload::discover_objects() {
+  objects_.clear();
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto& rt = cluster_.node(static_cast<net::NodeId>(i));
+    rt.for_each_local_object(
+        [&](core::MobilePtr ptr) { objects_.push_back(ptr); });
+  }
+  std::sort(objects_.begin(), objects_.end(),
+            [](core::MobilePtr a, core::MobilePtr b) { return a.id < b.id; });
+}
+
+void HopWorkload::inject() {
+  std::uint64_t state = options_.seed ^ (0x9E3779B97F4A7C15ull * ++injections_);
+  util::Rng rng(util::splitmix64(state));
+  for (std::size_t r = 0; r < options_.routes; ++r) {
+    std::vector<std::uint64_t> route(options_.route_length);
+    for (auto& hop : route) {
+      hop = objects_[rng.below(objects_.size())].id;
+    }
+    const std::uint64_t value = 1 + rng.below(1000);
+    util::ByteWriter w(route.size() * 8 + 16);
+    w.write(value);
+    w.write<std::uint32_t>(0);
+    w.write_vector(route);
+    cluster_.node(0).send(core::MobilePtr{route[0]}, hop_handler_, w.take());
+    expected_ += options_.route_length;
+  }
+}
+
+void HopWorkload::ensure_all_in_core() {
+  std::vector<std::pair<net::NodeId, core::MobilePtr>> locked;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    auto& rt = cluster_.node(node);
+    rt.for_each_local_object([&](core::MobilePtr ptr) {
+      rt.lock_in_core(ptr);
+      locked.emplace_back(node, ptr);
+    });
+  }
+  cluster_.run();  // quiescent no-op run that completes the pending loads
+  for (auto& [node, ptr] : locked) cluster_.node(node).unlock(ptr);
+}
+
+std::uint64_t HopWorkload::sum_object_hops() {
+  ensure_all_in_core();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto& rt = cluster_.node(static_cast<net::NodeId>(i));
+    rt.for_each_local_object([&](core::MobilePtr ptr) {
+      if (auto* obj = rt.peek(ptr)) {
+        total += static_cast<HopObject*>(obj)->hops;
+      }
+    });
+  }
+  return total;
+}
+
+std::uint64_t HopWorkload::state_digest() {
+  ensure_all_in_core();
+  std::uint64_t digest = 0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto& rt = cluster_.node(static_cast<net::NodeId>(i));
+    rt.for_each_local_object([&](core::MobilePtr ptr) {
+      if (auto* obj = rt.peek(ptr)) {
+        const auto* hop = static_cast<HopObject*>(obj);
+        std::uint64_t s = ptr.id;
+        std::uint64_t h = util::splitmix64(s);
+        s = hop->hops;
+        h ^= util::splitmix64(s) * 3;
+        s = hop->acc;
+        h ^= util::splitmix64(s) * 7;
+        digest ^= h;  // XOR: independent of node iteration order
+      }
+    });
+  }
+  return digest;
+}
+
+}  // namespace mrts::chaos

@@ -1,0 +1,97 @@
+#pragma once
+
+// Synthetic chaos workload with exactly known answers. Each injected
+// message carries a pre-computed route of mobile objects and hops along it;
+// every hop increments the visited object's hop counter and accumulates the
+// message's value. With R routes of length L, exactly R*L handler
+// executions must occur and the objects' accumulated sums are an exact
+// integer — any surviving duplicate or loss in the stack below shows up as
+// an arithmetic mismatch, independent of the transport-level checkers.
+// Optional periodic migration turns the workload into a migration storm
+// that exercises the directory's forwarding and lazy-update machinery.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/mobile_object.hpp"
+
+namespace mrts::chaos {
+
+struct HopWorkloadOptions {
+  std::size_t objects_per_node = 4;
+  /// Ballast words per object; sized against the OOC budget to force
+  /// spills.
+  std::size_t payload_words = 256;
+  std::size_t routes = 32;
+  std::size_t route_length = 8;
+  /// Every k-th hop on an object migrates it to a derived node (0 = never).
+  std::uint32_t migrate_every = 0;
+  std::uint64_t seed = 1;
+};
+
+/// One mobile object in the hop workload.
+class HopObject final : public core::MobileObject {
+ public:
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+  std::vector<std::uint64_t> ballast;
+  std::uint64_t hops = 0;
+  std::uint64_t acc = 0;
+};
+
+class HopWorkload {
+ public:
+  /// Registers the object type and hop handler; call before the cluster's
+  /// first run() seals the registry. The workload must outlive the cluster
+  /// runs it participates in.
+  HopWorkload(core::Cluster& cluster, HopWorkloadOptions options);
+
+  /// Creates objects round-robin over the nodes.
+  void create_objects();
+
+  /// Rebuilds the object list by scanning every node's directory (sorted by
+  /// id, so routes stay deterministic). Use after restore_cluster, where the
+  /// objects exist but this workload instance never created them.
+  void discover_objects();
+
+  /// Builds the seeded routes and posts their first messages. May be
+  /// called again after a restore to re-inject a second wave.
+  void inject();
+
+  /// Handler executions the injected routes must produce in total.
+  [[nodiscard]] std::uint64_t expected_hops() const { return expected_; }
+  /// Handler executions observed so far (exactly-once when == expected).
+  [[nodiscard]] std::uint64_t executed_hops() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of per-object hop counters. Loads spilled objects back in first
+  /// (drives an extra quiescent run), so call only between phases.
+  [[nodiscard]] std::uint64_t sum_object_hops();
+
+  /// Order-independent digest over every object's (id, hops, acc); equal
+  /// before/after a crash-restart proves state survived recovery.
+  [[nodiscard]] std::uint64_t state_digest();
+
+  [[nodiscard]] const std::vector<core::MobilePtr>& objects() const {
+    return objects_;
+  }
+
+ private:
+  void ensure_all_in_core();
+
+  core::Cluster& cluster_;
+  HopWorkloadOptions options_;
+  core::TypeId type_ = 0;
+  core::HandlerId hop_handler_ = 0;
+  std::vector<core::MobilePtr> objects_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t injections_ = 0;
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace mrts::chaos

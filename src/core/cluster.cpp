@@ -1,12 +1,14 @@
 #include "core/cluster.hpp"
 
 #include <atomic>
+#include <numeric>
 #include <thread>
 
 #include "storage/file_store.hpp"
 #include "storage/latency_store.hpp"
 #include "storage/mem_store.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace mrts::core {
 namespace {
@@ -30,16 +32,83 @@ std::unique_ptr<storage::StorageBackend> make_spill_backend(
   const bool modeled = options.disk_model.access_latency.count() > 0 ||
                        options.disk_model.bandwidth_bytes_per_sec > 0.0;
   if (modeled) {
-    return std::make_unique<storage::LatencyStore>(std::move(base),
+    base = std::make_unique<storage::LatencyStore>(std::move(base),
                                                    options.disk_model);
   }
+  if (options.storage_faults.has_value()) {
+    storage::FaultPlan plan = *options.storage_faults;
+    // Derive a distinct stream per node so one shared plan does not fail
+    // the same op index on every node in lockstep.
+    std::uint64_t s = plan.seed + node;
+    plan.seed = util::splitmix64(s);
+    plan.tag = node;
+    base = std::make_unique<storage::FaultStore>(std::move(base),
+                                                 std::move(plan));
+  }
   return base;
+}
+
+std::vector<BusyTimes> busy_snapshot(
+    const std::vector<std::unique_ptr<Runtime>>& runtimes) {
+  std::vector<BusyTimes> out(runtimes.size());
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    const auto& c = runtimes[i]->counters();
+    out[i] = {c.comp_time.seconds(), c.comm_time.seconds(),
+              c.disk_time.seconds()};
+  }
+  return out;
+}
+
+RunReport finish_report(bool timed_out, double total_seconds,
+                        const std::vector<BusyTimes>& before,
+                        const std::vector<BusyTimes>& after,
+                        const net::FabricStats& fabric_before,
+                        const net::FabricStats& fabric_after) {
+  std::vector<BusyTimes> delta(before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    delta[i] = {after[i].comp_seconds - before[i].comp_seconds,
+                after[i].comm_seconds - before[i].comm_seconds,
+                after[i].disk_seconds - before[i].disk_seconds};
+  }
+  RunReport report;
+  static_cast<RunBreakdown&>(report) = make_breakdown(total_seconds, delta);
+  report.timed_out = timed_out;
+  report.fabric.messages_sent =
+      fabric_after.messages_sent - fabric_before.messages_sent;
+  report.fabric.messages_delivered =
+      fabric_after.messages_delivered - fabric_before.messages_delivered;
+  report.fabric.bytes_sent =
+      fabric_after.bytes_sent - fabric_before.bytes_sent;
+  report.fabric.messages_dropped =
+      fabric_after.messages_dropped - fabric_before.messages_dropped;
+  report.fabric.messages_duplicated =
+      fabric_after.messages_duplicated - fabric_before.messages_duplicated;
+  report.fabric.messages_delayed =
+      fabric_after.messages_delayed - fabric_before.messages_delayed;
+  report.fabric.messages_reordered =
+      fabric_after.messages_reordered - fabric_before.messages_reordered;
+  if (timed_out) {
+    MRTS_LOG_ERROR("cluster run timed out after {:.1f}s", total_seconds);
+  }
+  return report;
 }
 
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  if (options_.deterministic) {
+    // A modeled link gives messages wall-clock deliverability times, which
+    // the virtual-time driver cannot reproduce; storage must complete
+    // inline and handlers must not race pool workers.
+    options_.link = net::LinkModel{};
+    options_.runtime.synchronous_storage = true;
+    options_.runtime.pool_workers = 1;
+  }
   fabric_ = std::make_unique<net::Fabric>(options_.nodes, options_.link);
+  if (options_.net_faults.has_value() || options_.fabric_observer != nullptr) {
+    fabric_->enable_chaos(options_.net_faults.value_or(net::NetFaultPlan{}),
+                          options_.fabric_observer);
+  }
   if (options_.spill == SpillMedium::kRemoteMemory) {
     remote_pool_ = std::make_unique<storage::RemoteMemoryPool>(
         options_.nodes, options_.remote_memory_model,
@@ -70,18 +139,35 @@ bool Cluster::all_idle() const {
   return true;
 }
 
+void Cluster::maybe_advise_balance() {
+  std::size_t hi = 0, lo = 0;
+  std::uint64_t hi_load = 0,
+                lo_load = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const std::uint64_t load = runtimes_[i]->queued_messages();
+    if (load > hi_load) {
+      hi_load = load;
+      hi = i;
+    }
+    if (load < lo_load) {
+      lo_load = load;
+      lo = i;
+    }
+  }
+  if (hi != lo &&
+      hi_load > options_.balance.imbalance_factor *
+                        static_cast<double>(lo_load) +
+                    static_cast<double>(options_.balance.slack_messages)) {
+    runtimes_[hi]->advise_shed(options_.balance.objects_per_advice,
+                               static_cast<NodeId>(lo));
+  }
+}
+
 RunReport Cluster::run() {
+  if (options_.deterministic) return run_deterministic();
   registry_.seal();
 
-  struct Snapshot {
-    double comp, comm, disk;
-  };
-  std::vector<Snapshot> before(runtimes_.size());
-  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    const auto& c = runtimes_[i]->counters();
-    before[i] = {c.comp_time.seconds(), c.comm_time.seconds(),
-                 c.disk_time.seconds()};
-  }
+  const std::vector<BusyTimes> before = busy_snapshot(runtimes_);
   const net::FabricStats fabric_before = fabric_->stats();
 
   std::atomic<bool> stop{false};
@@ -122,55 +208,73 @@ RunReport Cluster::run() {
     if (options_.balance.enabled &&
         balance_timer.elapsed() >= options_.balance.interval) {
       balance_timer.reset();
-      std::size_t hi = 0, lo = 0;
-      std::uint64_t hi_load = 0,
-                    lo_load = std::numeric_limits<std::uint64_t>::max();
-      for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-        const std::uint64_t load = runtimes_[i]->queued_messages();
-        if (load > hi_load) {
-          hi_load = load;
-          hi = i;
-        }
-        if (load < lo_load) {
-          lo_load = load;
-          lo = i;
-        }
-      }
-      if (hi != lo &&
-          hi_load > options_.balance.imbalance_factor *
-                            static_cast<double>(lo_load) +
-                        static_cast<double>(options_.balance.slack_messages)) {
-        runtimes_[hi]->advise_shed(options_.balance.objects_per_advice,
-                                   static_cast<NodeId>(lo));
-      }
+      maybe_advise_balance();
     }
   }
 
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   for (auto& rt : runtimes_) rt->flush_stores();
-  const double total = timer.seconds();
+  return finish_report(timed_out, timer.seconds(), before,
+                       busy_snapshot(runtimes_), fabric_before,
+                       fabric_->stats());
+}
 
-  RunReport report;
-  report.timed_out = timed_out;
-  report.total_seconds = total;
-  const auto n = static_cast<double>(runtimes_.size());
-  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
-    const auto& c = runtimes_[i]->counters();
-    report.comp_seconds += (c.comp_time.seconds() - before[i].comp) / n;
-    report.comm_seconds += (c.comm_time.seconds() - before[i].comm) / n;
-    report.disk_seconds += (c.disk_time.seconds() - before[i].disk) / n;
+RunReport Cluster::run_deterministic() {
+  registry_.seal();
+
+  const std::vector<BusyTimes> before = busy_snapshot(runtimes_);
+  const net::FabricStats fabric_before = fabric_->stats();
+
+  // Virtual time is the sweep counter. Each sweep visits every node once in
+  // a seeded shuffled order; everything runs on this thread, so the whole
+  // schedule — and any chaos event trace — is a pure function of the
+  // options and det_seed. Wall time is consulted only for the timeout
+  // safety valve.
+  std::uint64_t seed_state = options_.det_seed;
+  util::Rng order_rng(util::splitmix64(seed_state));
+  std::vector<std::size_t> order(runtimes_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  util::WallTimer timer;
+  bool timed_out = false;
+  int quiet_sweeps = 0;
+  std::uint64_t step = 0;
+  while (quiet_sweeps < 2) {
+    ++step;
+    if (timer.seconds() > static_cast<double>(options_.max_run_time.count())) {
+      timed_out = true;
+      break;
+    }
+    fabric_->advance_step(step);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[order_rng.below(i)]);
+    }
+    bool did = false;
+    for (std::size_t idx : order) {
+      const auto id = static_cast<NodeId>(idx);
+      if (options_.step_observer != nullptr &&
+          !options_.step_observer->node_runnable(id, step)) {
+        continue;  // paused: no polling, no handlers, no I/O this step
+      }
+      did |= runtimes_[idx]->progress_once();
+    }
+    if (options_.step_observer != nullptr) {
+      options_.step_observer->on_step(step);
+    }
+    if (options_.balance.enabled && step % 64 == 0) maybe_advise_balance();
+    // Quiet sweep: nobody worked, nobody holds work, and the fabric has
+    // nothing in flight or parked. Two in a row mean global quiescence
+    // (a paused node with pending work keeps its idle flag false, so a
+    // pause can never be mistaken for termination).
+    const bool quiet = !did && all_idle() && fabric_->all_delivered() &&
+                       fabric_->held_messages() == 0;
+    quiet_sweeps = quiet ? quiet_sweeps + 1 : 0;
   }
-  const net::FabricStats fabric_after = fabric_->stats();
-  report.fabric.messages_sent =
-      fabric_after.messages_sent - fabric_before.messages_sent;
-  report.fabric.messages_delivered =
-      fabric_after.messages_delivered - fabric_before.messages_delivered;
-  report.fabric.bytes_sent = fabric_after.bytes_sent - fabric_before.bytes_sent;
-  if (timed_out) {
-    MRTS_LOG_ERROR("cluster run timed out after {:.1f}s", total);
-  }
-  return report;
+  for (auto& rt : runtimes_) rt->flush_stores();
+  return finish_report(timed_out, timer.seconds(), before,
+                       busy_snapshot(runtimes_), fabric_before,
+                       fabric_->stats());
 }
 
 }  // namespace mrts::core

@@ -18,14 +18,31 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "simnet/fabric.hpp"
+#include "storage/fault_store.hpp"
 #include "storage/latency_store.hpp"
 #include "storage/remote_store.hpp"
 
 namespace mrts::core {
+
+/// Hook into the deterministic driver (chaos harness): consulted before
+/// each node's control-loop turn and once after every full sweep. All
+/// calls arrive on the single driver thread.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  /// Return false to pause `node` for this step: its control loop is
+  /// skipped, so it neither polls the network nor runs handlers.
+  virtual bool node_runnable(NodeId /*node*/, std::uint64_t /*step*/) {
+    return true;
+  }
+  /// Called after the sweep numbered `step` completes.
+  virtual void on_step(std::uint64_t /*step*/) {}
+};
 
 enum class SpillMedium {
   kFile,          // real files in a temp spill directory
@@ -50,6 +67,25 @@ struct ClusterOptions {
   std::chrono::seconds max_run_time{600};
   /// Dynamic load balancing by the cluster monitor (paper §II.D).
   LoadBalanceOptions balance;
+
+  // --- deterministic / chaos mode ----------------------------------------
+  /// Single-threaded deterministic driver: nodes advance in seeded
+  /// round-robin sweeps under a virtual step counter instead of
+  /// free-running threads. Forces synchronous storage and one pool worker
+  /// so the run (and any chaos event trace) is a pure function of the
+  /// options and `det_seed`.
+  bool deterministic = false;
+  /// Seeds the per-sweep node visit order of the deterministic driver.
+  std::uint64_t det_seed = 1;
+  /// Consulted by the deterministic driver only; not owned.
+  StepObserver* step_observer = nullptr;
+  /// Network fault plan installed on the fabric at construction.
+  std::optional<net::NetFaultPlan> net_faults;
+  /// Receives every fabric transport event (chaos trace); not owned.
+  net::FabricObserver* fabric_observer = nullptr;
+  /// Storage fault plan: each node's spill backend is wrapped in a
+  /// FaultStore carrying a per-node derived seed and tag = node id.
+  std::optional<storage::FaultPlan> storage_faults;
 };
 
 struct RunReport : RunBreakdown {
@@ -90,6 +126,8 @@ class Cluster {
  private:
   [[nodiscard]] std::uint64_t global_activity() const;
   [[nodiscard]] bool all_idle() const;
+  void maybe_advise_balance();
+  RunReport run_deterministic();
 
   ClusterOptions options_;
   ObjectTypeRegistry registry_;

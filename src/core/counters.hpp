@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "util/timer.hpp"
 
@@ -64,5 +65,30 @@ struct RunBreakdown {
     return ov > 0.0 ? ov : 0.0;
   }
 };
+
+/// One node's busy-time contribution to a run.
+struct BusyTimes {
+  double comp_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double disk_seconds = 0.0;
+};
+
+/// Builds the paper's breakdown from a phase's wall time and the per-node
+/// busy times of that phase: each component is the per-node average, so
+/// overlap_pct reproduces the Tables IV-VI formula
+///   Overlap = (Comp + Comm + Disk - Total) / Total.
+[[nodiscard]] inline RunBreakdown make_breakdown(
+    double total_seconds, std::span<const BusyTimes> nodes) {
+  RunBreakdown b;
+  b.total_seconds = total_seconds;
+  if (nodes.empty()) return b;
+  const auto n = static_cast<double>(nodes.size());
+  for (const BusyTimes& t : nodes) {
+    b.comp_seconds += t.comp_seconds / n;
+    b.comm_seconds += t.comm_seconds / n;
+    b.disk_seconds += t.disk_seconds / n;
+  }
+  return b;
+}
 
 }  // namespace mrts::core

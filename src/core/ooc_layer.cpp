@@ -10,6 +10,7 @@ void OocLayer::on_install(std::uint64_t key, std::size_t bytes) {
   in_core_bytes_ -= it->second;
   it->second = bytes;
   in_core_bytes_ += bytes;
+  peak_in_core_bytes_ = std::max(peak_in_core_bytes_, in_core_bytes_);
   if (inserted) {
     policy_.on_insert(key);
   } else {
@@ -23,6 +24,7 @@ void OocLayer::on_footprint_change(std::uint64_t key, std::size_t new_bytes) {
   in_core_bytes_ -= it->second;
   it->second = new_bytes;
   in_core_bytes_ += new_bytes;
+  peak_in_core_bytes_ = std::max(peak_in_core_bytes_, in_core_bytes_);
 }
 
 void OocLayer::on_remove(std::uint64_t key) {

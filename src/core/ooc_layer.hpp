@@ -67,6 +67,12 @@ class OocLayer {
       const std::function<int(std::uint64_t)>& priority_of) const;
 
   [[nodiscard]] std::size_t in_core_bytes() const { return in_core_bytes_; }
+  /// High-watermark of in_core_bytes over the layer's lifetime; the chaos
+  /// harness checks it never exceeds the budget by more than the allowed
+  /// reload overshoot.
+  [[nodiscard]] std::size_t peak_in_core_bytes() const {
+    return peak_in_core_bytes_;
+  }
   [[nodiscard]] std::size_t resident_count() const { return resident_.size(); }
   [[nodiscard]] std::size_t largest_spilled_bytes() const {
     return largest_spilled_;
@@ -78,6 +84,7 @@ class OocLayer {
   storage::EvictionPolicy policy_;
   std::unordered_map<std::uint64_t, std::size_t> resident_;  // key -> bytes
   std::size_t in_core_bytes_ = 0;
+  std::size_t peak_in_core_bytes_ = 0;
   std::size_t largest_spilled_ = 0;
 };
 

@@ -46,8 +46,9 @@ Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
       options_(options),
       ooc_(options.ooc),
       store_(std::move(spill_backend), &counters_.disk_time,
-             storage::ObjectStoreOptions{.max_retries =
-                                             options.storage_max_retries}),
+             storage::ObjectStoreOptions{
+                 .max_retries = options.storage_max_retries,
+                 .synchronous = options.synchronous_storage}),
       pool_(tasking::make_pool(options.pool_backend, options.pool_workers)) {
   endpoint_.set_comm_accumulator(&counters_.comm_time);
   register_am_handlers();
@@ -66,6 +67,13 @@ void Runtime::register_am_handlers() {
       [this](NodeId src, util::ByteReader& in) { am_migrate_request(src, in); });
   am_multicast_id_ = endpoint_.register_handler(
       [this](NodeId src, util::ByteReader& in) { am_multicast(src, in); });
+  // Fault plans address channels by the named constants; the registration
+  // order above is part of the wire contract.
+  assert(am_deliver_id_ == kAmDeliver);
+  assert(am_location_update_id_ == kAmLocationUpdate);
+  assert(am_install_id_ == kAmInstall);
+  assert(am_migrate_request_id_ == kAmMigrateRequest);
+  assert(am_multicast_id_ == kAmMulticast);
 }
 
 // --------------------------------------------------------------------------
@@ -112,6 +120,7 @@ MobilePtr Runtime::adopt(TypeId type, std::unique_ptr<MobileObject> obj) {
   e.type = type;
   e.obj = std::move(obj);
   e.footprint = fp;
+  e.epoch = 1;
   auto [it, inserted] = directory_.emplace(ptr, std::move(e));
   assert(inserted);
   ooc_.on_install(ptr.id, fp);
@@ -208,9 +217,10 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
   if (options_.lazy_location_updates && route.size() > 1) {
     for (NodeId n : route) {
       if (n == node_) continue;
-      util::ByteWriter w(16);
+      util::ByteWriter w(24);
       w.write(dst.id);
       w.write(node_);
+      w.write<std::uint64_t>(e->epoch);
       endpoint_.send(n, am_location_update_id_, w.take());
       counters_.location_updates.fetch_add(1, std::memory_order_relaxed);
     }
@@ -221,14 +231,23 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
 void Runtime::am_location_update(NodeId /*src*/, util::ByteReader& in) {
   const MobilePtr ptr{in.read<std::uint64_t>()};
   const auto where = in.read<NodeId>();
+  const auto epoch = in.read<std::uint64_t>();
   Entry* e = find_entry(ptr);
   if (e == nullptr) {
     auto [it, ignored] = directory_.emplace(ptr, Entry{});
     it->second.state = Residency::kRemote;
     it->second.last_known = where;
+    it->second.epoch = epoch;
     return;
   }
-  if (e->state == Residency::kRemote) e->last_known = where;
+  // Only strictly fresher knowledge may move the pointer. A delayed update
+  // from an older installation must not regress the directory: applying it
+  // can form a forwarding cycle between two non-hosts (observed as a message
+  // ping-ponging forever under the chaos harness's delay fault).
+  if (e->state == Residency::kRemote && epoch > e->epoch) {
+    e->last_known = where;
+    e->epoch = epoch;
+  }
 }
 
 void Runtime::enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg) {
@@ -382,6 +401,7 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   util::ByteWriter w(e.footprint + 256);
   w.write(ptr.id);
   w.write(e.type);
+  w.write<std::uint64_t>(e.epoch + 1);
   w.write(static_cast<std::int32_t>(e.priority));
   w.write<std::uint64_t>(e.queue.size());
   for (auto& msg : e.queue) {
@@ -404,6 +424,7 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   }
   e.state = Residency::kRemote;
   e.last_known = dst;
+  e.epoch += 1;  // matches the epoch written into the install message
   queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
   e.queue.clear();
   e.in_ready_list = false;  // stale ready entries are skipped by state check
@@ -414,6 +435,7 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
 void Runtime::am_install(NodeId src, util::ByteReader& in) {
   const MobilePtr ptr{in.read<std::uint64_t>()};
   const auto type = in.read<TypeId>();
+  const auto epoch = in.read<std::uint64_t>();
   const auto priority = in.read<std::int32_t>();
   const auto queue_len = in.read<std::uint64_t>();
   std::deque<QueuedMessage> queue;
@@ -444,6 +466,7 @@ void Runtime::am_install(NodeId src, util::ByteReader& in) {
   e.obj = std::move(obj);
   e.priority = priority;
   e.footprint = fp;
+  e.epoch = epoch;
   e.queue = std::move(queue);
   e.load_wanted = false;
   e.load_queued = false;
@@ -1048,6 +1071,7 @@ void Runtime::restore_from(util::ByteReader& in) {
     e.obj = std::move(obj);
     e.priority = priority;
     e.footprint = fp;
+    e.epoch = 1;  // restored world restarts the epoch clock
     e.queue = std::move(queue);
     ooc_.on_install(ptr.id, fp);
     e.obj->on_register(*this, ptr);
@@ -1064,6 +1088,7 @@ void Runtime::note_remote_location(MobilePtr ptr, NodeId where) {
   if (!inserted && e.state != Residency::kRemote) return;  // we host it
   e.state = Residency::kRemote;
   e.last_known = where;
+  e.epoch = 0;  // weakest knowledge: any real location update supersedes it
 }
 
 }  // namespace mrts::core

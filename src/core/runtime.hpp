@@ -47,7 +47,19 @@ struct RuntimeOptions {
   /// Transient (kUnavailable) storage failures are retried this many times
   /// by the storage layer before the error becomes fatal.
   int storage_max_retries = 3;
+  /// Run the storage layer inline on the control thread instead of on the
+  /// I/O thread. Sacrifices I/O overlap for a deterministic completion
+  /// order; used by the chaos harness's seed-replay driver.
+  bool synchronous_storage = false;
 };
+
+/// The runtime's active-message channels, in registration order. Fabric
+/// fault plans and trace checkers refer to wire traffic by these ids.
+inline constexpr net::AmHandlerId kAmDeliver = 0;
+inline constexpr net::AmHandlerId kAmLocationUpdate = 1;
+inline constexpr net::AmHandlerId kAmInstall = 2;
+inline constexpr net::AmHandlerId kAmMigrateRequest = 3;
+inline constexpr net::AmHandlerId kAmMulticast = 4;
 
 /// Dynamic load-balancing knobs (paper §II.D: the control layer "serves
 /// system aspects like ... decision making for load-balancing"). The
@@ -218,6 +230,22 @@ class Runtime {
     }
   }
 
+  /// Invokes fn(ptr, is_local, last_known) for every directory entry,
+  /// including cached remote locations. `last_known` is meaningful only
+  /// when is_local is false. Used by the chaos harness's directory
+  /// convergence checker.
+  template <typename Fn>
+  void for_each_directory_entry(Fn&& fn) const {
+    for (const auto& [ptr, e] : directory_) {
+      fn(ptr, e.state != Residency::kRemote, e.last_known);
+    }
+  }
+
+  /// High-watermark of in-core bytes (see OocLayer::peak_in_core_bytes).
+  [[nodiscard]] std::size_t peak_in_core_bytes() const {
+    return ooc_.peak_in_core_bytes();
+  }
+
  private:
   enum class Residency { kInCore, kLoading, kStoring, kOnDisk, kRemote };
 
@@ -243,6 +271,13 @@ class Runtime {
     TypeId type = 0;
     std::unique_ptr<MobileObject> obj;
     NodeId last_known = 0;
+    /// Version of the location knowledge. Hosted entries carry the epoch of
+    /// the current installation (creation is epoch 1, each migration bumps
+    /// it); kRemote entries carry the epoch at which `last_known` hosted the
+    /// object. Location updates apply only when strictly fresher, so stale
+    /// (delayed, reordered) updates can never regress the directory and
+    /// every last_known chain is strictly epoch-increasing — i.e. acyclic.
+    std::uint64_t epoch = 0;
     std::deque<QueuedMessage> queue;
     int priority = kDefaultPriority;
     int lock_count = 0;

@@ -1,5 +1,6 @@
 #include "simnet/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mrts::net {
@@ -14,13 +15,127 @@ Fabric::Fabric(std::size_t node_count, LinkModel link)
   }
 }
 
+std::string_view to_string(MsgEventKind kind) {
+  switch (kind) {
+    case MsgEventKind::kSend: return "send";
+    case MsgEventKind::kDeliver: return "deliver";
+    case MsgEventKind::kDrop: return "drop";
+    case MsgEventKind::kDuplicate: return "dup";
+    case MsgEventKind::kDelay: return "delay";
+    case MsgEventKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
 FabricStats Fabric::stats() const {
   return FabricStats{
       .messages_sent = messages_sent_.load(std::memory_order_relaxed),
       .messages_delivered =
           messages_delivered_.load(std::memory_order_relaxed),
       .bytes_sent = bytes_sent_.load(std::memory_order_relaxed),
+      .messages_dropped = messages_dropped_.load(std::memory_order_relaxed),
+      .messages_duplicated =
+          messages_duplicated_.load(std::memory_order_relaxed),
+      .messages_delayed = messages_delayed_.load(std::memory_order_relaxed),
+      .messages_reordered =
+          messages_reordered_.load(std::memory_order_relaxed),
   };
+}
+
+void Fabric::enable_chaos(NetFaultPlan plan, FabricObserver* observer) {
+  std::lock_guard lock(chaos_mutex_);
+  chaos_plan_ = plan;
+  observer_ = observer;
+  chaos_rng_ = util::Rng(plan.seed);
+  chaos_enabled_.store(true, std::memory_order_release);
+}
+
+void Fabric::advance_step(std::uint64_t step) {
+  std::lock_guard lock(chaos_mutex_);
+  current_step_ = step;
+  for (std::size_t i = 0; i < held_.size();) {
+    if (held_[i].release_step <= step) {
+      Held h = std::move(held_[i]);
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+      h.msg.deliverable_at = util::Clock::now();
+      endpoint(h.dst).enqueue(std::move(h.msg));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t Fabric::held_messages() const {
+  std::lock_guard lock(chaos_mutex_);
+  return held_.size();
+}
+
+void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
+                        std::vector<std::byte> payload) {
+  const std::size_t bytes = payload.size();
+  std::lock_guard lock(chaos_mutex_);
+  const std::uint64_t seq =
+      ++pair_seq_[(static_cast<std::uint64_t>(src) << 32) | dst];
+  MessageEvent ev{.kind = MsgEventKind::kSend,
+                  .src = src,
+                  .dst = dst,
+                  .handler = handler,
+                  .pair_seq = seq,
+                  .bytes = bytes};
+  emit(ev);
+  const NetFaultPlan& plan = chaos_plan_;
+  auto roll = [this](double p) { return p > 0.0 && chaos_rng_.uniform() < p; };
+  Endpoint::Incoming msg{
+      .src = src,
+      .handler = handler,
+      .payload = std::move(payload),
+      .deliverable_at = util::Clock::now() + transit_time(bytes),
+      .pair_seq = seq,
+  };
+
+  if ((plan.drop_handler && *plan.drop_handler == handler) ||
+      roll(plan.drop_rate)) {
+    // Dropped: count it as delivered so the quiescence detector's
+    // sent == delivered balance still converges.
+    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+    messages_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    ev.kind = MsgEventKind::kDrop;
+    emit(ev);
+    return;
+  }
+  if (roll(plan.dup_rate)) {
+    Endpoint::Incoming copy = msg;
+    messages_sent_.fetch_add(2, std::memory_order_acq_rel);
+    messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    ev.kind = MsgEventKind::kDuplicate;
+    emit(ev);
+    endpoint(dst).enqueue(std::move(msg));
+    endpoint(dst).enqueue(std::move(copy));
+    return;
+  }
+  if (roll(plan.delay_rate)) {
+    const std::uint64_t release =
+        current_step_ + 1 +
+        chaos_rng_.below(std::max<std::uint32_t>(plan.max_delay_steps, 1));
+    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+    messages_delayed_.fetch_add(1, std::memory_order_relaxed);
+    ev.kind = MsgEventKind::kDelay;
+    ev.release_step = release;
+    emit(ev);
+    held_.push_back(Held{dst, std::move(msg), release});
+    return;
+  }
+  if (roll(plan.reorder_rate)) {
+    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+    messages_reordered_.fetch_add(1, std::memory_order_relaxed);
+    ev.kind = MsgEventKind::kReorder;
+    emit(ev);
+    endpoint(dst).enqueue_front(std::move(msg));
+    return;
+  }
+  messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+  endpoint(dst).enqueue(std::move(msg));
 }
 
 std::chrono::nanoseconds Fabric::transit_time(std::size_t bytes) {
@@ -52,6 +167,10 @@ void Endpoint::send(NodeId dst, AmHandlerId handler,
   if (comm_time_ != nullptr) charge.emplace(*comm_time_);
   const std::size_t bytes = payload.size();
   fabric_->bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  if (fabric_->chaos_enabled_.load(std::memory_order_acquire)) {
+    fabric_->chaos_send(id_, dst, handler, std::move(payload));
+    return;
+  }
   Endpoint& target = fabric_->endpoint(dst);
   // The send counter must be incremented before the message becomes
   // deliverable so the termination detector can never observe
@@ -70,6 +189,11 @@ void Endpoint::enqueue(Incoming msg) {
   inbox_.push_back(std::move(msg));
 }
 
+void Endpoint::enqueue_front(Incoming msg) {
+  std::lock_guard lock(mutex_);
+  inbox_.push_front(std::move(msg));
+}
+
 std::size_t Endpoint::poll() {
   std::size_t delivered = 0;
   for (;;) {
@@ -86,6 +210,14 @@ std::size_t Endpoint::poll() {
       std::lock_guard lock(handlers_mutex_);
       assert(msg.handler < handlers_.size());
       handler = &handlers_[msg.handler];
+    }
+    if (fabric_->chaos_enabled_.load(std::memory_order_acquire)) {
+      fabric_->emit(MessageEvent{.kind = MsgEventKind::kDeliver,
+                                 .src = msg.src,
+                                 .dst = id_,
+                                 .handler = msg.handler,
+                                 .pair_seq = msg.pair_seq,
+                                 .bytes = msg.payload.size()});
     }
     {
       std::optional<util::ScopedCharge> charge;

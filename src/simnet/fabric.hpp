@@ -13,6 +13,15 @@
 //     so serialization is exercised exactly as on a real network.
 // A LinkModel adds per-message latency plus a bandwidth term, and optional
 // seeded jitter, for latency-tolerance experiments.
+//
+// Chaos mode (enable_chaos): a seeded NetFaultPlan injects message drops,
+// duplications, reorderings, and virtual-time delays at send time, and a
+// FabricObserver receives one event per transport action. Every logical
+// message is stamped with a per-(src,dst)-pair sequence number so invariant
+// checkers can verify FIFO order and exactly-once delivery from the event
+// stream alone. Delayed messages are parked until advance_step() releases
+// them, so delays only make sense under a driver that advances virtual time
+// (Cluster's deterministic mode).
 
 #include <atomic>
 #include <chrono>
@@ -21,6 +30,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/archive.hpp"
@@ -44,6 +56,66 @@ struct FabricStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_sent = 0;
+  // Chaos-mode fault injections (all zero when chaos is disabled).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_reordered = 0;
+};
+
+/// Seeded network fault injection applied to every send while enabled.
+/// Rates are independent probabilities evaluated in the order drop,
+/// duplicate, delay, reorder (at most one fault per message).
+struct NetFaultPlan {
+  double drop_rate = 0.0;     // message silently vanishes
+  double dup_rate = 0.0;      // message is enqueued twice
+  double reorder_rate = 0.0;  // message jumps the destination inbox queue
+  double delay_rate = 0.0;    // message is parked for a few virtual steps
+  /// Uniform hold duration in [1, max_delay_steps] virtual steps.
+  std::uint32_t max_delay_steps = 8;
+  /// Deliberate bug injection: every message addressed to this AM handler
+  /// is dropped (e.g. location updates, to starve the lazy directory).
+  std::optional<AmHandlerId> drop_handler;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool any() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
+           delay_rate > 0.0 || drop_handler.has_value();
+  }
+};
+
+enum class MsgEventKind : std::uint8_t {
+  kSend,
+  kDeliver,
+  kDrop,
+  kDuplicate,
+  kDelay,
+  kReorder,
+};
+
+[[nodiscard]] std::string_view to_string(MsgEventKind kind);
+
+/// One transport-layer action on a logical message. `pair_seq` numbers the
+/// messages of each ordered (src,dst) endpoint pair from 1; a duplicated
+/// message is delivered twice under the same pair_seq.
+struct MessageEvent {
+  MsgEventKind kind = MsgEventKind::kSend;
+  NodeId src = 0;
+  NodeId dst = 0;
+  AmHandlerId handler = 0;
+  std::uint64_t pair_seq = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t release_step = 0;  // kDelay only
+};
+
+/// Receives every chaos-mode transport event. Calls are serialized by the
+/// fabric's chaos mutex on the send side but delivery events are emitted
+/// from the polling thread; implementations must be thread-safe when the
+/// fabric is driven by more than one thread.
+class FabricObserver {
+ public:
+  virtual ~FabricObserver() = default;
+  virtual void on_message(const MessageEvent& event) = 0;
 };
 
 class Fabric;
@@ -84,9 +156,11 @@ class Endpoint {
     AmHandlerId handler;
     std::vector<std::byte> payload;
     util::Clock::time_point deliverable_at;
+    std::uint64_t pair_seq = 0;  // stamped in chaos mode, 0 otherwise
   };
 
   void enqueue(Incoming msg);
+  void enqueue_front(Incoming msg);
 
   Fabric* fabric_;
   NodeId id_;
@@ -120,18 +194,61 @@ class Fabric {
     return messages_sent_.load(std::memory_order_acquire);
   }
 
+  // --- chaos mode ----------------------------------------------------------
+
+  /// Turns on fault injection and/or event observation. Must be called
+  /// before any send; `observer` (may be null) is not owned and must outlive
+  /// the fabric's traffic.
+  void enable_chaos(NetFaultPlan plan, FabricObserver* observer);
+
+  /// Advances virtual time to `step` and releases every delayed message due
+  /// at or before it. Called once per sweep by the deterministic driver.
+  void advance_step(std::uint64_t step);
+
+  /// Delayed messages currently parked (sent but not yet deliverable).
+  [[nodiscard]] std::size_t held_messages() const;
+
  private:
   friend class Endpoint;
 
+  struct Held {
+    NodeId dst;
+    Endpoint::Incoming msg;
+    std::uint64_t release_step;
+  };
+
   std::chrono::nanoseconds transit_time(std::size_t bytes);
+
+  /// Chaos-mode send path: stamps the pair sequence, rolls the fault plan,
+  /// and performs the chosen action. Returns the number of inbox copies made
+  /// (0 for drop/delay, 1 normally, 2 for duplicate).
+  void chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
+                  std::vector<std::byte> payload);
+
+  void emit(const MessageEvent& event) {
+    if (observer_ != nullptr) observer_->on_message(event);
+  }
 
   LinkModel link_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> messages_duplicated_{0};
+  std::atomic<std::uint64_t> messages_delayed_{0};
+  std::atomic<std::uint64_t> messages_reordered_{0};
   std::mutex jitter_mutex_;
   util::Rng jitter_rng_;
+
+  std::atomic<bool> chaos_enabled_{false};
+  NetFaultPlan chaos_plan_;
+  FabricObserver* observer_ = nullptr;
+  mutable std::mutex chaos_mutex_;  // guards the fields below
+  util::Rng chaos_rng_{1};
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_seq_;
+  std::vector<Held> held_;
+  std::uint64_t current_step_ = 0;
 };
 
 }  // namespace mrts::net

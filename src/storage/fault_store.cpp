@@ -1,31 +1,93 @@
 #include "storage/fault_store.hpp"
 
+#include <thread>
+
 namespace mrts::storage {
 
-bool FaultStore::roll(double p) {
-  if (p <= 0.0) return false;
-  std::lock_guard lock(rng_mutex_);
-  return rng_.uniform() < p;
+std::string_view to_string(StoreFaultKind kind) {
+  switch (kind) {
+    case StoreFaultKind::kStoreFail: return "store-fail";
+    case StoreFaultKind::kLoadFail: return "load-fail";
+    case StoreFaultKind::kCorruption: return "corruption";
+    case StoreFaultKind::kTornWrite: return "torn-write";
+    case StoreFaultKind::kLatencySpike: return "latency-spike";
+  }
+  return "?";
+}
+
+FaultStore::Decision FaultStore::decide(ObjectKey key, bool is_store) {
+  (void)key;
+  Decision d;
+  d.op = ops_.fetch_add(1, std::memory_order_relaxed);
+  double fail_rate = is_store ? plan_.store_failure_rate
+                              : plan_.load_failure_rate;
+  double corruption_rate = plan_.corruption_rate;
+  double torn_rate = plan_.torn_write_rate;
+  double spike_rate = plan_.latency_spike_rate;
+  for (const FaultWindow& w : plan_.schedule) {
+    if (d.op >= w.begin_op && d.op < w.end_op) {
+      fail_rate = is_store ? w.store_failure_rate : w.load_failure_rate;
+      corruption_rate = w.corruption_rate;
+      torn_rate = w.torn_write_rate;
+      spike_rate = w.latency_spike_rate;
+      break;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  auto roll = [this](double p) { return p > 0.0 && rng_.uniform() < p; };
+  d.spike = roll(spike_rate);
+  d.fail = roll(fail_rate);
+  if (is_store) {
+    d.torn = !d.fail && roll(torn_rate);
+  } else {
+    d.corrupt = !d.fail && roll(corruption_rate);
+  }
+  return d;
+}
+
+void FaultStore::inject(StoreFaultKind kind, ObjectKey key, std::uint64_t op) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<std::size_t>(kind)].fetch_add(1,
+                                                     std::memory_order_relaxed);
+  if (plan_.observer) {
+    plan_.observer(StoreFaultEvent{kind, plan_.tag, key, op});
+  }
 }
 
 util::Status FaultStore::store(ObjectKey key,
                                std::span<const std::byte> bytes) {
-  if (roll(plan_.store_failure_rate)) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
+  const Decision d = decide(key, /*is_store=*/true);
+  if (d.spike) {
+    inject(StoreFaultKind::kLatencySpike, key, d.op);
+    std::this_thread::sleep_for(plan_.latency_spike);
+  }
+  if (d.fail) {
+    inject(StoreFaultKind::kStoreFail, key, d.op);
     return {util::StatusCode::kUnavailable, "injected store fault"};
+  }
+  if (d.torn && bytes.size() > 1) {
+    inject(StoreFaultKind::kTornWrite, key, d.op);
+    // Persist only a prefix yet report success, like a crash mid-write on a
+    // device without atomic appends; the caller's CRC catches it at reload.
+    auto status = inner_->store(key, bytes.subspan(0, bytes.size() / 2));
+    return status.is_ok() ? util::Status::ok() : status;
   }
   return inner_->store(key, bytes);
 }
 
 util::Result<std::vector<std::byte>> FaultStore::load(ObjectKey key) {
-  if (roll(plan_.load_failure_rate)) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
+  const Decision d = decide(key, /*is_store=*/false);
+  if (d.spike) {
+    inject(StoreFaultKind::kLatencySpike, key, d.op);
+    std::this_thread::sleep_for(plan_.latency_spike);
+  }
+  if (d.fail) {
+    inject(StoreFaultKind::kLoadFail, key, d.op);
     return util::Status(util::StatusCode::kUnavailable, "injected load fault");
   }
   auto result = inner_->load(key);
-  if (result.is_ok() && !result.value().empty() &&
-      roll(plan_.corruption_rate)) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
+  if (result.is_ok() && !result.value().empty() && d.corrupt) {
+    inject(StoreFaultKind::kCorruption, key, d.op);
     auto bytes = std::move(result).value();
     bytes[bytes.size() / 2] ^= std::byte{0xFF};
     return bytes;  // caller's CRC check should reject this

@@ -9,7 +9,9 @@ ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
                          ObjectStoreOptions options)
     : backend_(std::move(backend)), disk_time_(disk_time), options_(options) {
   assert(backend_ != nullptr);
-  io_thread_ = std::thread([this] { io_loop(); });
+  if (!options_.synchronous) {
+    io_thread_ = std::thread([this] { io_loop(); });
+  }
 }
 
 ObjectStore::~ObjectStore() {
@@ -18,30 +20,39 @@ ObjectStore::~ObjectStore() {
     stop_ = true;
   }
   cv_.notify_all();
-  io_thread_.join();
+  if (io_thread_.joinable()) io_thread_.join();
 }
 
 void ObjectStore::store_async(ObjectKey key, std::vector<std::byte> bytes,
                               StoreCallback done) {
+  Request req{.is_store = true,
+              .key = key,
+              .bytes = std::move(bytes),
+              .store_done = std::move(done),
+              .load_done = {}};
+  if (options_.synchronous) {
+    execute(req);
+    return;
+  }
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(Request{.is_store = true,
-                             .key = key,
-                             .bytes = std::move(bytes),
-                             .store_done = std::move(done),
-                             .load_done = {}});
+    queue_.push_back(std::move(req));
   }
   cv_.notify_one();
 }
 
 void ObjectStore::load_async(ObjectKey key, LoadCallback done) {
+  Request req{.is_store = false,
+              .key = key,
+              .bytes = {},
+              .store_done = {},
+              .load_done = std::move(done)};
+  if (options_.synchronous) {
+    execute(req);
+    return;
+  }
   {
     std::lock_guard lock(mutex_);
-    Request req{.is_store = false,
-                .key = key,
-                .bytes = {},
-                .store_done = {},
-                .load_done = std::move(done)};
     if (options_.prioritize_loads) {
       queue_.push_front(std::move(req));
     } else {

@@ -28,6 +28,11 @@ struct ObjectStoreOptions {
   /// Loads are served before stores when both are queued: a pending load
   /// blocks a message handler, a pending store only delays reclamation.
   bool prioritize_loads = true;
+  /// Execute requests inline on the calling thread instead of on the I/O
+  /// thread (no thread is spawned). Callbacks run before store_async /
+  /// load_async return. Used by the deterministic chaos driver, where I/O
+  /// completion order must be a pure function of the control schedule.
+  bool synchronous = false;
 };
 
 class ObjectStore {

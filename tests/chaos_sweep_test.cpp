@@ -1,0 +1,66 @@
+// Seed sweep for the chaos harness (ctest label "chaos"): twenty seeds of
+// a survivable fault plan, each of which must quiesce with every
+// cross-layer invariant intact and the workload's exactly-once arithmetic
+// exact. Run selectively with `ctest -L chaos`.
+
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.hpp"
+#include "chaos/workload.hpp"
+
+namespace mrts::chaos {
+namespace {
+
+class ChaosSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeedSweep, SurvivableFaultsKeepAllInvariants) {
+  ChaosPlan plan;
+  plan.seed = GetParam();
+  plan.storage.store_failure_rate = 0.1;
+  plan.storage.load_failure_rate = 0.1;
+  plan.storage.latency_spike_rate = 0.05;
+  plan.storage.latency_spike = std::chrono::microseconds(20);
+  plan.net.delay_rate = 0.1;
+  plan.net.max_delay_steps = 6;
+  plan.random_pauses = 2;
+  plan.max_pause_steps = 24;
+  plan.pause_horizon_steps = 256;
+
+  Harness harness(plan);
+  core::ClusterOptions options;
+  options.nodes = 4;
+  options.runtime.ooc.memory_budget_bytes = 256u << 10;
+  options.runtime.storage_max_retries = 16;
+  options.spill = core::SpillMedium::kMemory;
+  options.max_run_time = std::chrono::seconds(120);
+  harness.instrument(options);
+
+  core::Cluster cluster(options);
+  HopWorkloadOptions wl;
+  wl.objects_per_node = 4;
+  wl.payload_words = 1024;
+  wl.routes = 16;
+  wl.route_length = 6;
+  wl.migrate_every = 3;
+  wl.seed = plan.seed;
+  HopWorkload workload(cluster, wl);
+  workload.create_objects();
+  workload.inject();
+
+  const auto report = cluster.run();
+  ASSERT_FALSE(report.timed_out);
+  EXPECT_EQ(workload.executed_hops(), workload.expected_hops());
+  const auto inv = harness.check(cluster);
+  EXPECT_TRUE(inv.ok()) << "seed " << plan.seed << ":\n"
+                        << inv.to_string() << "\ntrace tail:\n"
+                        << harness.trace().text().substr(
+                               harness.trace().text().size() > 2000
+                                   ? harness.trace().text().size() - 2000
+                                   : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, ChaosSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mrts::chaos

@@ -1,0 +1,325 @@
+// Deterministic chaos harness tests: seed-replay reproducibility, invariant
+// checkers on clean and faulty runs, deliberate bug injection caught by the
+// checkers, crash-restart recovery, and a full OPCDM pipeline under chaos.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chaos/chaos.hpp"
+#include "chaos/workload.hpp"
+#include "core/checkpoint.hpp"
+#include "pumg/ooc.hpp"
+
+namespace mrts::chaos {
+namespace {
+
+core::ClusterOptions base_options(std::size_t nodes,
+                                  std::size_t budget_bytes = 1u << 20) {
+  core::ClusterOptions options;
+  options.nodes = nodes;
+  options.runtime.ooc.memory_budget_bytes = budget_bytes;
+  options.runtime.storage_max_retries = 16;
+  options.spill = core::SpillMedium::kMemory;
+  options.max_run_time = std::chrono::seconds(120);
+  return options;
+}
+
+/// One full chaos run; returns (trace text, executed hops, report).
+struct RunOutcome {
+  std::string trace;
+  std::uint32_t trace_crc = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t expected = 0;
+  InvariantReport report;
+};
+
+RunOutcome run_once(ChaosPlan plan, HopWorkloadOptions wl,
+                    std::size_t nodes = 4,
+                    std::size_t budget_bytes = 1u << 20) {
+  Harness harness(std::move(plan));
+  core::ClusterOptions options = base_options(nodes, budget_bytes);
+  harness.instrument(options);
+  core::Cluster cluster(options);
+  HopWorkload workload(cluster, wl);
+  workload.create_objects();
+  workload.inject();
+  const auto report = cluster.run();
+  EXPECT_FALSE(report.timed_out);
+  RunOutcome out;
+  out.report = harness.check(cluster);
+  out.trace = harness.trace().text();
+  out.trace_crc = harness.trace().crc();
+  out.executed = workload.executed_hops();
+  out.expected = workload.expected_hops();
+  return out;
+}
+
+ChaosPlan survivable_plan(std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.storage.store_failure_rate = 0.15;
+  plan.storage.load_failure_rate = 0.15;
+  plan.storage.latency_spike_rate = 0.02;
+  plan.storage.latency_spike = std::chrono::microseconds(50);
+  plan.net.delay_rate = 0.05;
+  plan.net.max_delay_steps = 6;
+  plan.random_pauses = 2;
+  plan.max_pause_steps = 16;
+  plan.pause_horizon_steps = 128;
+  return plan;
+}
+
+HopWorkloadOptions storm_workload() {
+  HopWorkloadOptions wl;
+  wl.objects_per_node = 4;
+  wl.payload_words = 512;
+  wl.routes = 24;
+  wl.route_length = 6;
+  wl.migrate_every = 3;  // migration storm: every 3rd hop moves the object
+  return wl;
+}
+
+TEST(ChaosSeedReplay, SameSeedYieldsByteIdenticalTrace) {
+  const auto a = run_once(survivable_plan(7), storm_workload());
+  const auto b = run_once(survivable_plan(7), storm_workload());
+  EXPECT_GT(a.trace.size(), 0u);
+  EXPECT_EQ(a.trace_crc, b.trace_crc);
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical, not just same CRC
+}
+
+TEST(ChaosSeedReplay, DifferentSeedsDiverge) {
+  const auto a = run_once(survivable_plan(7), storm_workload());
+  const auto b = run_once(survivable_plan(8), storm_workload());
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(ChaosInvariants, CleanDeterministicRunHolds) {
+  ChaosPlan plan;
+  plan.seed = 3;
+  const auto out = run_once(plan, storm_workload());
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  EXPECT_EQ(out.executed, out.expected);
+}
+
+TEST(ChaosInvariants, SurvivableFaultsPreserveExactlyOnce) {
+  const auto out = run_once(survivable_plan(11), storm_workload());
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  // Storage retries, delays, and pauses must not lose or duplicate any
+  // application work: the hop arithmetic is exact.
+  EXPECT_EQ(out.executed, out.expected);
+}
+
+TEST(ChaosInvariants, OocBudgetHoldsUnderSpillPressure) {
+  ChaosPlan plan;
+  plan.seed = 5;
+  // Ballast: 4 nodes x 4 objects x 2048 words = 256 KiB of state against a
+  // 64 KiB per-node budget — heavy spilling guaranteed.
+  plan.budget_overshoot_bytes = 64u << 10;
+  HopWorkloadOptions wl = storm_workload();
+  wl.payload_words = 2048;
+
+  Harness harness(plan);
+  core::ClusterOptions options = base_options(4, 64u << 10);
+  harness.instrument(options);
+  core::Cluster cluster(options);
+  HopWorkload workload(cluster, wl);
+  workload.create_objects();
+  workload.inject();
+  const auto report = cluster.run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_GT(cluster.sum_counters([](const core::NodeCounters& c) {
+    return c.objects_spilled.load();
+  }),
+            0u);
+  const auto inv = harness.check(cluster);
+  EXPECT_TRUE(inv.ok()) << inv.to_string();
+  EXPECT_EQ(workload.executed_hops(), workload.expected_hops());
+}
+
+// Deliberately-injected bug #1: drop every install message. A migrating
+// object vanishes in transit, leaving the directory pointing at a node
+// that never received it — messages to it forward forever, so the run
+// only ends at the (deliberately short) time limit, and the directory
+// checker must flag the lost object: no node hosts it while its home
+// still routes to it.
+TEST(ChaosBugInjection, DroppedInstallsAreCaught) {
+  ChaosPlan plan;
+  plan.seed = 13;
+  plan.net.drop_handler = core::kAmInstall;
+  Harness harness(plan);
+  core::ClusterOptions options = base_options(4);
+  options.max_run_time = std::chrono::seconds(2);  // bound the livelock
+  harness.instrument(options);
+  core::Cluster cluster(options);
+  HopWorkload workload(cluster, storm_workload());
+  workload.create_objects();
+  workload.inject();
+  (void)cluster.run();
+  const auto inv = harness.check(cluster);
+  EXPECT_FALSE(inv.ok());
+  EXPECT_LT(workload.executed_hops(), workload.expected_hops());
+}
+
+// Deliberately-injected bug #2: drop every payload delivery. The transport
+// checker excuses the drops (they are in the plan), but the application's
+// exact hop arithmetic exposes the lost work — the cross-layer point of
+// having both checkers.
+TEST(ChaosBugInjection, DroppedDeliveriesLoseWork) {
+  ChaosPlan plan;
+  plan.seed = 17;
+  HopWorkloadOptions wl = storm_workload();
+  wl.migrate_every = 0;  // keep objects put so only deliveries are dropped
+  plan.net.drop_handler = core::kAmDeliver;
+  const auto out = run_once(plan, wl);
+  EXPECT_LT(out.executed, out.expected);
+}
+
+// Regression: the first real bug this harness caught. Delayed, out-of-order
+// location updates used to be applied unconditionally, so a stale update
+// could regress a node's last_known pointer and form a forwarding cycle
+// between two non-hosts — a message then ping-ponged between them forever
+// (its route vector growing 4 bytes per bounce) and the run never quiesced.
+// Location knowledge is now epoch-versioned and only strictly fresher
+// updates apply. This is the exact config that livelocked: many routes,
+// frequent migration, and a high delay rate.
+TEST(ChaosRegression, DelayedLocationUpdatesCannotRegressDirectory) {
+  ChaosPlan plan;
+  plan.seed = 42;
+  plan.storage.store_failure_rate = 0.1;
+  plan.storage.load_failure_rate = 0.1;
+  plan.net.delay_rate = 0.1;
+  plan.net.max_delay_steps = 6;
+  HopWorkloadOptions wl;
+  wl.payload_words = 1024;
+  wl.routes = 256;
+  wl.route_length = 8;
+  wl.migrate_every = 4;
+  const auto out = run_once(plan, wl, 4, 256u << 10);
+  EXPECT_TRUE(out.report.ok()) << out.report.to_string();
+  EXPECT_EQ(out.executed, out.expected);
+}
+
+TEST(ChaosRecovery, CrashRestartPreservesState) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "mrts-chaos-ckpt";
+  std::filesystem::remove_all(dir);
+
+  ChaosPlan plan = survivable_plan(23);
+  HopWorkloadOptions wl = storm_workload();
+  std::uint64_t digest_before = 0;
+  std::uint64_t hops_before = 0;
+
+  {
+    Harness harness(plan);
+    core::ClusterOptions options = base_options(4);
+    harness.instrument(options);
+    core::Cluster cluster(options);
+    HopWorkload workload(cluster, wl);
+    workload.create_objects();
+    workload.inject();
+    const auto report = cluster.run();
+    ASSERT_FALSE(report.timed_out);
+    EXPECT_EQ(workload.executed_hops(), workload.expected_hops());
+    digest_before = workload.state_digest();
+    hops_before = workload.sum_object_hops();
+    ASSERT_TRUE(checkpoint_cluster(cluster, dir).is_ok());
+  }  // node crash: the whole cluster is torn down
+
+  // Recovery: rebuild an identical cluster (same registration order),
+  // restore, verify state, then keep computing on the survivors.
+  Harness harness(plan);
+  core::ClusterOptions options = base_options(4);
+  harness.instrument(options);
+  core::Cluster cluster(options);
+  HopWorkload workload(cluster, wl);
+  ASSERT_TRUE(restore_cluster(cluster, dir).is_ok());
+  EXPECT_EQ(workload.state_digest(), digest_before);
+  EXPECT_EQ(workload.sum_object_hops(), hops_before);
+
+  workload.discover_objects();
+  workload.inject();
+  const auto report = cluster.run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(workload.executed_hops(), workload.expected_hops());
+  EXPECT_EQ(workload.sum_object_hops(), hops_before + workload.expected_hops());
+  const auto inv = harness.check(cluster);
+  EXPECT_TRUE(inv.ok()) << inv.to_string();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ChaosPipeline, OpcdmSurvivesChaosWithConformingMesh) {
+  const pumg::MeshProblem problem{
+      mesh::make_unit_square(),
+      {.min_angle_deg = 20.0, .size_field = mesh::uniform_size(0.08)}};
+
+  ChaosPlan plan = survivable_plan(29);
+  pumg::OpcdmOocConfig config;
+  config.cluster = base_options(2, 300u << 10);
+  config.strips = 6;
+  Harness harness(plan);
+  harness.instrument(config.cluster);
+
+  std::vector<pumg::Subdomain> subs;
+  pumg::Decomposition decomp;
+  const auto result = pumg::run_opcdm_ooc(problem, config, &subs, &decomp);
+  EXPECT_FALSE(result.report.timed_out);
+  EXPECT_TRUE(pumg::check_conformity(decomp, subs).empty())
+      << pumg::check_conformity(decomp, subs);
+  for (const auto& sub : subs) {
+    EXPECT_TRUE(sub.tri().check_invariants().empty());
+  }
+  const auto inv = harness.check_transport();
+  EXPECT_TRUE(inv.ok()) << inv.to_string();
+  EXPECT_GT(harness.trace().lines(), 0u);
+}
+
+// The TraceChecker itself must flag anomalies that are NOT in the plan:
+// feed it synthetic event streams directly.
+TEST(TraceCheckerUnit, UnexplainedReorderDupAndLossAreFlagged) {
+  using net::MessageEvent;
+  using net::MsgEventKind;
+  TraceChecker checker;
+  auto ev = [](MsgEventKind k, std::uint64_t seq) {
+    return MessageEvent{.kind = k, .src = 0, .dst = 1, .handler = 0,
+                        .pair_seq = seq, .bytes = 8};
+  };
+  checker.on_message(ev(MsgEventKind::kSend, 1));
+  checker.on_message(ev(MsgEventKind::kSend, 2));
+  checker.on_message(ev(MsgEventKind::kSend, 3));
+  checker.on_message(ev(MsgEventKind::kDeliver, 2));  // 1 overtaken: FIFO bug
+  checker.on_message(ev(MsgEventKind::kDeliver, 1));
+  checker.on_message(ev(MsgEventKind::kDeliver, 2));  // exactly-once bug
+  // seq 3 never delivered: loss bug.
+  EXPECT_EQ(checker.fifo_violations(), 1u);
+  EXPECT_EQ(checker.duplicate_deliveries(), 1u);
+  EXPECT_EQ(checker.lost_messages(), 1u);
+  InvariantReport report;
+  checker.finish(report);
+  EXPECT_EQ(report.violations.size(), 3u);
+}
+
+TEST(TraceCheckerUnit, PlannedFaultsAreExcused) {
+  using net::MessageEvent;
+  using net::MsgEventKind;
+  TraceChecker checker;
+  auto ev = [](MsgEventKind k, std::uint64_t seq) {
+    return MessageEvent{.kind = k, .src = 2, .dst = 3, .handler = 1,
+                        .pair_seq = seq, .bytes = 8};
+  };
+  checker.on_message(ev(MsgEventKind::kSend, 1));
+  checker.on_message(ev(MsgEventKind::kDrop, 1));  // injected: no delivery due
+  checker.on_message(ev(MsgEventKind::kSend, 2));
+  checker.on_message(ev(MsgEventKind::kDuplicate, 2));
+  checker.on_message(ev(MsgEventKind::kSend, 3));
+  checker.on_message(ev(MsgEventKind::kReorder, 3));
+  checker.on_message(ev(MsgEventKind::kDeliver, 3));  // jumped the queue
+  checker.on_message(ev(MsgEventKind::kDeliver, 2));
+  checker.on_message(ev(MsgEventKind::kDeliver, 2));  // second injected copy
+  InvariantReport report;
+  checker.finish(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace mrts::chaos

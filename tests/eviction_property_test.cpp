@@ -1,0 +1,327 @@
+// Property-based tests of the five swapping schemes (paper §II.E): a
+// brute-force reference model mirrors EvictionPolicy's documented
+// semantics, and randomized insert/access/erase sequences check that
+// victim() always returns an object of maximal scheme badness among the
+// evictable set. A second suite checks OocLayer::pick_victim's interplay
+// of application priorities and lock (evictable) predicates on top of the
+// scheme.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/ooc_layer.hpp"
+#include "storage/eviction.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::storage {
+namespace {
+
+// Transparent reference model: same tick/Meta bookkeeping as
+// EvictionPolicy, but the victim is found by brute force over all
+// (key, badness) pairs, independently of the policy's scan.
+class RefModel {
+ public:
+  explicit RefModel(EvictionScheme scheme) : scheme_(scheme) {}
+
+  void insert(ObjectKey key) {
+    ++tick_;
+    Meta& m = meta_[key];
+    m.last_access = tick_;
+    m.count = 0;
+    m.aged_score = 0.0;
+    m.aged_tick = tick_;
+  }
+
+  void access(ObjectKey key) {
+    auto it = meta_.find(key);
+    if (it == meta_.end()) return;
+    ++tick_;
+    Meta& m = it->second;
+    m.aged_score = aged_at(m, tick_) + 1.0;
+    m.aged_tick = tick_;
+    m.last_access = tick_;
+    ++m.count;
+  }
+
+  void erase(ObjectKey key) { meta_.erase(key); }
+
+  [[nodiscard]] bool tracks(ObjectKey key) const {
+    return meta_.contains(key);
+  }
+  [[nodiscard]] std::vector<ObjectKey> keys() const {
+    std::vector<ObjectKey> out;
+    for (const auto& [k, m] : meta_) out.push_back(k);
+    return out;
+  }
+
+  [[nodiscard]] double badness(ObjectKey key) const {
+    const Meta& m = meta_.at(key);
+    switch (scheme_) {
+      case EvictionScheme::kLru:
+        return -static_cast<double>(m.last_access);
+      case EvictionScheme::kMru:
+        return static_cast<double>(m.last_access);
+      case EvictionScheme::kLu:
+        return -(static_cast<double>(m.count) +
+                 static_cast<double>(m.last_access) * 1e-12);
+      case EvictionScheme::kMu:
+        return static_cast<double>(m.count) -
+               static_cast<double>(m.last_access) * 1e-12;
+      case EvictionScheme::kLfu:
+        return -aged_at(m, tick_);
+    }
+    return 0.0;
+  }
+
+  /// Max badness over evictable keys; nullopt if none evictable.
+  template <typename Evictable>
+  [[nodiscard]] std::optional<double> max_badness(
+      const Evictable& evictable) const {
+    std::optional<double> best;
+    for (const auto& [key, m] : meta_) {
+      if (!evictable(key)) continue;
+      const double b = badness(key);
+      if (!best || b > *best) best = b;
+    }
+    return best;
+  }
+
+ private:
+  struct Meta {
+    std::uint64_t last_access = 0;
+    std::uint64_t count = 0;
+    double aged_score = 0.0;
+    std::uint64_t aged_tick = 0;
+  };
+
+  [[nodiscard]] static double aged_at(const Meta& m, std::uint64_t now) {
+    return m.aged_score *
+           std::exp2(-static_cast<double>(now - m.aged_tick) / 1024.0);
+  }
+
+  EvictionScheme scheme_;
+  std::uint64_t tick_ = 0;
+  std::map<ObjectKey, Meta> meta_;  // ordered: deterministic iteration
+};
+
+constexpr EvictionScheme kAllSchemes[] = {
+    EvictionScheme::kLru, EvictionScheme::kLfu, EvictionScheme::kMru,
+    EvictionScheme::kMu, EvictionScheme::kLu};
+
+class EvictionProperty : public ::testing::TestWithParam<EvictionScheme> {};
+
+// The core property: after any operation sequence, victim() returns a
+// tracked, evictable key whose badness equals the brute-force maximum
+// (ties may resolve to any argmax — map iteration order in the policy is
+// unspecified).
+TEST_P(EvictionProperty, VictimAlwaysHasMaximalBadness) {
+  const EvictionScheme scheme = GetParam();
+  constexpr std::size_t kKeys = 12;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EvictionPolicy policy(scheme);
+    RefModel ref(scheme);
+    util::Rng rng(seed * 977 + static_cast<std::uint64_t>(scheme));
+
+    for (int op = 0; op < 400; ++op) {
+      const auto key = static_cast<ObjectKey>(rng.below(kKeys));
+      switch (rng.below(4)) {
+        case 0:
+          policy.on_insert(key);
+          ref.insert(key);
+          break;
+        case 1:
+          policy.on_access(key);
+          ref.access(key);
+          break;
+        case 2:
+          policy.on_erase(key);
+          ref.erase(key);
+          break;
+        default: {
+          // Victim query under a random evictability mask.
+          const std::uint64_t mask = rng();
+          const auto evictable = [&](ObjectKey k) {
+            return ((mask >> (k % 64)) & 1u) != 0;
+          };
+          const auto got = policy.victim(evictable);
+          const auto want = ref.max_badness(evictable);
+          ASSERT_EQ(got.has_value(), want.has_value())
+              << to_string(scheme) << " seed=" << seed << " op=" << op;
+          if (got) {
+            ASSERT_TRUE(ref.tracks(*got));
+            ASSERT_TRUE(evictable(*got));
+            ASSERT_EQ(ref.badness(*got), *want)
+                << to_string(scheme) << " seed=" << seed << " op=" << op
+                << " victim=" << *got;
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(policy.size(), ref.keys().size());
+    }
+  }
+}
+
+// Directed checks that the schemes actually diverge the way the paper's
+// definitions say they should.
+TEST(EvictionDirected, SchemesPickOppositeEndsOfAccessHistory) {
+  const auto all = [](ObjectKey) { return true; };
+  // Keys 1..4 inserted in order, then 2 accessed thrice and 3 once:
+  //   recency order (old->new): 1, 4, 3, 2   count order: 1=4=0, 3=1, 2=3.
+  auto build = [](EvictionScheme s) {
+    EvictionPolicy p(s);
+    for (ObjectKey k = 1; k <= 4; ++k) p.on_insert(k);
+    p.on_access(2);
+    p.on_access(2);
+    p.on_access(3);
+    p.on_access(2);
+    return p;
+  };
+  EXPECT_EQ(build(EvictionScheme::kLru).victim(all), ObjectKey{1});
+  EXPECT_EQ(build(EvictionScheme::kMru).victim(all), ObjectKey{2});
+  EXPECT_EQ(build(EvictionScheme::kMu).victim(all), ObjectKey{2});
+  // LU ties 1 and 4 at count 0; the 1e-12 recency term prefers older 1.
+  EXPECT_EQ(build(EvictionScheme::kLu).victim(all), ObjectKey{1});
+  // LFU at this tick distance behaves like LU: zero-score 1 and 4 tie,
+  // aged recency is not part of the score, so either zero-count key wins.
+  const auto lfu = build(EvictionScheme::kLfu).victim(all);
+  ASSERT_TRUE(lfu.has_value());
+  EXPECT_TRUE(*lfu == ObjectKey{1} || *lfu == ObjectKey{4});
+}
+
+TEST(EvictionDirected, ReinsertResetsCountAndScore) {
+  EvictionPolicy p(EvictionScheme::kMu);
+  p.on_insert(1);
+  p.on_insert(2);
+  for (int i = 0; i < 5; ++i) p.on_access(1);
+  // 1 is the most-used victim; re-inserting (spill + reload) resets it.
+  EXPECT_EQ(p.victim([](ObjectKey) { return true; }), ObjectKey{1});
+  p.on_insert(1);
+  p.on_access(2);
+  EXPECT_EQ(p.victim([](ObjectKey) { return true; }), ObjectKey{2});
+}
+
+TEST(EvictionDirected, NoEvictableMeansNoVictim) {
+  EvictionPolicy p(EvictionScheme::kLru);
+  p.on_insert(1);
+  EXPECT_EQ(p.victim([](ObjectKey) { return false; }), std::nullopt);
+  p.on_erase(1);
+  EXPECT_EQ(p.victim([](ObjectKey) { return true; }), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EvictionProperty,
+                         ::testing::ValuesIn(kAllSchemes),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace mrts::storage
+
+namespace mrts::core {
+namespace {
+
+using storage::EvictionScheme;
+using storage::ObjectKey;
+
+// OocLayer::pick_victim layers application priorities over the scheme:
+// the victim must always come from the lowest evictable priority class,
+// and only within that class defer to the scheme. Locked objects are
+// modeled through the evictable predicate, exactly as Runtime uses it.
+TEST(OocPickVictimProperty, LowestPriorityClassWinsThenScheme) {
+  for (const EvictionScheme scheme :
+       {EvictionScheme::kLru, EvictionScheme::kMu, EvictionScheme::kLfu}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      util::Rng rng(seed * 31 + static_cast<std::uint64_t>(scheme));
+      OocOptions options;
+      options.scheme = scheme;
+      OocLayer layer(options);
+      storage::RefModel ref(scheme);
+      std::map<std::uint64_t, int> priority;   // key -> app priority
+      std::map<std::uint64_t, bool> resident;  // mirror of layer residency
+      constexpr std::uint64_t kKeys = 10;
+
+      for (int op = 0; op < 300; ++op) {
+        const std::uint64_t key = rng.below(kKeys);
+        switch (rng.below(5)) {
+          case 0: {
+            // install (create or reload); OocLayer re-installs count as an
+            // access, first installs as an insert.
+            if (resident[key]) {
+              ref.access(key);
+            } else {
+              ref.insert(key);
+            }
+            resident[key] = true;
+            layer.on_install(key, 64 + key);
+            break;
+          }
+          case 1:
+            layer.on_access(key);
+            ref.access(key);
+            break;
+          case 2:
+            layer.on_remove(key);
+            ref.erase(key);
+            resident[key] = false;
+            break;
+          case 3:
+            priority[key] = static_cast<int>(rng.below(3));
+            break;
+          default: {
+            const std::uint64_t locked_mask = rng();
+            const auto evictable = [&](std::uint64_t k) {
+              return ((locked_mask >> (k % 64)) & 1u) != 0;
+            };
+            const auto prio_of = [&](std::uint64_t k) {
+              auto it = priority.find(k);
+              return it == priority.end() ? 0 : it->second;
+            };
+            const auto got = layer.pick_victim(evictable, prio_of);
+
+            int lowest = std::numeric_limits<int>::max();
+            bool any = false;
+            for (const auto& [k, res] : resident) {
+              if (!res || !evictable(k)) continue;
+              any = true;
+              lowest = std::min(lowest, prio_of(k));
+            }
+            ASSERT_EQ(got.has_value(), any)
+                << storage::to_string(scheme) << " seed=" << seed
+                << " op=" << op;
+            if (got) {
+              ASSERT_TRUE(resident[*got]);
+              ASSERT_TRUE(evictable(*got));
+              ASSERT_EQ(prio_of(*got), lowest)
+                  << "victim " << *got << " not in the lowest evictable "
+                  << "priority class";
+              const auto in_class = [&](std::uint64_t k) {
+                return resident.contains(k) && resident.at(k) &&
+                       evictable(k) && prio_of(k) == lowest;
+              };
+              const auto want = ref.max_badness(in_class);
+              ASSERT_TRUE(want.has_value());
+              ASSERT_EQ(ref.badness(*got), *want)
+                  << storage::to_string(scheme) << " seed=" << seed
+                  << " op=" << op << " victim=" << *got;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(layer.resident_count(),
+                  static_cast<std::size_t>(std::count_if(
+                      resident.begin(), resident.end(),
+                      [](const auto& kv) { return kv.second; })));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrts::core

@@ -1,0 +1,171 @@
+// FaultStore regression tests: the fault-decision RNG is shared mutable
+// state guarded by one mutex, so two threads hammering the same store must
+// never tear a decision or lose a counter update (run under
+// -DMRTS_SANITIZE=thread to make the original race fail loudly). Also
+// covers the deterministic FaultWindow schedule, torn-write prefix
+// persistence with CRC detection, latency-spike accounting, and observer
+// event fields.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "storage/fault_store.hpp"
+#include "storage/mem_store.hpp"
+#include "util/crc32.hpp"
+
+namespace mrts::storage {
+namespace {
+
+std::vector<std::byte> make_blob(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(FaultStoreConcurrency, TwoThreadHammerKeepsCountersConsistent) {
+  FaultPlan plan;
+  plan.store_failure_rate = 0.2;
+  plan.load_failure_rate = 0.2;
+  plan.corruption_rate = 0.1;
+  plan.torn_write_rate = 0.1;
+  plan.latency_spike_rate = 0.02;
+  plan.latency_spike = std::chrono::microseconds(1);
+  plan.seed = 99;
+  std::atomic<std::uint64_t> observed{0};
+  plan.observer = [&](const StoreFaultEvent&) {
+    observed.fetch_add(1, std::memory_order_relaxed);
+  };
+  FaultStore store(std::make_unique<MemStore>(), plan);
+
+  constexpr std::uint64_t kOpsPerThread = 2000;  // half stores, half loads
+  auto hammer = [&](ObjectKey base) {
+    const auto blob = make_blob(64, 0xAB);
+    for (std::uint64_t i = 0; i < kOpsPerThread / 2; ++i) {
+      const ObjectKey key = base + (i % 16);
+      (void)store.store(key, blob);
+      (void)store.load(key);
+    }
+  };
+  std::thread a(hammer, ObjectKey{0});
+  std::thread b(hammer, ObjectKey{1000});
+  a.join();
+  b.join();
+
+  EXPECT_EQ(store.operations(), 2 * kOpsPerThread);
+  std::uint64_t by_kind_total = 0;
+  for (std::size_t k = 0; k < kStoreFaultKinds; ++k) {
+    by_kind_total += store.fault_count(static_cast<StoreFaultKind>(k));
+  }
+  EXPECT_EQ(store.injected_faults(), by_kind_total);
+  EXPECT_EQ(store.injected_faults(), observed.load());
+  // 20% fail rates over 4000 ops: statistically certain to fire.
+  EXPECT_GT(store.fault_count(StoreFaultKind::kStoreFail), 0u);
+  EXPECT_GT(store.fault_count(StoreFaultKind::kLoadFail), 0u);
+  EXPECT_LE(store.injected_faults(), store.operations() * 2);
+}
+
+TEST(FaultStoreSchedule, WindowOverridesBaseRatesAtExactOpIndices) {
+  FaultPlan plan;  // base rates all zero
+  plan.schedule.push_back(FaultWindow{
+      .begin_op = 10, .end_op = 20, .store_failure_rate = 1.0});
+  FaultStore store(std::make_unique<MemStore>(), plan);
+
+  const auto blob = make_blob(32, 0x11);
+  for (std::uint64_t op = 0; op < 30; ++op) {
+    const util::Status s = store.store(op, blob);
+    if (op >= 10 && op < 20) {
+      EXPECT_FALSE(s.is_ok()) << "op " << op << " should fail in window";
+    } else {
+      EXPECT_TRUE(s.is_ok()) << "op " << op << " outside window failed";
+    }
+  }
+  EXPECT_EQ(store.fault_count(StoreFaultKind::kStoreFail), 10u);
+  EXPECT_EQ(store.injected_faults(), 10u);
+  EXPECT_EQ(store.operations(), 30u);
+}
+
+TEST(FaultStoreSchedule, FirstMatchingWindowWins) {
+  FaultPlan plan;
+  plan.schedule.push_back(FaultWindow{
+      .begin_op = 0, .end_op = 5, .load_failure_rate = 1.0});
+  plan.schedule.push_back(FaultWindow{
+      .begin_op = 0, .end_op = 100});  // benign overlap: must not mask
+  FaultStore store(std::make_unique<MemStore>(), plan);
+  const auto blob = make_blob(8, 0x22);
+  ASSERT_TRUE(store.store(1, blob).is_ok());  // op 0 (store rate is 0)
+  for (int i = 0; i < 4; ++i) {               // ops 1..4: in failing window
+    EXPECT_FALSE(store.load(1).is_ok());
+  }
+  EXPECT_TRUE(store.load(1).is_ok());  // op 5: past the window
+}
+
+TEST(FaultStoreTornWrite, PersistsPrefixAndCrcDetectsIt) {
+  FaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  FaultStore store(std::make_unique<MemStore>(), plan);
+
+  std::vector<std::byte> blob(100);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i);
+  }
+  const std::uint32_t crc_written = util::crc32(blob);
+
+  // The torn write REPORTS success — that is the whole point.
+  ASSERT_TRUE(store.store(7, blob).is_ok());
+  EXPECT_EQ(store.fault_count(StoreFaultKind::kTornWrite), 1u);
+
+  auto result = store.load(7);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().size(), 50u);  // only the prefix survived
+  EXPECT_NE(util::crc32(result.value()), crc_written);
+}
+
+TEST(FaultStoreCorruption, FlippedPayloadKeepsSizeAndFailsCrc) {
+  FaultPlan plan;
+  plan.corruption_rate = 1.0;
+  FaultStore store(std::make_unique<MemStore>(), plan);
+  const auto blob = make_blob(64, 0x5C);
+  ASSERT_TRUE(store.store(3, blob).is_ok());
+  auto result = store.load(3);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().size(), blob.size());
+  EXPECT_NE(util::crc32(result.value()), util::crc32(blob));
+  EXPECT_EQ(store.fault_count(StoreFaultKind::kCorruption), 1u);
+}
+
+TEST(FaultStoreLatency, SpikesAreCountedAndHarmless) {
+  FaultPlan plan;
+  plan.latency_spike_rate = 1.0;
+  plan.latency_spike = std::chrono::microseconds(1);
+  FaultStore store(std::make_unique<MemStore>(), plan);
+  const auto blob = make_blob(16, 0x01);
+  for (ObjectKey k = 0; k < 5; ++k) {
+    EXPECT_TRUE(store.store(k, blob).is_ok());
+  }
+  EXPECT_EQ(store.fault_count(StoreFaultKind::kLatencySpike), 5u);
+  EXPECT_EQ(store.count(), 5u);  // every store still landed
+}
+
+TEST(FaultStoreObserver, EventCarriesKindTagKeyAndOpIndex) {
+  FaultPlan plan;
+  plan.schedule.push_back(FaultWindow{
+      .begin_op = 1, .end_op = 2, .load_failure_rate = 1.0});
+  plan.tag = 7;
+  std::vector<StoreFaultEvent> events;
+  plan.observer = [&](const StoreFaultEvent& e) { events.push_back(e); };
+  FaultStore store(std::make_unique<MemStore>(), plan);
+
+  const auto blob = make_blob(8, 0x33);
+  ASSERT_TRUE(store.store(42, blob).is_ok());  // op 0
+  EXPECT_FALSE(store.load(42).is_ok());        // op 1: injected
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, StoreFaultKind::kLoadFail);
+  EXPECT_EQ(events[0].tag, 7u);
+  EXPECT_EQ(events[0].key, 42u);
+  EXPECT_EQ(events[0].op_index, 1u);
+}
+
+}  // namespace
+}  // namespace mrts::storage
