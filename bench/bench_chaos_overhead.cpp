@@ -74,9 +74,10 @@ Outcome run_config(const Config& cfg, std::size_t routes) {
 }  // namespace
 
 int main() {
-  print_header("chaos harness overhead",
-               "determinism and tracing cost wall time, never correctness; "
-               "the workload executes identical hop counts in every mode");
+  BenchReport report("chaos_overhead", "chaos harness overhead",
+                     "determinism and tracing cost wall time, never "
+                     "correctness; the workload executes identical hop "
+                     "counts in every mode");
 
   const Config configs[] = {
       {.name = "threaded"},
@@ -93,7 +94,7 @@ int main() {
       table.row(cfg.name, routes, out.seconds, out.hops, out.trace_events,
                 util::format("{:.2f}x", base > 0 ? out.seconds / base : 0.0));
     }
-    table.print();
+    report.add(util::format("routes={}", routes), std::move(table));
   }
   return 0;
 }

@@ -6,10 +6,14 @@
 // a `# paper:` line stating the qualitative expectation from the paper so
 // EXPERIMENTS.md can record paper-vs-measured side by side.
 
+#include <charconv>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "pumg/method.hpp"
 #include "pumg/nupdr.hpp"
 #include "pumg/ooc.hpp"
@@ -62,6 +66,13 @@ class Table {
     for (const auto& r : rows_) print_row(r);
   }
 
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(const char* s) { return s; }
@@ -76,6 +87,105 @@ class Table {
 
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Harness wrapper: prints the usual header/tables on stdout and mirrors
+/// everything into a machine-readable `BENCH_<name>.json` in the working
+/// directory so sweeps can be diffed and plotted without scraping tables.
+/// The JSON is written by write_json() or, failing that, the destructor.
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::string title, std::string paper)
+      : name_(std::move(name)),
+        title_(std::move(title)),
+        paper_(std::move(paper)) {
+    print_header(title_, paper_);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    if (!written_) write_json();
+  }
+
+  /// Free-form run metadata (string keyed) carried into the JSON.
+  void set_meta(std::string key, std::string value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Prints the table and stages it for the JSON dump.
+  void add(std::string label, Table table) {
+    table.print();
+    tables_.emplace_back(std::move(label), std::move(table));
+  }
+
+  bool write_json() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << obs::json_escape(name_) << "\",\n";
+    out << "  \"title\": \"" << obs::json_escape(title_) << "\",\n";
+    out << "  \"paper\": \"" << obs::json_escape(paper_) << "\",\n";
+    out << "  \"metadata\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \""
+          << obs::json_escape(meta_[i].first) << "\": \""
+          << obs::json_escape(meta_[i].second) << "\"";
+    }
+    out << (meta_.empty() ? "},\n" : "\n  },\n");
+    out << "  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& [label, table] = tables_[t];
+      out << (t == 0 ? "\n" : ",\n") << "    {\n      \"label\": \""
+          << obs::json_escape(label) << "\",\n      \"columns\": [";
+      const auto& cols = table.columns();
+      for (std::size_t c = 0; c < cols.size(); ++c) {
+        out << (c == 0 ? "" : ", ") << "\"" << obs::json_escape(cols[c])
+            << "\"";
+      }
+      out << "],\n      \"rows\": [";
+      const auto& rows = table.rows();
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        out << (r == 0 ? "\n" : ",\n") << "        [";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+          out << (c == 0 ? "" : ", ") << cell_json(rows[r][c]);
+        }
+        out << "]";
+      }
+      out << (rows.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    out << (tables_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("# wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  /// Cells that parse fully as a number are emitted raw (JSON number);
+  /// everything else is a quoted string.
+  static std::string cell_json(const std::string& cell) {
+    double v = 0.0;
+    const char* end = cell.data() + cell.size();
+    const auto [ptr, ec] = std::from_chars(cell.data(), end, v);
+    if (ec == std::errc() && ptr == end && !cell.empty()) return cell;
+    return "\"" + obs::json_escape(cell) + "\"";
+  }
+
+  std::string name_;
+  std::string title_;
+  std::string paper_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, Table>> tables_;
+  bool written_ = false;
 };
 
 /// The uniform workload (square domain) at a target element count.

@@ -80,7 +80,8 @@ ChurnResult run_churn(bool lazy_updates) {
 }  // namespace
 
 int main() {
-  print_header(
+  BenchReport report(
+      "directory",
       "Directory ablation — lazy location updates vs none, under migration "
       "churn (24 objects hopping around 6 nodes, 20 rounds of messages)",
       "lazy updates keep forwarding chains short at a small update cost "
@@ -96,6 +97,6 @@ int main() {
                                      static_cast<double>(r.delivered)),
           r.updates);
   }
-  t.print();
+  report.add("policies", std::move(t));
   return 0;
 }

@@ -7,7 +7,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig10_opcdm_ooc",
       "Figure 10 — OPCDM, out-of-core problem sizes (size-scaled strips, 4 nodes, "
       "4 MB per node, file-backed spill)",
       "time grows almost linearly with problem size despite heavy swapping");
@@ -28,6 +29,6 @@ int main() {
               static_cast<double>(ooc.mesh.elements),
           ooc.objects_spilled, ooc.objects_loaded, ooc.bytes_spilled >> 20);
   }
-  t.print();
+  report.add("scaling", std::move(t));
   return 0;
 }

@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig1_scheduler",
       "Figure 1 — job queue wait vs requested width (128-node cluster, "
       "FCFS + EASY backfill, 8-week synthetic trace)",
       "requests for <16 nodes start within a couple of minutes; 32-node "
@@ -28,9 +29,11 @@ int main() {
     t.row(b.width, b.wait_s.count(), fmt_min(b.median_s()),
           fmt_min(b.quantile_s(0.9)), fmt_min(b.wait_s.mean()));
   }
-  t.print();
-  std::printf("cluster utilization: %.1f%%\n",
-              100.0 * jobsim::utilization(schedule, config.cluster_nodes));
+  report.add("queue_wait_vs_width", std::move(t));
+  const double util_pct =
+      100.0 * jobsim::utilization(schedule, config.cluster_nodes);
+  std::printf("cluster utilization: %.1f%%\n", util_pct);
+  report.set_meta("cluster_utilization_pct", util::format("{:.1f}", util_pct));
 
   print_header(
       "Paper §I turnaround example — wide in-core vs narrow out-of-core",
@@ -58,10 +61,11 @@ int main() {
   c.row("in-core (wide)", 32, fmt(wait32), fmt(run32), fmt(wait32 + run32));
   c.row("out-of-core (narrow)", 16, fmt(wait16), fmt(run16),
         fmt(wait16 + run16));
-  c.print();
+  report.add("turnaround_example", std::move(c));
   std::printf(
       "measured OOC slowdown factor (OPCDM on half the nodes, tight memory): "
       "%.2fx (paper: 731/310 = 2.36x)\n",
       slowdown);
+  report.set_meta("ooc_slowdown_factor", util::format("{:.2f}", slowdown));
   return 0;
 }

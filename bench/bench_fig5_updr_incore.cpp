@@ -8,7 +8,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig5_updr_incore",
       "Figure 5 — UPDR vs OUPDR, in-core problem sizes (4x4 grid, 4 PEs)",
       "OUPDR tracks UPDR closely; the runtime's overhead stays small "
       "(paper: OUPDR up to 12% slower in-core)");
@@ -29,6 +30,6 @@ int main() {
                                            incore.wall_seconds) /
                                       incore.wall_seconds));
   }
-  t.print();
+  report.add("updr_vs_oupdr", std::move(t));
   return 0;
 }

@@ -7,7 +7,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig6_nupdr_incore",
       "Figure 6 — NUPDR vs ONUPDR, in-core graded problems (quadtree)",
       "overhead up to ~18% for 4 and 8 PEs; larger at low PE counts where "
       "the in-core mesher's lean allocator shows (paper: up to 41% at 2 PEs)");
@@ -33,6 +34,6 @@ int main() {
                                         incore.wall_seconds));
     }
   }
-  t.print();
+  report.add("nupdr_vs_onupdr", std::move(t));
   return 0;
 }

@@ -7,7 +7,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig7_pcdm_incore",
       "Figure 7 — PCDM vs OPCDM, in-core problem sizes (8 strips)",
       "OPCDM tracks PCDM closely when memory suffices (paper: up to 13% "
       "overhead)");
@@ -27,6 +28,6 @@ int main() {
                                            incore.wall_seconds) /
                                       incore.wall_seconds));
   }
-  t.print();
+  report.add("pcdm_vs_opcdm", std::move(t));
   return 0;
 }

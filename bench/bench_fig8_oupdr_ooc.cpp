@@ -8,7 +8,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig8_oupdr_ooc",
       "Figure 8 — OUPDR, out-of-core problem sizes (8x8 grid, 4 nodes, "
       "4 MB per node, file-backed spill)",
       "time grows almost linearly with problem size despite heavy swapping");
@@ -27,6 +28,6 @@ int main() {
               static_cast<double>(ooc.mesh.elements),
           ooc.objects_spilled, ooc.objects_loaded, ooc.bytes_spilled >> 20);
   }
-  t.print();
+  report.add("scaling", std::move(t));
   return 0;
 }

@@ -7,7 +7,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "fig9_onupdr_ooc",
       "Figure 9 — ONUPDR, out-of-core graded problems (quadtree, 2 nodes, "
       "4 MB per node, file-backed spill)",
       "time grows almost linearly with problem size despite heavy swapping");
@@ -26,6 +27,6 @@ int main() {
               static_cast<double>(ooc.mesh.elements),
           ooc.objects_spilled, ooc.objects_loaded);
   }
-  t.print();
+  report.add("scaling", std::move(t));
   return 0;
 }

@@ -80,7 +80,8 @@ Outcome run_imbalanced(bool balanced, int objects, int rounds) {
 }  // namespace
 
 int main() {
-  print_header(
+  BenchReport report(
+      "load_balance",
       "Load-balancing ablation — all work created on node 0 of 4 nodes "
       "(1 ms handlers; note: this host has 1 physical core, so wall-clock "
       "parity rather than speedup is expected — the sleep-based handlers "
@@ -95,6 +96,6 @@ int main() {
     t.row(balanced ? "on" : "off", 32, 8, r.seconds, r.migrations,
           r.hosting_nodes);
   }
-  t.print();
+  report.add("balancing", std::move(t));
   return 0;
 }

@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "multicast",
       "Multicast ablation — ONUPDR base vs multicast collection",
       "the multicast variant trades migrations for inline split delivery; "
       "the paper reports the optimized collect-based ONUPDR performs "
@@ -29,6 +30,6 @@ int main() {
           r.report.total_seconds, r.mesh.elements / 1000, r.migrations,
           r.inline_deliveries, r.messages_executed);
   }
-  t.print();
+  report.add("variants", std::move(t));
   return 0;
 }

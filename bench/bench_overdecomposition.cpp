@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "overdecomposition",
       "Overdecomposition ablation — OPCDM strips per node (4 nodes, "
       "2 MB/node, fixed ~180k-element problem)",
       "N >> P keeps swap units small. Historical note: before the "
@@ -34,6 +35,6 @@ int main() {
               ? (r.bytes_spilled / std::max<std::uint64_t>(1, r.objects_spilled)) >> 10
               : 0);
   }
-  t.print();
+  report.add("strips", std::move(t));
   return 0;
 }

@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "remote_memory",
       "Out-of-core medium ablation — local disk vs remote memory (OPCDM, "
       "4 nodes, 2 MB/node budget)",
       "remote memory outperforms a slow local disk as the swap medium; "
@@ -43,6 +44,6 @@ int main() {
           r.objects_spilled, r.objects_loaded, r.report.disk_pct(),
           r.report.overlap_pct());
   }
-  t.print();
+  report.add("media", std::move(t));
   return 0;
 }

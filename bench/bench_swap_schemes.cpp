@@ -10,7 +10,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "swap_schemes",
       "Swapping-scheme ablation — OPCDM and ONUPDR under a tight budget",
       "LRU is best most of the time; LFU can edge it out for PCDM; MRU/MU "
       "are poor fits for this access pattern");
@@ -35,6 +36,6 @@ int main() {
     t.row(std::string(storage::to_string(scheme)), rp.report.total_seconds,
           rp.objects_loaded, rn.report.total_seconds, rn.objects_loaded);
   }
-  t.print();
+  report.add("schemes", std::move(t));
   return 0;
 }

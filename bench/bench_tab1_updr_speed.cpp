@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "tab1_updr_speed",
       "Table I — single-PE speed of UPDR and OUPDR "
       "(Speed = elements / (time * PEs), 10^3 elements/s)",
       "speed stays roughly constant as problem size grows for both; the "
@@ -42,6 +43,6 @@ int main() {
     t.row(ooc.mesh.elements / 1000, pes, updr_speed, pes,
           util::format("{:.0f}", ooc_speed));
   }
-  t.print();
+  report.add("speed", std::move(t));
   return 0;
 }

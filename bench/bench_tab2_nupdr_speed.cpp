@@ -7,7 +7,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "tab2_nupdr_speed",
       "Table II — single-PE speed of NUPDR and ONUPDR "
       "(Speed = elements / (time * PEs), 10^3 elements/s)",
       "roughly constant per-PE speed as size grows; OOC variant continues "
@@ -38,6 +39,6 @@ int main() {
     t.row(ooc.mesh.elements / 1000, incore_speed,
           util::format("{:.0f}", ooc_speed));
   }
-  t.print();
+  report.add("speed", std::move(t));
   return 0;
 }

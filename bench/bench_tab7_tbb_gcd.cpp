@@ -13,7 +13,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "tab7_tbb_gcd",
       "Table VII — NUPDR computing-layer backends: work-stealing (TBB-like) "
       "vs central-queue (GCD-like), pipe cross-section",
       "both backends behave similarly; the GCD-style central queue is "
@@ -43,6 +44,6 @@ int main() {
           util::format("{:.2f}", t1[0] / t4[0]), t1[1], t4[1],
           util::format("{:.2f}", t1[1] / t4[1]));
   }
-  t.print();
+  report.add("backends", std::move(t));
   return 0;
 }

@@ -9,7 +9,8 @@ using namespace mrts;
 using namespace mrts::bench;
 
 int main() {
-  print_header(
+  BenchReport report(
+      "thresholds",
       "Swapping-threshold ablation — OPCDM (2 nodes, 2 MB/node)",
       "the defaults (hard x2, soft 1/2) balance eviction churn against "
       "allocation stalls; extreme settings spill more or run closer to the "
@@ -29,6 +30,6 @@ int main() {
             r.objects_loaded, r.bytes_spilled >> 20);
     }
   }
-  t.print();
+  report.add("thresholds", std::move(t));
   return 0;
 }

@@ -1,0 +1,141 @@
+// Cost of the observability layer: span tracing is always compiled into
+// this binary (MRTS_TRACE=ON), so the honest comparison is runtime-disabled
+// vs runtime-enabled recording on an identical workload. A build with
+// -DMRTS_TRACE=OFF removes even the disabled-path check (one relaxed atomic
+// load per site), so the "off" rows here are an upper bound on what an
+// untraced build pays.
+//
+// Two workloads bracket the cost:
+//   opcdm mesh — representative: handlers do real refinement work, so the
+//                per-event cost amortizes; expected <2% slowdown.
+//   hop        — adversarial: near-empty handlers at ~7 events per hop put
+//                the per-event cost (~a few hundred ns) on the critical
+//                path; this bounds the worst case, not typical use.
+//
+// Each mode runs several times and reports the best run, which filters
+// scheduler noise on a shared host.
+
+#include "bench_common.hpp"
+#include "chaos/workload.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  std::uint64_t work = 0;  // hops or elements
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+void set_recorder(bool tracing) {
+  auto& tr = obs::TraceRecorder::global();
+  if (tracing) {
+    tr.enable();
+  } else {
+    tr.disable();
+    tr.reset();
+  }
+}
+
+Outcome finish(Outcome out) {
+  auto& tr = obs::TraceRecorder::global();
+  out.events = tr.total_recorded();
+  out.dropped = tr.total_dropped();
+  tr.disable();
+  return out;
+}
+
+Outcome run_hops(bool tracing, std::size_t routes) {
+  set_recorder(tracing);
+  core::ClusterOptions options;
+  options.nodes = 4;
+  options.runtime.ooc.memory_budget_bytes = 256u << 10;
+  options.spill = core::SpillMedium::kMemory;
+  core::Cluster cluster(options);
+
+  chaos::HopWorkloadOptions wl;
+  wl.payload_words = 1024;
+  wl.routes = routes;
+  wl.route_length = 8;
+  wl.migrate_every = 4;
+  chaos::HopWorkload workload(cluster, wl);
+  workload.create_objects();
+  workload.inject();
+
+  util::WallTimer timer;
+  (void)cluster.run();
+  Outcome out;
+  out.seconds = timer.seconds();
+  out.work = workload.executed_hops();
+  return finish(out);
+}
+
+Outcome run_mesh(bool tracing, std::size_t target) {
+  set_recorder(tracing);
+  const auto problem = uniform_problem(target);
+  pumg::OpcdmOocConfig config{
+      .cluster = ooc_cluster(4, 2048, core::SpillMedium::kMemory),
+      .strips = 16};
+  util::WallTimer timer;
+  const auto r = pumg::run_opcdm_ooc(problem, config);
+  Outcome out;
+  out.seconds = timer.seconds();
+  out.work = r.mesh.elements;
+  return finish(out);
+}
+
+/// Interleaves off/on reps (after one discarded warm-up) so host frequency
+/// or cache drift hits both modes equally, and keeps each mode's best run.
+template <typename Fn>
+std::pair<Outcome, Outcome> measure(int reps, Fn&& run) {
+  (void)run(false);
+  Outcome off, on;
+  for (int i = 0; i < reps; ++i) {
+    const Outcome o = run(false);
+    if (off.seconds == 0.0 || o.seconds < off.seconds) off = o;
+    const Outcome n = run(true);
+    if (on.seconds == 0.0 || n.seconds < on.seconds) on = n;
+  }
+  return {off, on};
+}
+
+void add_pair(BenchReport& report, const std::string& label,
+              const char* work_col, const Outcome& off, const Outcome& on) {
+  Table t({"recorder", "best seconds", work_col, "events", "dropped",
+           "vs off"});
+  t.row("off", off.seconds, off.work, off.events, off.dropped, "1.00x");
+  t.row("on", on.seconds, on.work, on.events, on.dropped,
+        util::format("{:.3f}x",
+                     off.seconds > 0 ? on.seconds / off.seconds : 0.0));
+  report.add(label, std::move(t));
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report(
+      "trace_overhead", "observability (span tracing) overhead",
+      "on a representative meshing workload span recording costs <2% wall "
+      "time; near-empty handlers (hop workload) bound the worst case at the "
+      "per-event cost; disabled, instrumentation is one relaxed atomic load "
+      "per site");
+  report.set_meta("trace_compiled_in",
+                  obs::TraceRecorder::compiled_in() ? "true" : "false");
+
+  {
+    const auto [off, on] =
+        measure(5, [](bool tracing) { return run_mesh(tracing, 150000); });
+    add_pair(report, "opcdm_mesh_representative", "elements", off, on);
+  }
+  {
+    const auto [off, on] =
+        measure(5, [](bool tracing) { return run_hops(tracing, 4096); });
+    add_pair(report, "hop_adversarial", "hops", off, on);
+  }
+  return 0;
+}

@@ -8,6 +8,8 @@
 // Build & run:   cmake --build build && ./build/examples/chaos_replay
 //   ./build/examples/chaos_replay --chaos_seed=13
 //   ./build/examples/chaos_replay --chaos_seed=13 --trace   # full dump
+//   ./build/examples/chaos_replay --chaos_seed=13 --trace=replay.json
+//     # Chrome trace (chrome://tracing / Perfetto) on the virtual step clock
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,8 @@
 
 #include "chaos/chaos.hpp"
 #include "chaos/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 using namespace mrts;
 
@@ -39,12 +43,31 @@ bool arg_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+std::string arg_str(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = arg_u64(argc, argv, "--chaos_seed", 1);
   const std::uint64_t nodes = arg_u64(argc, argv, "--nodes", 4);
   const bool dump_trace = arg_flag(argc, argv, "--trace");
+  const std::string trace_json = arg_str(argc, argv, "--trace");
+
+  if (!trace_json.empty()) {
+    // Span timestamps follow the deterministic driver's sweep counter, so
+    // the exported timeline is step-accurate and replays identically.
+    obs::TraceRecorder::global().enable(
+        {.ring_capacity = std::size_t{1} << 16,
+         .clock = obs::TraceClock::kVirtual});
+  }
 
   chaos::ChaosPlan plan;
   plan.seed = seed;
@@ -80,6 +103,19 @@ int main(int argc, char** argv) {
 
   if (dump_trace) {
     std::fputs(harness.trace().text().c_str(), stdout);
+  }
+  if (!trace_json.empty()) {
+    auto& tr = obs::TraceRecorder::global();
+    tr.disable();
+    const auto st = obs::write_chrome_trace(trace_json, tr);
+    if (st.is_ok()) {
+      std::printf("chrome trace %s (%llu events, %llu dropped)\n",
+                  trace_json.c_str(),
+                  static_cast<unsigned long long>(tr.total_recorded()),
+                  static_cast<unsigned long long>(tr.total_dropped()));
+    } else {
+      std::printf("chrome trace FAILED: %s\n", st.to_string().c_str());
+    }
   }
   std::printf("chaos_seed   %llu\n", static_cast<unsigned long long>(seed));
   std::printf("trace        %zu events, crc32 %08x\n", harness.trace().lines(),

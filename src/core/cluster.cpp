@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "storage/file_store.hpp"
 #include "storage/latency_store.hpp"
 #include "storage/mem_store.hpp"
@@ -126,6 +128,14 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
 
 Cluster::~Cluster() = default;
 
+void Cluster::ensure_quiesced(const char* what) const {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::logic_error(std::string("mrts: Cluster::") + what +
+                           " called while run() is in flight; counters may "
+                           "be mid-update — snapshot only at quiescence");
+  }
+}
+
 std::uint64_t Cluster::global_activity() const {
   std::uint64_t total = fabric_->send_epoch();
   for (const auto& rt : runtimes_) total += rt->activity_epoch();
@@ -170,6 +180,7 @@ RunReport Cluster::run() {
   const std::vector<BusyTimes> before = busy_snapshot(runtimes_);
   const net::FabricStats fabric_before = fabric_->stats();
 
+  running_.store(true, std::memory_order_release);
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
   threads.reserve(runtimes_.size());
@@ -214,6 +225,7 @@ RunReport Cluster::run() {
 
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  running_.store(false, std::memory_order_release);
   for (auto& rt : runtimes_) rt->flush_stores();
   return finish_report(timed_out, timer.seconds(), before,
                        busy_snapshot(runtimes_), fabric_before,
@@ -240,6 +252,7 @@ RunReport Cluster::run_deterministic() {
   bool timed_out = false;
   int quiet_sweeps = 0;
   std::uint64_t step = 0;
+  running_.store(true, std::memory_order_release);
   while (quiet_sweeps < 2) {
     ++step;
     if (timer.seconds() > static_cast<double>(options_.max_run_time.count())) {
@@ -247,6 +260,9 @@ RunReport Cluster::run_deterministic() {
       break;
     }
     fabric_->advance_step(step);
+    // Publish the sweep counter as the trace clock so events recorded under
+    // TraceClock::kVirtual line up with the deterministic schedule.
+    obs::TraceRecorder::global().set_virtual_time(step);
     for (std::size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[order_rng.below(i)]);
     }
@@ -271,6 +287,7 @@ RunReport Cluster::run_deterministic() {
                        fabric_->held_messages() == 0;
     quiet_sweeps = quiet ? quiet_sweeps + 1 : 0;
   }
+  running_.store(false, std::memory_order_release);
   for (auto& rt : runtimes_) rt->flush_stores();
   return finish_report(timed_out, timer.seconds(), before,
                        busy_snapshot(runtimes_), fabric_before,

@@ -16,6 +16,7 @@
 //   RunBreakdown b = cluster.run();            // parallel phase
 //   ... inspect results via cluster.node(i).peek(...) ...
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -115,15 +116,22 @@ class Cluster {
   /// returned breakdown covers this call only.
   RunReport run();
 
-  /// Sum of a per-node counter over all nodes.
+  /// Sum of a per-node counter over all nodes. Quiescent-only: calling this
+  /// while run() is in flight would read counters that node threads are
+  /// still updating mid-handler (time accumulators are not atomic), so it
+  /// throws std::logic_error instead of returning a torn snapshot. Call it
+  /// before run() or after run() returns.
   template <typename Fn>
   [[nodiscard]] std::uint64_t sum_counters(Fn&& get) const {
+    ensure_quiesced("sum_counters");
     std::uint64_t total = 0;
     for (const auto& rt : runtimes_) total += get(rt->counters());
     return total;
   }
 
  private:
+  /// Throws std::logic_error when a run is in flight.
+  void ensure_quiesced(const char* what) const;
   [[nodiscard]] std::uint64_t global_activity() const;
   [[nodiscard]] bool all_idle() const;
   void maybe_advise_balance();
@@ -134,6 +142,8 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<storage::RemoteMemoryPool> remote_pool_;
   std::vector<std::unique_ptr<Runtime>> runtimes_;
+  /// True while run()/run_deterministic() is driving node progress.
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace mrts::core

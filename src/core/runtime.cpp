@@ -4,7 +4,10 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace mrts::core {
@@ -44,13 +47,20 @@ Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
       endpoint_(endpoint),
       registry_(registry),
       options_(options),
+      ooc_hits_(&obs::MetricsRegistry::global().counter("ooc.hits")),
+      ooc_misses_(&obs::MetricsRegistry::global().counter("ooc.misses")),
+      ooc_evictions_(&obs::MetricsRegistry::global().counter("ooc.evictions")),
       ooc_(options.ooc),
       store_(std::move(spill_backend), &counters_.disk_time,
              storage::ObjectStoreOptions{
                  .max_retries = options.storage_max_retries,
-                 .synchronous = options.synchronous_storage}),
+                 .synchronous = options.synchronous_storage,
+                 .trace_track = node}),
       pool_(tasking::make_pool(options.pool_backend, options.pool_workers)) {
   endpoint_.set_comm_accumulator(&counters_.comm_time);
+  obs::MetricsRegistry::global()
+      .gauge(util::format("ooc.budget_bytes.node{}", node))
+      .set(static_cast<double>(options.ooc.memory_budget_bytes));
   register_am_handlers();
 }
 
@@ -225,7 +235,9 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
       counters_.location_updates.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  enqueue_local(*e, dst, QueuedMessage{handler, origin, std::move(payload)});
+  QueuedMessage msg{handler, origin, std::move(payload)};
+  msg.hops = static_cast<std::uint32_t>(route.size() - 1);
+  enqueue_local(*e, dst, std::move(msg));
 }
 
 void Runtime::am_location_update(NodeId /*src*/, util::ByteReader& in) {
@@ -251,6 +263,13 @@ void Runtime::am_location_update(NodeId /*src*/, util::ByteReader& in) {
 }
 
 void Runtime::enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg) {
+  if (e.state == Residency::kInCore) {
+    ooc_hits_->inc();
+  } else {
+    ooc_misses_->inc();
+  }
+  obs::TraceRecorder& tr = obs::TraceRecorder::global();
+  if (tr.enabled()) msg.enq_ts = tr.now();
   e.queue.push_back(std::move(msg));
   queued_messages_.fetch_add(1, std::memory_order_acq_rel);
   bump_activity();
@@ -282,7 +301,9 @@ bool Runtime::try_deliver_inline(MobilePtr dst, HandlerId handler,
   ooc_.on_access(dst.id);
   e->running = true;
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "handler.inline",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     util::ByteReader reader(payload);
     registry_.handler(e->type, handler)(*this, *e->obj, dst, node_, reader);
   }
@@ -410,7 +431,9 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
     w.write_vector(msg.payload);
   }
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "migrate.serialize",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     e.obj->on_unregister(*this);
     util::ByteWriter body(e.footprint + 64);
     e.obj->serialize(body);
@@ -429,6 +452,8 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   e.queue.clear();
   e.in_ready_list = false;  // stale ready entries are skipped by state check
   counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.out",
+                                       static_cast<std::uint16_t>(node_), dst);
   endpoint_.send(dst, am_install_id_, w.take());
 }
 
@@ -450,7 +475,9 @@ void Runtime::am_install(NodeId src, util::ByteReader& in) {
 
   auto obj = registry_.create(type);
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "migrate.deserialize",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     util::ByteReader body(unseal_blob(blob));
     obj->deserialize(body);
   }
@@ -473,10 +500,11 @@ void Runtime::am_install(NodeId src, util::ByteReader& in) {
   ooc_.on_install(ptr.id, fp);
   e.obj->on_register(*this, ptr);
   counters_.migrations_in.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.in",
+                                       static_cast<std::uint16_t>(node_), src);
   queued_messages_.fetch_add(e.queue.size(), std::memory_order_acq_rel);
   bump_activity();
   if (!e.queue.empty()) push_ready(e, ptr);
-  (void)src;
 }
 
 void Runtime::am_migrate_request(NodeId /*src*/, util::ByteReader& in) {
@@ -558,6 +586,7 @@ void Runtime::send_multicast(std::vector<MobilePtr> targets,
         .payload = std::move(payload),
         .origin_src = node_,
         .requested = {},
+        .start_ts = obs::TraceRecorder::global().now(),
     });
     bump_activity();
     return;
@@ -611,6 +640,7 @@ void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
       .payload = std::move(payload),
       .origin_src = origin,
       .requested = {},
+      .start_ts = obs::TraceRecorder::global().now(),
   });
   bump_activity();
 }
@@ -667,12 +697,25 @@ bool Runtime::advance_multicasts() {
       continue;
     }
     // Every target is local, in-core, and reserved for this op: deliver.
+    {
+      // Collect latency: local collection start to all-targets-ready, as
+      // observed by the delivering (coordinator) node.
+      obs::TraceRecorder& tr = obs::TraceRecorder::global();
+      if (tr.enabled()) {
+        const std::uint64_t now = tr.now();
+        tr.complete(obs::Cat::kComm, "multicast.collect",
+                    static_cast<std::uint16_t>(node_), op.start_ts,
+                    now - std::min(op.start_ts, now), op.targets.size());
+      }
+    }
     for (std::uint32_t t = 0; t < op.deliver_count; ++t) {
       Entry& e = entry_of(op.targets[t]);
       ooc_.on_access(op.targets[t].id);
       e.running = true;
       {
-        util::ScopedCharge charge(counters_.comp_time);
+        obs::ChargedSpan span(obs::Cat::kComp, "handler.multicast",
+                              static_cast<std::uint16_t>(node_),
+                              &counters_.comp_time);
         util::ByteReader reader(op.payload);
         registry_.handler(e.type, op.handler)(*this, *e.obj, op.targets[t],
                                               op.origin_src, reader);
@@ -734,7 +777,9 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
   assert(evictable_relaxed(e));
   util::ByteWriter body(e.footprint + 64);
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "spill.serialize",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     e.obj->on_unregister(*this);
     e.obj->serialize(body);
   }
@@ -747,6 +792,10 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
   ooc_.on_spilled(blob.size());
   counters_.objects_spilled.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_spilled.fetch_add(blob.size(), std::memory_order_relaxed);
+  ooc_evictions_->inc();
+  obs::TraceRecorder::global().instant(obs::Cat::kDisk, "evict",
+                                       static_cast<std::uint16_t>(node_),
+                                       blob.size());
   ++outstanding_stores_;
   store_.store_async(ptr.id, std::move(blob), [this, ptr](util::Status s) {
     std::lock_guard lock(completions_mutex_);
@@ -845,7 +894,9 @@ void Runtime::finish_load(Entry& e, MobilePtr ptr,
   assert(e.state == Residency::kLoading);
   auto obj = registry_.create(e.type);
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "load.deserialize",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     util::ByteReader reader(unseal_blob(bytes));
     obj->deserialize(reader);
   }
@@ -881,6 +932,16 @@ void Runtime::after_handler_accounting(MobilePtr ptr, Entry& e) {
   }
   while (ooc_.hard_pressure(0) && spill_one_victim()) {
   }
+  sample_observability();
+}
+
+void Runtime::sample_observability() {
+  obs::TraceRecorder& tr = obs::TraceRecorder::global();
+  if (!tr.enabled()) return;
+  const auto track = static_cast<std::uint16_t>(node_);
+  tr.counter("ooc.in_core", track, ooc_.in_core_bytes());
+  tr.counter("pool.queued", track, pool_->queued_tasks());
+  tr.counter("pool.steals", track, pool_->steals());
 }
 
 bool Runtime::run_ready_object() {
@@ -917,9 +978,20 @@ bool Runtime::run_ready_object() {
 
 void Runtime::execute_message(MobilePtr ptr, Entry& e, QueuedMessage& msg) {
   ooc_.on_access(ptr.id);
+  obs::TraceRecorder& tr = obs::TraceRecorder::global();
+  if (tr.enabled() && msg.enq_ts != 0) {
+    // Enqueue-to-delivery wait as an async span; value carries the number of
+    // directory forwarding hops the message took before arriving here.
+    const std::uint64_t now = tr.now();
+    tr.complete(obs::Cat::kOther, "queue.wait",
+                static_cast<std::uint16_t>(node_), msg.enq_ts,
+                now - std::min(msg.enq_ts, now), msg.hops);
+  }
   e.running = true;
   {
-    util::ScopedCharge charge(counters_.comp_time);
+    obs::ChargedSpan span(obs::Cat::kComp, "handler",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
     util::ByteReader reader(msg.payload);
     registry_.handler(e.type, msg.handler)(*this, *e.obj, ptr, msg.src, reader);
   }

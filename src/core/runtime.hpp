@@ -27,6 +27,10 @@
 #include "storage/object_store.hpp"
 #include "tasking/task_pool.hpp"
 
+namespace mrts::obs {
+class Counter;
+}  // namespace mrts::obs
+
 namespace mrts::core {
 
 struct RuntimeOptions {
@@ -253,6 +257,10 @@ class Runtime {
     HandlerId handler;
     NodeId src;
     std::vector<std::byte> payload;
+    // Local observability only — not part of the wire/checkpoint format.
+    // A message that travels (migration, checkpoint) restarts its wait.
+    std::uint64_t enq_ts = 0;  // trace clock at local enqueue
+    std::uint32_t hops = 0;    // directory forwarding hops before arrival
   };
 
   struct MulticastOp {
@@ -264,6 +272,7 @@ class Runtime {
     NodeId origin_src;
     /// Per-target flag: a migrate request has been issued for this target.
     std::vector<bool> requested;
+    std::uint64_t start_ts = 0;  // trace clock when collection began locally
   };
 
   struct Entry {
@@ -344,11 +353,18 @@ class Runtime {
   [[nodiscard]] const Entry* find_entry(MobilePtr ptr) const;
   Entry* find_entry(MobilePtr ptr);
 
+  /// Samples observability gauges/counters after a handler batch; no-op
+  /// cost when tracing is disabled beyond two relaxed atomic adds.
+  void sample_observability();
+
   NodeId node_;
   net::Endpoint& endpoint_;
   const ObjectTypeRegistry& registry_;
   RuntimeOptions options_;
   NodeCounters counters_;
+  obs::Counter* ooc_hits_;    // registry-owned; message target was in-core
+  obs::Counter* ooc_misses_;  // message target was on disk / in flight
+  obs::Counter* ooc_evictions_;
   OocLayer ooc_;
   storage::ObjectStore store_;
   std::unique_ptr<tasking::TaskPool> pool_;

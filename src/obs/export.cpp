@@ -1,0 +1,210 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "util/format.hpp"
+
+namespace mrts::obs {
+
+namespace {
+
+// Formats a double without trailing-zero noise; JSON has no infinities.
+std::string num(double d) {
+  std::string s = util::format("{:.6f}", d);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+double to_us(std::uint64_t ts, TraceClock clock) {
+  // Wall timestamps are ns; virtual steps map 1 step -> 1 us.
+  return clock == TraceClock::kWall ? static_cast<double>(ts) / 1000.0
+                                    : static_cast<double>(ts);
+}
+
+void append_common(std::string& out, const TraceEvent& ev, std::uint32_t tid,
+                   TraceClock clock) {
+  out += "\"name\":\"";
+  out += json_escape(ev.name);
+  out += "\",\"cat\":\"";
+  out += to_string(ev.cat);
+  out += "\",\"pid\":";
+  out += std::to_string(ev.track);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += num(to_us(ev.ts, clock));
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u{:04x}", static_cast<int>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(
+    const std::vector<TraceRecorder::ThreadDump>& dumps, TraceClock clock) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](std::string_view body) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    out += body;
+    out += '}';
+  };
+
+  std::set<std::uint16_t> pids;
+  std::set<std::pair<std::uint16_t, std::uint32_t>> lanes;
+  for (const auto& dump : dumps) {
+    for (const TraceEvent& ev : dump.events) {
+      pids.insert(ev.track);
+      lanes.insert({ev.track, dump.tid});
+    }
+  }
+  // Metadata first: name the per-node "processes" and per-thread lanes so
+  // the viewer labels tracks instead of showing bare numbers.
+  for (const std::uint16_t pid : pids) {
+    emit(util::format(
+        "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,"
+        "\"args\":{{\"name\":\"node{}\"}}",
+        pid, pid));
+  }
+  for (const auto& [pid, tid] : lanes) {
+    emit(util::format(
+        "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},"
+        "\"args\":{{\"name\":\"thread{}\"}}",
+        pid, tid, tid));
+  }
+
+  for (const auto& dump : dumps) {
+    for (const TraceEvent& ev : dump.events) {
+      std::string body;
+      switch (ev.kind) {
+        case EventKind::kBegin:
+          body = "\"ph\":\"B\",";
+          break;
+        case EventKind::kEnd:
+          body = "\"ph\":\"E\",";
+          break;
+        case EventKind::kInstant:
+          body = util::format(
+              "\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"value\":{}}},",
+              ev.value);
+          break;
+        case EventKind::kCounter:
+          body = util::format("\"ph\":\"C\",\"args\":{{\"value\":{}}},",
+                              ev.value);
+          break;
+        case EventKind::kComplete:
+          body = util::format(
+              "\"ph\":\"X\",\"dur\":{},\"args\":{{\"value\":{}}},",
+              num(to_us(ev.dur, clock)), ev.value);
+          break;
+      }
+      append_common(body, ev, dump.tid, clock);
+      emit(body);
+    }
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string chrome_trace_json(const TraceRecorder& rec) {
+  return chrome_trace_json(rec.dump(), rec.clock());
+}
+
+util::Status write_chrome_trace(const std::string& path,
+                                const TraceRecorder& rec) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return {util::StatusCode::kIoError, "cannot open " + path};
+  }
+  out << chrome_trace_json(rec);
+  out.flush();
+  if (!out) {
+    return {util::StatusCode::kIoError, "short write to " + path};
+  }
+  return util::Status::ok();
+}
+
+std::string metrics_csv(const MetricsSnapshot& snapshot) {
+  std::string out = "name,kind,value,sum,p50,p99\n";
+  for (const auto& e : snapshot.entries) {
+    out += util::format("{},{},{},{},{},{}\n", e.name, to_string(e.kind),
+                        num(e.value), num(e.sum), num(e.p50), num(e.p99));
+  }
+  return out;
+}
+
+util::Status write_metrics_csv(const std::string& path,
+                               const MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return {util::StatusCode::kIoError, "cannot open " + path};
+  }
+  out << metrics_csv(snapshot);
+  out.flush();
+  if (!out) {
+    return {util::StatusCode::kIoError, "short write to " + path};
+  }
+  return util::Status::ok();
+}
+
+std::string text_summary(const TraceRecorder& rec,
+                         const MetricsSnapshot& snapshot, std::size_t tracks) {
+  std::string out;
+  out += util::format("trace: {} events recorded, {} dropped by ring wrap\n",
+                      rec.total_recorded(), rec.total_dropped());
+  out += "track     comp(s)     comm(s)     disk(s)    other(s)   spans\n";
+  for (std::size_t t = 0; t < tracks && t < kMaxTracks; ++t) {
+    std::uint64_t spans = 0;
+    for (std::size_t c = 0; c < kCatCount; ++c) {
+      spans += rec.spans_closed(t, static_cast<Cat>(c));
+    }
+    if (spans == 0) continue;
+    out += util::format("{:5}  {:10.4f}  {:10.4f}  {:10.4f}  {:10.4f}  {:6}\n",
+                        t, rec.busy_seconds(t, Cat::kComp),
+                        rec.busy_seconds(t, Cat::kComm),
+                        rec.busy_seconds(t, Cat::kDisk),
+                        rec.busy_seconds(t, Cat::kOther), spans);
+  }
+  if (!snapshot.entries.empty()) {
+    out += "metrics:\n";
+    for (const auto& e : snapshot.entries) {
+      if (e.kind == MetricKind::kHistogram) {
+        out += util::format("  {} ({}): n={} sum={} p50={} p99={}\n", e.name,
+                            to_string(e.kind), num(e.value), num(e.sum),
+                            num(e.p50), num(e.p99));
+      } else {
+        out += util::format("  {} ({}): {}\n", e.name, to_string(e.kind),
+                            num(e.value));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+// Observability layer, part 3: exporters.
+//
+// - chrome_trace_json / write_chrome_trace: Chrome Trace Event Format
+//   (load the file in chrome://tracing or https://ui.perfetto.dev). Each
+//   track (node id) becomes a "process", each recording thread a "thread";
+//   wall timestamps convert ns → µs, virtual timestamps map one driver step
+//   to one µs so deterministic replays lay out readably.
+// - metrics_csv / write_metrics_csv: one row per instrument
+//   (name,kind,value,sum,p50,p99).
+// - text_summary: human-readable per-run digest (per-track busy time by
+//   category, ring statistics, metric values).
+//
+// All of these read the recorder via dump(), so they inherit its
+// quiescent-only contract. They compile and return empty-but-valid output
+// when MRTS_TRACE_ENABLED=0.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/status.hpp"
+
+namespace mrts::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Renders thread dumps as a Chrome Trace Event Format document.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceRecorder::ThreadDump>& dumps, TraceClock clock);
+
+/// Convenience: dumps `rec` (default: the global recorder) and renders it.
+[[nodiscard]] std::string chrome_trace_json(
+    const TraceRecorder& rec = TraceRecorder::global());
+
+/// Writes chrome_trace_json(rec) to `path`.
+[[nodiscard]] util::Status write_chrome_trace(
+    const std::string& path, const TraceRecorder& rec = TraceRecorder::global());
+
+/// Renders a metrics snapshot as CSV (header row + one row per instrument).
+[[nodiscard]] std::string metrics_csv(const MetricsSnapshot& snapshot);
+
+/// Writes metrics_csv(snapshot) to `path`.
+[[nodiscard]] util::Status write_metrics_csv(const std::string& path,
+                                             const MetricsSnapshot& snapshot);
+
+/// Per-run text digest: busy seconds by (track, category), span counts,
+/// ring drop statistics, and every metric value.
+[[nodiscard]] std::string text_summary(
+    const TraceRecorder& rec, const MetricsSnapshot& snapshot,
+    std::size_t tracks);
+
+}  // namespace mrts::obs

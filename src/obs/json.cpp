@@ -1,0 +1,199 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+namespace mrts::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return error();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return util::Status(util::StatusCode::kInvalidArgument,
+                          "trailing garbage at offset " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  util::Status error() const {
+    return {util::StatusCode::kInvalidArgument,
+            err_.empty() ? "malformed JSON at offset " + std::to_string(pos_)
+                         : err_ + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool fail(const char* msg) {
+    if (err_.empty()) err_ = msg;
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't': return parse_literal("true", JsonValue::boolean(true), out);
+      case 'f': return parse_literal("false", JsonValue::boolean(false), out);
+      case 'n': return parse_literal("null", JsonValue::null(), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view lit, JsonValue v, JsonValue& out) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    out = std::move(v);
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    double d = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, d);
+    if (ec != std::errc{} || ptr == begin) return fail("bad number");
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    out = JsonValue::number(d);
+    return true;
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = JsonValue::string(std::move(s));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("short \\u escape");
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined; the exporters only escape control characters).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!eat('[')) return fail("expected '['");
+    out = JsonValue::array();
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item)) return false;
+      out.mutable_items().push_back(std::move(item));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!eat('{')) return fail("expected '{'");
+    out = JsonValue::object();
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.mutable_members()[std::move(key)] = std::move(value);
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+util::Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrts::obs {
+
+std::uint64_t HistogramMetric::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      // Upper bound of bucket i: samples with bit_width i are < 2^i.
+      return i == 0 ? 0 : (i >= 64 ? ~0ull : (std::uint64_t{1} << i) - 1);
+    }
+  }
+  return ~0ull;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  out.entries.reserve(entries.size());
+  for (const Entry& e : entries) {
+    Entry d = e;
+    if (const Entry* b = base.find(e.name);
+        b != nullptr && b->kind == e.kind && e.kind != MetricKind::kGauge) {
+      d.value = std::max(0.0, e.value - b->value);
+      d.sum = std::max(0.0, e.sum - b->sum);
+    }
+    out.entries.push_back(std::move(d));
+  }
+  return out;
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::get(const std::string& name,
+                                                  MetricKind kind) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = instruments_.try_emplace(name);
+  Instrument& ins = it->second;
+  if (inserted) {
+    ins.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        ins.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        ins.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        ins.histogram = std::make_unique<HistogramMetric>();
+        break;
+    }
+  } else if (ins.kind != kind) {
+    throw std::logic_error("metric '" + name + "' registered as " +
+                           to_string(ins.kind) + ", requested as " +
+                           to_string(kind));
+  }
+  return ins;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *get(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *get(name, MetricKind::kGauge).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
+  return *get(name, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(instruments_.size());
+  for (const auto& [name, ins] : instruments_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = ins.kind;
+    switch (ins.kind) {
+      case MetricKind::kCounter:
+        e.value = static_cast<double>(ins.counter->value());
+        break;
+      case MetricKind::kGauge:
+        e.value = ins.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        e.value = static_cast<double>(ins.histogram->count());
+        e.sum = static_cast<double>(ins.histogram->sum());
+        e.p50 = static_cast<double>(ins.histogram->quantile(0.50));
+        e.p99 = static_cast<double>(ins.histogram->quantile(0.99));
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, ins] : instruments_) {
+    switch (ins.kind) {
+      case MetricKind::kCounter: ins.counter->reset(); break;
+      case MetricKind::kGauge: ins.gauge->reset(); break;
+      case MetricKind::kHistogram: ins.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return instruments_.size();
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,163 @@
+#pragma once
+
+// Observability layer, part 2: named metric instruments.
+//
+// MetricsRegistry hands out process-lifetime Counter / Gauge / Histogram
+// instruments keyed by name. Instruments are cheap enough to update from hot
+// paths (one relaxed atomic op for counters, a CAS loop for gauge adds) and
+// are NEVER freed — a handle obtained once stays valid for the life of the
+// process, so layers can cache pointers across cluster teardowns.
+// reset_values() zeroes every instrument in place for run-to-run reuse.
+//
+// Snapshots are plain data: snapshot() walks the registry under its mutex
+// and copies current values; MetricsSnapshot::delta() subtracts a baseline
+// (counters and histogram counts subtract; gauges keep the later sample).
+// Unlike span tracing, metrics do not compile out — they are a handful of
+// atomics and the bench JSON emitters depend on them in every build.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mrts::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins level (queue depth, bytes in core, budget).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two-bucketed distribution of non-negative integer samples
+/// (latencies in ns, sizes in bytes). Bucket i counts samples whose
+/// bit width is i, i.e. sample 0 → bucket 0, sample s → bit_width(s).
+class HistogramMetric {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t sample) {
+    buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Approximate quantile: upper bound of the bucket holding rank q*count.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Point-in-time copy of every instrument, sorted by name.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;  // counter total / gauge level / histogram count
+    double sum = 0.0;    // histogram only
+    double p50 = 0.0;    // histogram only (approximate)
+    double p99 = 0.0;    // histogram only (approximate)
+  };
+  std::vector<Entry> entries;
+
+  /// This snapshot relative to `base`: counters and histogram counts/sums
+  /// subtract (clamped at zero); gauges and quantiles keep this snapshot's
+  /// values. Entries absent from `base` pass through unchanged.
+  [[nodiscard]] MetricsSnapshot delta(const MetricsSnapshot& base) const;
+
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry, mirroring TraceRecorder::global().
+  static MetricsRegistry& global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Registering the same name as a different kind throws
+  /// std::logic_error — names are process-global, pick unambiguous ones.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument in place; handles stay valid.
+  void reset_values();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Instrument {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Instrument& get(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace mrts::obs

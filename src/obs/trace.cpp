@@ -1,0 +1,230 @@
+#include "obs/trace.hpp"
+
+namespace mrts::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+#if MRTS_TRACE_ENABLED
+
+// Per-thread ring. Only the owning thread writes events or touches the span
+// stack; `recorded` is released so a quiescent dump() observes complete
+// events. Drop accounting is derived, hence exact: everything past the ring
+// capacity was overwritten.
+struct TraceRecorder::ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, std::uint32_t tid_in)
+      : tid(tid_in), ring(capacity) {}
+
+  void push(const TraceEvent& ev) {
+    const std::uint64_t n = recorded.load(std::memory_order_relaxed);
+    ring[n % ring.size()] = ev;
+    recorded.store(n + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t n = recorded.load(std::memory_order_acquire);
+    return n > ring.size() ? n - ring.size() : 0;
+  }
+
+  std::uint32_t tid;
+  std::vector<TraceEvent> ring;
+  std::atomic<std::uint64_t> recorded{0};
+  std::vector<OpenSpan> stack;
+  std::atomic<std::uint64_t> unmatched_ends{0};
+};
+
+namespace {
+
+// Cache of this thread's buffer within the current recorder generation;
+// reset()/enable() bump the generation, invalidating every cached pointer
+// (the old buffers are freed under the registry mutex, after which no thread
+// can still hold a stale pointer because registration re-checks generation).
+struct TlsCache {
+  const void* owner = nullptr;
+  std::uint64_t generation = ~0ull;
+  void* buffer = nullptr;
+};
+thread_local TlsCache t_cache;
+
+}  // namespace
+
+TraceRecorder::ThreadBuffer* TraceRecorder::local_buffer() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_cache.owner == this && t_cache.generation == gen) {
+    return static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  std::lock_guard lock(mutex_);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(config_.ring_capacity, next_tid_++));
+  t_cache = {this, generation_.load(std::memory_order_relaxed),
+             buffers_.back().get()};
+  return buffers_.back().get();
+}
+
+void TraceRecorder::enable(TraceConfig config) {
+  std::lock_guard lock(mutex_);
+  if (config.ring_capacity == 0) config.ring_capacity = 1;
+  config_ = config;
+  buffers_.clear();
+  next_tid_ = 0;
+  epoch_ = util::Clock::now();
+  for (auto& b : busy_ns_) b.store(0, std::memory_order_relaxed);
+  for (auto& c : span_count_) c.store(0, std::memory_order_relaxed);
+  virtual_time_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::reset() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard lock(mutex_);
+  buffers_.clear();
+  next_tid_ = 0;
+  for (auto& b : busy_ns_) b.store(0, std::memory_order_relaxed);
+  for (auto& c : span_count_) c.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t TraceRecorder::ts_of(util::Clock::time_point wall) const {
+  if (config_.clock == TraceClock::kVirtual) {
+    return virtual_time_.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall - epoch_)
+          .count());
+}
+
+void TraceRecorder::begin(Cat cat, const char* name, std::uint16_t track) {
+  if (!enabled()) return;
+  begin_at(cat, name, track, util::Clock::now());
+}
+
+void TraceRecorder::begin_at(Cat cat, const char* name, std::uint16_t track,
+                             util::Clock::time_point wall_start) {
+  ThreadBuffer* buf = local_buffer();
+  const std::uint64_t ts = ts_of(wall_start);
+  buf->stack.push_back(OpenSpan{name, cat, track, ts, wall_start});
+  buf->push(TraceEvent{.kind = EventKind::kBegin,
+                       .cat = cat,
+                       .track = track,
+                       .name = name,
+                       .ts = ts});
+}
+
+void TraceRecorder::end() { end_at(util::Clock::now()); }
+
+void TraceRecorder::end_at(util::Clock::time_point wall_end) {
+  ThreadBuffer* buf = local_buffer();
+  if (buf->stack.empty()) {
+    buf->unmatched_ends.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const OpenSpan span = buf->stack.back();
+  buf->stack.pop_back();
+  const auto busy = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      wall_end - span.wall_start);
+  const std::size_t s = slot(span.track, span.cat);
+  busy_ns_[s].fetch_add(static_cast<std::uint64_t>(busy.count()),
+                        std::memory_order_relaxed);
+  span_count_[s].fetch_add(1, std::memory_order_relaxed);
+  if (enabled()) {
+    buf->push(TraceEvent{.kind = EventKind::kEnd,
+                         .cat = span.cat,
+                         .track = span.track,
+                         .name = span.name,
+                         .ts = ts_of(wall_end)});
+  }
+}
+
+void TraceRecorder::instant(Cat cat, const char* name, std::uint16_t track,
+                            std::uint64_t value) {
+  if (!enabled()) return;
+  local_buffer()->push(TraceEvent{.kind = EventKind::kInstant,
+                                  .cat = cat,
+                                  .track = track,
+                                  .name = name,
+                                  .ts = now(),
+                                  .value = value});
+}
+
+void TraceRecorder::counter(const char* name, std::uint16_t track,
+                            std::uint64_t value) {
+  if (!enabled()) return;
+  local_buffer()->push(TraceEvent{.kind = EventKind::kCounter,
+                                  .cat = Cat::kOther,
+                                  .track = track,
+                                  .name = name,
+                                  .ts = now(),
+                                  .value = value});
+}
+
+void TraceRecorder::complete(Cat cat, const char* name, std::uint16_t track,
+                             std::uint64_t ts, std::uint64_t dur,
+                             std::uint64_t value) {
+  if (!enabled()) return;
+  local_buffer()->push(TraceEvent{.kind = EventKind::kComplete,
+                                  .cat = cat,
+                                  .track = track,
+                                  .name = name,
+                                  .ts = ts,
+                                  .dur = dur,
+                                  .value = value});
+}
+
+double TraceRecorder::busy_seconds(std::size_t track, Cat cat) const {
+  return static_cast<double>(
+             busy_ns_[slot(track, cat)].load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+std::uint64_t TraceRecorder::spans_closed(std::size_t track, Cat cat) const {
+  return span_count_[slot(track, cat)].load(std::memory_order_relaxed);
+}
+
+std::vector<TraceRecorder::ThreadDump> TraceRecorder::dump() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ThreadDump> out;
+  out.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    ThreadDump d;
+    d.tid = buf->tid;
+    d.recorded = buf->recorded.load(std::memory_order_acquire);
+    d.dropped = buf->dropped();
+    d.open_spans = buf->stack.size();
+    d.unmatched_ends = buf->unmatched_ends.load(std::memory_order_relaxed);
+    const std::uint64_t cap = buf->ring.size();
+    const std::uint64_t first = d.recorded > cap ? d.recorded - cap : 0;
+    d.events.reserve(static_cast<std::size_t>(d.recorded - first));
+    for (std::uint64_t i = first; i < d.recorded; ++i) {
+      d.events.push_back(buf->ring[i % cap]);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += buf->recorded.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->dropped();
+  return total;
+}
+
+#endif  // MRTS_TRACE_ENABLED
+
+}  // namespace mrts::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 
@@ -115,12 +116,41 @@ class OocApp {
     return stats;
   }
 
+  /// Snapshot of the global recorder's per-node span busy aggregates
+  /// (all zero when tracing is compiled out or disabled).
+  [[nodiscard]] std::vector<core::BusyTimes> span_snapshot() const {
+    const auto& tr = obs::TraceRecorder::global();
+    std::vector<core::BusyTimes> out(cluster_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = {tr.busy_seconds(i, obs::Cat::kComp),
+                tr.busy_seconds(i, obs::Cat::kComm),
+                tr.busy_seconds(i, obs::Cat::kDisk)};
+    }
+    return out;
+  }
+
+  /// Call immediately before the main cluster_.run() so finish() can
+  /// attribute span time to the parallel phase alone.
+  void mark_span_start() { span_before_ = span_snapshot(); }
+
   OocRunResult finish(core::RunReport report, std::size_t rounds,
                       std::uint64_t splits,
                       std::vector<Subdomain>* out_subs = nullptr,
                       Decomposition* out_decomp = nullptr) {
     OocRunResult result;
     result.report = report;
+    // Span-derived breakdown of the main phase only: snapshot before
+    // collect_stats() below drives its extra load pass.
+    if (const auto span_after = span_snapshot();
+        span_after.size() == span_before_.size()) {
+      result.span_busy.resize(span_after.size());
+      for (std::size_t i = 0; i < span_after.size(); ++i) {
+        result.span_busy[i] = {
+            span_after[i].comp_seconds - span_before_[i].comp_seconds,
+            span_after[i].comm_seconds - span_before_[i].comm_seconds,
+            span_after[i].disk_seconds - span_before_[i].disk_seconds};
+      }
+    }
     result.mesh = collect_stats(out_subs);
     if (out_decomp != nullptr) *out_decomp = decomp_;
     result.mesh.rounds = rounds;
@@ -158,6 +188,7 @@ class OocApp {
   Decomposition decomp_;
   std::vector<MobilePtr> cells_;
   TypeId cell_type_ = 0;
+  std::vector<core::BusyTimes> span_before_;
 };
 
 // ---------------------------------------------------------------------------
@@ -183,6 +214,7 @@ class OpcdmApp : public OocApp {
       write_splits(w, initial[i]);
       cluster_.node(0).send(cells_[i], h_refine_, w.take());
     }
+    mark_span_start();
     const auto report = cluster_.run();
     return finish(report, turns_.load(), splits_.load(), out_subs,
                   out_decomp);
@@ -292,6 +324,7 @@ class OupdrApp : public OocApp {
       coord->pending[i].clear();
       cluster_.node(0).send(cells_[i], h_phase_, w.take());
     }
+    mark_span_start();
     const auto report = cluster_.run();
     auto result = finish(report, phases_, splits_.load(), out_subs,
                          out_decomp);
@@ -459,6 +492,7 @@ class OnupdrApp : public OocApp {
     w.write<std::uint32_t>(0);
     cluster_.node(0).send(rq_, h_update_, w.take());
 
+    mark_span_start();
     const auto report = cluster_.run();
     OocRunResult result = finish(report, 0, splits_.load(), out_subs,
                                  out_decomp);

@@ -42,6 +42,11 @@ struct OocRunResult {
   /// the refinement queue when the run went quiescent (must be zero).
   std::uint64_t dirty_left = 0;
   std::uint64_t pending_left = 0;
+  /// Per-node busy seconds of the main parallel phase derived from trace
+  /// spans (obs::TraceRecorder aggregates), for cross-checking the
+  /// NodeCounters breakdown in `report`. All zero unless the caller enabled
+  /// the global recorder; excludes the stat-collection reload pass.
+  std::vector<core::BusyTimes> span_busy;
 
   [[nodiscard]] std::string summary() const;
 };

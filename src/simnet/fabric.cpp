@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace mrts::net {
 
 Fabric::Fabric(std::size_t node_count, LinkModel link)
-    : link_(link), jitter_rng_(link.jitter_seed) {
+    : link_(link),
+      pair_messages_(node_count * node_count),
+      pair_bytes_(node_count * node_count),
+      jitter_rng_(link.jitter_seed) {
   assert(node_count > 0);
   endpoints_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
@@ -40,6 +45,26 @@ FabricStats Fabric::stats() const {
       .messages_reordered =
           messages_reordered_.load(std::memory_order_relaxed),
   };
+}
+
+std::vector<Fabric::PairTraffic> Fabric::pair_traffic() const {
+  const std::size_t n = endpoints_.size();
+  std::vector<PairTraffic> out;
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const std::size_t i = src * n + dst;
+      const std::uint64_t messages =
+          pair_messages_[i].load(std::memory_order_relaxed);
+      if (messages == 0) continue;
+      out.push_back(PairTraffic{
+          .src = static_cast<NodeId>(src),
+          .dst = static_cast<NodeId>(dst),
+          .messages = messages,
+          .bytes = pair_bytes_[i].load(std::memory_order_relaxed),
+      });
+    }
+  }
+  return out;
 }
 
 void Fabric::enable_chaos(NetFaultPlan plan, FabricObserver* observer) {
@@ -163,10 +188,13 @@ AmHandlerId Endpoint::register_handler(AmHandler handler) {
 
 void Endpoint::send(NodeId dst, AmHandlerId handler,
                     std::vector<std::byte> payload) {
-  std::optional<util::ScopedCharge> charge;
-  if (comm_time_ != nullptr) charge.emplace(*comm_time_);
+  obs::ChargedSpan span(obs::Cat::kComm, "send",
+                        static_cast<std::uint16_t>(id_), comm_time_);
   const std::size_t bytes = payload.size();
   fabric_->bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  const std::size_t pair = id_ * fabric_->node_count() + dst;
+  fabric_->pair_messages_[pair].fetch_add(1, std::memory_order_relaxed);
+  fabric_->pair_bytes_[pair].fetch_add(bytes, std::memory_order_relaxed);
   if (fabric_->chaos_enabled_.load(std::memory_order_acquire)) {
     fabric_->chaos_send(id_, dst, handler, std::move(payload));
     return;
@@ -220,8 +248,8 @@ std::size_t Endpoint::poll() {
                                  .bytes = msg.payload.size()});
     }
     {
-      std::optional<util::ScopedCharge> charge;
-      if (comm_time_ != nullptr) charge.emplace(*comm_time_);
+      obs::ChargedSpan span(obs::Cat::kComm, "deliver",
+                            static_cast<std::uint16_t>(id_), comm_time_);
       util::ByteReader reader(msg.payload);
       (*handler)(msg.src, reader);
     }

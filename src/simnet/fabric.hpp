@@ -181,6 +181,18 @@ class Fabric {
 
   [[nodiscard]] FabricStats stats() const;
 
+  /// Cumulative traffic of one ordered endpoint pair.
+  struct PairTraffic {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Per-pair traffic matrix, nonzero pairs only, ordered by (src, dst).
+  /// Counts sends (before fault injection, like bytes_sent).
+  [[nodiscard]] std::vector<PairTraffic> pair_traffic() const;
+
   /// True when every message ever sent has been delivered. Combined with
   /// per-node idle flags by the runtime's termination detector.
   [[nodiscard]] bool all_delivered() const {
@@ -231,6 +243,9 @@ class Fabric {
 
   LinkModel link_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  // n*n send-side traffic matrix, indexed src * n + dst.
+  std::vector<std::atomic<std::uint64_t>> pair_messages_;
+  std::vector<std::atomic<std::uint64_t>> pair_bytes_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};

@@ -2,12 +2,20 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/format.hpp"
+
 namespace mrts::storage {
 
 ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
                          util::TimeAccumulator* disk_time,
                          ObjectStoreOptions options)
-    : backend_(std::move(backend)), disk_time_(disk_time), options_(options) {
+    : backend_(std::move(backend)),
+      disk_time_(disk_time),
+      options_(options),
+      queue_gauge_(&obs::MetricsRegistry::global().gauge(
+          util::format("storage.io_queue.node{}", options.trace_track))) {
   assert(backend_ != nullptr);
   if (!options_.synchronous) {
     io_thread_ = std::thread([this] { io_loop(); });
@@ -37,6 +45,7 @@ void ObjectStore::store_async(ObjectKey key, std::vector<std::byte> bytes,
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(req));
+    sample_queue_depth_locked();
   }
   cv_.notify_one();
 }
@@ -58,6 +67,7 @@ void ObjectStore::load_async(ObjectKey key, LoadCallback done) {
     } else {
       queue_.push_back(std::move(req));
     }
+    sample_queue_depth_locked();
   }
   cv_.notify_one();
 }
@@ -121,13 +131,26 @@ void ObjectStore::io_loop() {
     execute(req);
     lock.lock();
     --in_flight_;
+    sample_queue_depth_locked();
     if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
   }
 }
 
+void ObjectStore::sample_queue_depth_locked() {
+  const auto depth = queue_.size() + in_flight_;
+  queue_gauge_->set(static_cast<double>(depth));
+  obs::TraceRecorder::global().counter(
+      "io.queue", static_cast<std::uint16_t>(options_.trace_track), depth);
+}
+
 void ObjectStore::execute(Request& req) {
-  std::optional<util::ScopedCharge> charge;
-  if (disk_time_ != nullptr) charge.emplace(*disk_time_);
+  // One pair of clock reads feeds both disk_time_ and the trace span, so the
+  // span-derived disk busy time matches the NodeCounters number exactly.
+  // Closed before the completion callback: the callback belongs to the caller
+  // (deserialize time is charged by the runtime as computation).
+  obs::ChargedSpan span(obs::Cat::kDisk, req.is_store ? "store" : "load",
+                        static_cast<std::uint16_t>(options_.trace_track),
+                        disk_time_);
   if (req.is_store) {
     util::Status status;
     for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -136,7 +159,7 @@ void ObjectStore::execute(Request& req) {
       std::lock_guard lk(mutex_);
       ++retries_;
     }
-    charge.reset();
+    span.close();
     if (req.store_done) req.store_done(status);
   } else {
     util::Result<std::vector<std::byte>> result =
@@ -150,7 +173,7 @@ void ObjectStore::execute(Request& req) {
       std::lock_guard lk(mutex_);
       ++retries_;
     }
-    charge.reset();
+    span.close();
     if (req.load_done) req.load_done(std::move(result));
   }
 }

@@ -16,6 +16,10 @@
 #include "storage/backend.hpp"
 #include "util/timer.hpp"
 
+namespace mrts::obs {
+class Gauge;
+}  // namespace mrts::obs
+
 namespace mrts::storage {
 
 using StoreCallback = std::function<void(util::Status)>;
@@ -33,6 +37,9 @@ struct ObjectStoreOptions {
   /// load_async return. Used by the deterministic chaos driver, where I/O
   /// completion order must be a pure function of the control schedule.
   bool synchronous = false;
+  /// Trace track (node id) that this store's spans and queue-depth samples
+  /// are attributed to.
+  std::uint32_t trace_track = 0;
 };
 
 class ObjectStore {
@@ -77,10 +84,13 @@ class ObjectStore {
 
   void io_loop();
   void execute(Request& req);
+  /// Records the current queue depth (queued + in flight); call under mutex_.
+  void sample_queue_depth_locked();
 
   std::unique_ptr<StorageBackend> backend_;
   util::TimeAccumulator* disk_time_;
   ObjectStoreOptions options_;
+  obs::Gauge* queue_gauge_;  // registry-owned, process lifetime
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

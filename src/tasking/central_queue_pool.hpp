@@ -27,6 +27,10 @@ class CentralQueuePool final : public TaskPool {
   [[nodiscard]] std::uint64_t tasks_executed() const override {
     return executed_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::size_t queued_tasks() const override {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
 
  private:
   void worker_loop();

@@ -48,6 +48,13 @@ class TaskPool {
 
   /// Total tasks executed since construction (for scheduler diagnostics).
   [[nodiscard]] virtual std::uint64_t tasks_executed() const = 0;
+
+  /// Tasks currently queued and not yet started (snapshot).
+  [[nodiscard]] virtual std::size_t queued_tasks() const = 0;
+
+  /// Tasks acquired from another worker's queue; 0 for backends that
+  /// do not steal.
+  [[nodiscard]] virtual std::uint64_t steals() const { return 0; }
 };
 
 std::unique_ptr<TaskPool> make_pool(PoolBackend backend, std::size_t workers);

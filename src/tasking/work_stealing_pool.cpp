@@ -72,10 +72,20 @@ std::optional<TaskFn> WorkStealingPool::acquire(std::size_t self) {
     if (!slots_[v]->deque.empty()) {
       TaskFn fn = std::move(slots_[v]->deque.front());
       slots_[v]->deque.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return fn;
     }
   }
   return std::nullopt;
+}
+
+std::size_t WorkStealingPool::queued_tasks() const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard lock(slot->mutex);
+    total += slot->deque.size();
+  }
+  return total;
 }
 
 void WorkStealingPool::finish_task() {

@@ -27,6 +27,10 @@ class WorkStealingPool final : public TaskPool {
   [[nodiscard]] std::uint64_t tasks_executed() const override {
     return executed_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::size_t queued_tasks() const override;
+  [[nodiscard]] std::uint64_t steals() const override {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Slot {
@@ -49,6 +53,7 @@ class WorkStealingPool final : public TaskPool {
   std::atomic<std::size_t> unfinished_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::size_t> next_slot_{0};
 };
 

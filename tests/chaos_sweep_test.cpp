@@ -5,13 +5,42 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <string>
+
 #include "chaos/chaos.hpp"
 #include "chaos/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace mrts::chaos {
 namespace {
 
-class ChaosSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class ChaosSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    // Record the whole run against the deterministic sweep clock; the trace
+    // is only exported when the seed fails, as a repro artifact for CI.
+    auto& tr = obs::TraceRecorder::global();
+    tr.disable();
+    tr.reset();
+    tr.enable({.ring_capacity = 1u << 16, .clock = obs::TraceClock::kVirtual});
+  }
+  void TearDown() override {
+    auto& tr = obs::TraceRecorder::global();
+    tr.disable();
+    if (HasFailure() && obs::TraceRecorder::compiled_in()) {
+      const std::string path =
+          "chaos_fail_seed" + std::to_string(GetParam()) + ".json";
+      const auto st = obs::write_chrome_trace(path, tr);
+      std::cerr << (st.is_ok() ? "wrote trace artifact " + path
+                               : "trace artifact export failed: " +
+                                     st.to_string())
+                << "\n";
+    }
+    tr.reset();
+  }
+};
 
 TEST_P(ChaosSeedSweep, SurvivableFaultsKeepAllInvariants) {
   ChaosPlan plan;

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
 #include "core/cluster.hpp"
 
 namespace mrts::core {
@@ -193,6 +197,35 @@ TEST_F(ClusterTest, EmptyRunTerminatesImmediately) {
   auto report = cluster_->run();
   EXPECT_FALSE(report.timed_out);
   EXPECT_LT(report.total_seconds, 5.0);
+}
+
+TEST_F(ClusterTest, SumCountersThrowsWhileRunInFlight) {
+  // A handler parks on a gate so the cluster is provably mid-run when the
+  // main thread probes the counters.
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  const HandlerId h_park = cluster_->registry().register_handler(
+      type_, [&entered, &release](Runtime&, MobileObject&, MobilePtr, NodeId,
+                                  util::ByteReader&) {
+        entered.store(true);
+        while (!release.load()) std::this_thread::yield();
+      });
+  auto [ptr, box] = cluster_->node(0).create<Box>(type_);
+  cluster_->node(1).send(ptr, h_park, arg_u64(0));
+
+  std::thread runner([this] { (void)cluster_->run(); });
+  while (!entered.load()) std::this_thread::yield();
+  EXPECT_THROW(
+      (void)cluster_->sum_counters(
+          [](const NodeCounters& c) { return c.messages_executed.load(); }),
+      std::logic_error);
+  release.store(true);
+  runner.join();
+
+  // Quiescent again: the same call now succeeds and sees the parked handler.
+  const auto executed = cluster_->sum_counters(
+      [](const NodeCounters& c) { return c.messages_executed.load(); });
+  EXPECT_GE(executed, 1u);
 }
 
 class OocClusterTest : public ClusterTest {

@@ -1,0 +1,123 @@
+// Cross-check of the two time-accounting paths: the NodeCounters breakdown
+// (RunReport) and the span-derived breakdown built from TraceRecorder busy
+// aggregates. Instrumented sites use ChargedSpan, which feeds both sinks
+// from one pair of clock reads, so the percentages must agree to well within
+// the 2-point acceptance window.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "obs/trace.hpp"
+
+namespace mrts::core {
+namespace {
+
+class Blob : public MobileObject {
+ public:
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> data;
+
+  void serialize(util::ByteWriter& out) const override {
+    out.write(value);
+    out.write_vector(data);
+  }
+  void deserialize(util::ByteReader& in) override {
+    value = in.read<std::uint64_t>();
+    data = in.read_vector<std::uint64_t>();
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(Blob) + data.size() * sizeof(std::uint64_t);
+  }
+};
+
+std::vector<obs::Cat> breakdown_cats() {
+  return {obs::Cat::kComp, obs::Cat::kComm, obs::Cat::kDisk};
+}
+
+std::vector<BusyTimes> span_busy(const obs::TraceRecorder& tr,
+                                 std::size_t nodes) {
+  std::vector<BusyTimes> out(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    out[n].comp_seconds = tr.busy_seconds(n, obs::Cat::kComp);
+    out[n].comm_seconds = tr.busy_seconds(n, obs::Cat::kComm);
+    out[n].disk_seconds = tr.busy_seconds(n, obs::Cat::kDisk);
+  }
+  return out;
+}
+
+TEST(ObsBreakdownTest, SpanBreakdownMatchesNodeCountersWithinTwoPoints) {
+  if (!obs::TraceRecorder::compiled_in()) {
+    GTEST_SKIP() << "tracing compiled out (MRTS_TRACE=OFF)";
+  }
+  auto& tr = obs::TraceRecorder::global();
+  tr.disable();
+  tr.reset();
+  tr.enable({.ring_capacity = 1u << 14});
+
+  constexpr std::size_t kNodes = 2;
+  ClusterOptions options;
+  options.nodes = kNodes;
+  options.runtime.ooc.memory_budget_bytes = 1u << 20;
+  options.spill = SpillMedium::kMemory;
+  options.max_run_time = std::chrono::seconds(120);
+  Cluster cluster(options);
+  const TypeId type = cluster.registry().register_type<Blob>("blob");
+  const HandlerId h_add = cluster.registry().register_handler(
+      type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+               util::ByteReader& in) {
+        static_cast<Blob&>(obj).value += in.read<std::uint64_t>();
+      });
+
+  // ~80 KB objects well past node 0's 1 MB budget so the run exercises all
+  // three charged categories: handler compute, remote sends, and swap I/O.
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 32; ++i) {
+    auto [p, blob] = cluster.node(0).create<Blob>(type);
+    blob->data.assign(10000, static_cast<std::uint64_t>(i));
+    cluster.node(0).refresh_footprint(p);
+    ptrs.push_back(p);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (MobilePtr p : ptrs) {
+      util::ByteWriter w;
+      w.write<std::uint64_t>(1);
+      cluster.node(1).send(p, h_add, w.take());
+    }
+  }
+
+  const auto before = span_busy(tr, kNodes);
+  const auto report = cluster.run();
+  auto after = span_busy(tr, kNodes);
+  tr.disable();
+
+  ASSERT_FALSE(report.timed_out);
+  ASSERT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(cluster.node(0).counters().objects_spilled.load(), 0u);
+
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    after[n].comp_seconds -= before[n].comp_seconds;
+    after[n].comm_seconds -= before[n].comm_seconds;
+    after[n].disk_seconds -= before[n].disk_seconds;
+  }
+  const RunBreakdown span = make_breakdown(report.total_seconds, after);
+
+  // The run did real handler work, and the recorder saw it.
+  EXPECT_GT(span.comp_seconds, 0.0);
+  std::uint64_t spans = 0;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    for (const obs::Cat cat : breakdown_cats()) {
+      spans += tr.spans_closed(n, cat);
+    }
+  }
+  EXPECT_GT(spans, 0u);
+
+  EXPECT_NEAR(span.comp_pct(), report.comp_pct(), 2.0);
+  EXPECT_NEAR(span.comm_pct(), report.comm_pct(), 2.0);
+  EXPECT_NEAR(span.disk_pct(), report.disk_pct(), 2.0);
+  EXPECT_NEAR(span.overlap_pct(), report.overlap_pct(), 2.0);
+}
+
+}  // namespace
+}  // namespace mrts::core

@@ -1,0 +1,145 @@
+// MetricsRegistry unit tests: instrument identity and lifetime, kind
+// clashes, histogram bucketing, and snapshot/delta arithmetic. Metrics are
+// always compiled in, so no skip guards are needed.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mrts::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("shared");
+  Counter& b = reg.counter("shared");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsTest, KindMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("x"), std::logic_error);
+}
+
+TEST(MetricsTest, GaugeSetAndConcurrentAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.add(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), 4010.0);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("h");
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(7);    // bucket 3
+  h.observe(8);    // bucket 4
+  h.observe(255);  // bucket 8
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 271u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(8), 1u);
+  // Quantiles use nearest-rank floor(q*(n-1)) and report the holding
+  // bucket's upper bound: the median of {0,1,7,8,255} is rank 2 → bucket 3
+  // (upper bound 7); p99 is rank 3 → bucket 4 (upper bound 15); only q=1
+  // reaches the max sample's bucket.
+  EXPECT_EQ(h.quantile(0.5), 7u);
+  EXPECT_EQ(h.quantile(0.99), 15u);
+  EXPECT_EQ(h.quantile(1.0), 255u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(MetricsTest, SnapshotCopiesAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("b.level").set(2.5);
+  reg.histogram("c.lat").observe(100);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  const auto* a = snap.find("a.count");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(a->value, 3.0);
+  const auto* b = snap.find("b.level");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(b->value, 2.5);
+  const auto* c = snap.find("c.lat");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kHistogram);
+  EXPECT_DOUBLE_EQ(c->value, 1.0);  // count
+  EXPECT_DOUBLE_EQ(c->sum, 100.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(MetricsTest, DeltaSubtractsCountersKeepsGauges) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  Gauge& g = reg.gauge("depth");
+  c.inc(10);
+  g.set(5.0);
+  const MetricsSnapshot base = reg.snapshot();
+  c.inc(7);
+  g.set(2.0);
+  const MetricsSnapshot now = reg.snapshot();
+  const MetricsSnapshot d = now.delta(base);
+  EXPECT_DOUBLE_EQ(d.find("events")->value, 7.0);
+  EXPECT_DOUBLE_EQ(d.find("depth")->value, 2.0);  // later sample, no subtract
+}
+
+TEST(MetricsTest, DeltaClampsNegativeAtZero) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.inc(10);
+  const MetricsSnapshot base = reg.snapshot();
+  reg.reset_values();  // counter drops below the baseline
+  const MetricsSnapshot d = reg.snapshot().delta(base);
+  EXPECT_DOUBLE_EQ(d.find("c")->value, 0.0);
+}
+
+TEST(MetricsTest, ResetValuesKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("keep");
+  c.inc(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc(1);  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &reg.counter("keep"));
+}
+
+TEST(MetricsTest, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace mrts::obs
