@@ -46,7 +46,7 @@ Outcome run_config(const Config& cfg, std::size_t routes) {
   core::ClusterOptions options;
   options.nodes = 4;
   options.runtime.ooc.memory_budget_bytes = 256u << 10;
-  options.runtime.storage_max_retries = 16;
+  options.runtime.storage_retry.max_retries = 16;
   options.spill = core::SpillMedium::kMemory;
   if (cfg.deterministic) {
     harness.instrument(options);

@@ -16,6 +16,7 @@ int main() {
 
   Table t({"elements (10^3)", "time (s)", "us/element", "spills", "loads",
            "spilled MB"});
+  std::uint64_t retries = 0, recovered = 0, reinstalled = 0, poisoned = 0;
   for (std::size_t target : {40000, 80000, 160000, 320000}) {
     const auto problem = uniform_problem(target);
     pumg::OupdrOocConfig config{
@@ -27,7 +28,17 @@ int main() {
           1e6 * ooc.report.total_seconds /
               static_cast<double>(ooc.mesh.elements),
           ooc.objects_spilled, ooc.objects_loaded, ooc.bytes_spilled >> 20);
+    retries += ooc.storage_retries;
+    recovered += ooc.loads_recovered + ooc.checkpoint_recoveries;
+    reinstalled += ooc.spills_reinstalled;
+    poisoned += ooc.objects_poisoned;
   }
   report.add("scaling", std::move(t));
+  // Self-healing storage path activity: a fault-free run must not trip the
+  // recovery ladder, so anything nonzero here is a regression signal.
+  report.set_meta("storage_retries", std::to_string(retries));
+  report.set_meta("loads_recovered", std::to_string(recovered));
+  report.set_meta("spills_reinstalled", std::to_string(reinstalled));
+  report.set_meta("objects_poisoned", std::to_string(poisoned));
   return 0;
 }

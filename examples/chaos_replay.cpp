@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   core::ClusterOptions options;
   options.nodes = nodes;
   options.runtime.ooc.memory_budget_bytes = 256u << 10;
-  options.runtime.storage_max_retries = 16;
+  options.runtime.storage_retry.max_retries = 16;
   options.spill = core::SpillMedium::kMemory;
   harness.instrument(options);
 

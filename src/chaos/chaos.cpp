@@ -14,6 +14,7 @@ constexpr std::uint64_t kSchedDomain = 0x736368656475ull;   // "schedu"
 constexpr std::uint64_t kNetDomain = 0x6e6574ull;           // "net"
 constexpr std::uint64_t kStorageDomain = 0x7374726full;     // "stor"
 constexpr std::uint64_t kPauseDomain = 0x7061757365ull;     // "pause"
+constexpr std::uint64_t kBlackoutDomain = 0x626c61636bull;  // "black"
 
 std::uint64_t derive(std::uint64_t seed, std::uint64_t domain) {
   std::uint64_t s = seed ^ domain;
@@ -42,6 +43,22 @@ void Harness::instrument(core::ClusterOptions& options) {
     net::NetFaultPlan net = plan_.net;
     net.seed = derive(plan_.seed, kNetDomain);
     options.net_faults = net;
+  }
+  // Blackout windows: scheduled FaultWindows with every rate at 1.0, so the
+  // device refuses (or garbles) everything for a span of operations. They
+  // make the storage plan active even without background rates.
+  if (plan_.storage_blackouts > 0) {
+    util::Rng rng(derive(plan_.seed, kBlackoutDomain));
+    for (std::size_t k = 0; k < plan_.storage_blackouts; ++k) {
+      storage::FaultWindow w;
+      w.begin_op =
+          1 + rng.below(std::max<std::uint64_t>(plan_.blackout_horizon_ops, 1));
+      w.end_op = w.begin_op + std::max<std::uint64_t>(plan_.blackout_ops, 1);
+      w.store_failure_rate = 1.0;
+      w.load_failure_rate = 1.0;
+      plan_.storage.schedule.push_back(w);
+      trace_.note(util::format("blackout ops=[{},{})", w.begin_op, w.end_op));
+    }
   }
   if (storage_plan_active(plan_.storage)) {
     storage::FaultPlan storage = plan_.storage;

@@ -49,6 +49,17 @@ struct ChaosPlan {
   std::uint64_t max_pause_steps = 32;
   /// Derived pauses start within [1, pause_horizon_steps].
   std::uint64_t pause_horizon_steps = 512;
+  /// Derive this many storage blackout windows: spans of consecutive
+  /// operation indices during which EVERY store and load on a node's spill
+  /// device fails (rates forced to 1.0 via a scheduled FaultWindow) — a
+  /// device that has stopped answering, as opposed to background fault
+  /// rates. Appended to storage.schedule with seeded offsets; the circuit
+  /// breaker and the replicated mirror are what survive them.
+  std::size_t storage_blackouts = 0;
+  /// Length of each blackout window, in device operations.
+  std::uint64_t blackout_ops = 32;
+  /// Blackouts begin within [1, blackout_horizon_ops].
+  std::uint64_t blackout_horizon_ops = 512;
   /// Slack the budget invariant allows over each node's memory budget
   /// (reloads may legally overshoot while queues drain).
   std::size_t budget_overshoot_bytes = 1u << 20;

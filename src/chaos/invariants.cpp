@@ -194,4 +194,34 @@ void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
   }
 }
 
+// --------------------------------------------------------------------------
+// Storage recovery layer
+
+void check_recovery(core::Cluster& cluster, InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& rt = cluster.node(static_cast<net::NodeId>(i));
+    const auto& c = rt.counters();
+    const std::uint64_t poisoned =
+        c.objects_poisoned.load(std::memory_order_relaxed);
+    const std::uint64_t dropped =
+        c.poisoned_messages_dropped.load(std::memory_order_relaxed);
+    if (poisoned != 0) {
+      out.add(util::format("node {} poisoned {} object(s): data was lost", i,
+                           poisoned));
+    }
+    if (dropped != 0) {
+      out.add(util::format(
+          "node {} dropped {} message(s) to poisoned objects", i, dropped));
+    }
+    for (const auto& rec : rt.failure_ledger().snapshot()) {
+      if (rec.resolution == core::FailureResolution::kPoisoned) {
+        out.add(util::format(
+            "node {} ledger records unrecoverable {} failure of {} ({})", i,
+            core::to_string(rec.op), core::to_string(rec.object),
+            rec.detail));
+      }
+    }
+  }
+}
+
 }  // namespace mrts::chaos

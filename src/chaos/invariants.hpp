@@ -74,4 +74,10 @@ void check_directory_convergence(core::Cluster& cluster, InvariantReport& out);
 void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
                   InvariantReport& out);
 
+/// No-silent-data-loss: under a survivable fault plan (replication and/or
+/// object checkpoints enabled) the recovery ladder must resolve every
+/// storage failure without poisoning — zero poisoned objects, zero dropped
+/// messages, no kPoisoned ledger records on any node.
+void check_recovery(core::Cluster& cluster, InvariantReport& out);
+
 }  // namespace mrts::chaos

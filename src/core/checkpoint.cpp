@@ -81,7 +81,10 @@ util::Status checkpoint_cluster(Cluster& cluster,
   }
   for (std::size_t n = 0; n < cluster.size(); ++n) {
     util::ByteWriter w;
-    cluster.node(static_cast<NodeId>(n)).checkpoint_to(w);
+    if (auto s = cluster.node(static_cast<NodeId>(n)).checkpoint_to(w);
+        !s.is_ok()) {
+      return s;
+    }
     const auto bytes = w.take();
     if (auto s = write_sealed_file(node_file(dir, static_cast<NodeId>(n)),
                                    bytes);
@@ -110,16 +113,22 @@ util::Status restore_cluster(Cluster& cluster,
               "checkpoint type count does not match the registry"};
     }
   }
-  // Install objects per node, remembering who hosts what.
-  std::vector<std::pair<MobilePtr, NodeId>> locations;
+  // Two-phase: read and CRC-validate every node image before installing a
+  // single object, so a truncated or corrupt file leaves the whole cluster
+  // unchanged (no partial restore). Runtime::restore_from validates its
+  // image again before installing, covering corruption the file CRC missed.
+  std::vector<std::vector<std::byte>> images;
+  images.reserve(cluster.size());
   for (std::size_t n = 0; n < cluster.size(); ++n) {
     auto bytes = read_sealed_file(node_file(dir, static_cast<NodeId>(n)));
     if (!bytes.is_ok()) return bytes.status();
+    images.push_back(std::move(bytes).value());
+  }
+  std::vector<std::pair<MobilePtr, NodeId>> locations;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
     Runtime& rt = cluster.node(static_cast<NodeId>(n));
-    const std::size_t before = rt.local_objects();
-    util::ByteReader r(bytes.value());
-    rt.restore_from(r);
-    (void)before;
+    util::ByteReader r(images[n]);
+    if (auto s = rt.restore_from(r); !s.is_ok()) return s;
   }
   // Teach every home node where its migrated objects live now.
   for (std::size_t n = 0; n < cluster.size(); ++n) {

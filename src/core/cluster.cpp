@@ -47,6 +47,14 @@ std::unique_ptr<storage::StorageBackend> make_spill_backend(
     base = std::make_unique<storage::FaultStore>(std::move(base),
                                                  std::move(plan));
   }
+  if (options.replicate_spills) {
+    // Outermost, above the fault injector: faults hit only the primary, the
+    // mirror plays the healthy replica.
+    storage::ReplicatedStoreOptions ropts = options.replication;
+    ropts.tag = node;
+    base = std::make_unique<storage::ReplicatedStore>(
+        std::move(base), std::make_unique<storage::MemStore>(), ropts);
+  }
   return base;
 }
 
@@ -119,10 +127,15 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   runtimes_.reserve(options_.nodes);
   for (std::size_t i = 0; i < options_.nodes; ++i) {
     const auto id = static_cast<NodeId>(i);
+    RuntimeOptions node_options = options_.runtime;
+    if (options_.object_checkpoints &&
+        node_options.recovery.checkpoint_store == nullptr) {
+      node_options.recovery.checkpoint_store =
+          std::make_shared<storage::MemStore>();
+    }
     runtimes_.push_back(std::make_unique<Runtime>(
         id, fabric_->endpoint(id), registry_,
-        make_spill_backend(options_, id, remote_pool_.get()),
-        options_.runtime));
+        make_spill_backend(options_, id, remote_pool_.get()), node_options));
   }
 }
 

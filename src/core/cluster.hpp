@@ -27,6 +27,7 @@
 #include "storage/fault_store.hpp"
 #include "storage/latency_store.hpp"
 #include "storage/remote_store.hpp"
+#include "storage/replicated_store.hpp"
 
 namespace mrts::core {
 
@@ -87,6 +88,19 @@ struct ClusterOptions {
   /// Storage fault plan: each node's spill backend is wrapped in a
   /// FaultStore carrying a per-node derived seed and tag = node id.
   std::optional<storage::FaultPlan> storage_faults;
+
+  // --- self-healing storage path ------------------------------------------
+  /// Wrap each node's spill stack (including any FaultStore) in a
+  /// ReplicatedStore with an in-memory mirror: injected faults then hit only
+  /// the primary and are healed transparently (scrub-on-read, circuit
+  /// breaker, bounded overflow). The decorator sits outermost, exactly like
+  /// a healthy replica over a sick disk.
+  bool replicate_spills = false;
+  storage::ReplicatedStoreOptions replication;
+  /// Give each node a per-object checkpoint side-store: checkpoint_to()
+  /// copies every object blob into it and the runtime's recovery ladder
+  /// reads it back when both the spill store and its retries fail.
+  bool object_checkpoints = false;
 };
 
 struct RunReport : RunBreakdown {

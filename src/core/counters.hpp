@@ -34,6 +34,13 @@ struct NodeCounters {
   std::atomic<std::uint64_t> migrations_out{0};
   std::atomic<std::uint64_t> location_updates{0};
 
+  // Self-healing storage path (recovery ladder outcomes).
+  std::atomic<std::uint64_t> loads_recovered{0};       // re-issued load won
+  std::atomic<std::uint64_t> checkpoint_recoveries{0}; // checkpoint copy won
+  std::atomic<std::uint64_t> spills_reinstalled{0};    // failed store undone
+  std::atomic<std::uint64_t> objects_poisoned{0};      // ladder exhausted
+  std::atomic<std::uint64_t> poisoned_messages_dropped{0};
+
   void reset_times() {
     comp_time.reset();
     comm_time.reset();

@@ -1,0 +1,94 @@
+#pragma once
+
+// Structured record of storage failures and how the runtime resolved them.
+// Every failed spill-store, spill-load, or checkpoint operation that reaches
+// the recovery ladder leaves one record here, so an application (or the
+// chaos harness's no-silent-data-loss checker) can audit exactly what was
+// retried, recovered from a replica or checkpoint, reinstalled in core, or
+// — last resort — poisoned.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mobile_ptr.hpp"
+#include "util/status.hpp"
+
+namespace mrts::core {
+
+enum class FailureOp : std::uint8_t { kLoad = 0, kStore, kCheckpoint };
+
+enum class FailureResolution : std::uint8_t {
+  kRetried = 0,          // a re-issued load produced the correct blob
+  kReplicaRecovered,     // the replicated backend healed it transparently
+  kCheckpointRecovered,  // restored from the per-object checkpoint copy
+  kReinstalled,          // failed store; the payload was put back in core
+  kPoisoned,             // unrecoverable; the object is quarantined
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureOp op) {
+  switch (op) {
+    case FailureOp::kLoad: return "load";
+    case FailureOp::kStore: return "store";
+    case FailureOp::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr const char* to_string(FailureResolution r) {
+  switch (r) {
+    case FailureResolution::kRetried: return "retried";
+    case FailureResolution::kReplicaRecovered: return "replica_recovered";
+    case FailureResolution::kCheckpointRecovered: return "checkpoint_recovered";
+    case FailureResolution::kReinstalled: return "reinstalled";
+    case FailureResolution::kPoisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+struct FailureRecord {
+  MobilePtr object;
+  std::uint32_t node = 0;
+  FailureOp op = FailureOp::kLoad;
+  FailureResolution resolution = FailureResolution::kRetried;
+  util::StatusCode cause = util::StatusCode::kOk;
+  std::string detail;
+  /// Messages dropped from the object's queue when it was poisoned.
+  std::uint64_t dropped_messages = 0;
+};
+
+/// Thread-safe append-only ledger (records are written on the control
+/// thread, read by tests/monitors from anywhere).
+class FailureLedger {
+ public:
+  void add(FailureRecord record) {
+    std::lock_guard lock(mutex_);
+    records_.push_back(std::move(record));
+  }
+
+  [[nodiscard]] std::vector<FailureRecord> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return records_.size();
+  }
+
+  [[nodiscard]] std::size_t count(FailureResolution r) const {
+    std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& rec : records_) {
+      if (rec.resolution == r) ++n;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FailureRecord> records_;
+};
+
+}  // namespace mrts::core

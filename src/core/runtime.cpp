@@ -6,38 +6,22 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/crc32.hpp"
+#include "storage/sealed_blob.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace mrts::core {
-namespace {
 
-// Spill blobs carry their own CRC so corruption introduced anywhere between
-// serialization and deserialization (including below a CRC-checking backend)
-// is detected at reload.
-std::vector<std::byte> seal_blob(util::ByteWriter&& w) {
-  auto blob = w.take();
-  const std::uint32_t crc = util::crc32(blob);
-  const auto* p = reinterpret_cast<const std::byte*>(&crc);
-  blob.insert(blob.end(), p, p + sizeof(crc));
-  return blob;
-}
-
-std::span<const std::byte> unseal_blob(std::span<const std::byte> blob) {
-  if (blob.size() < sizeof(std::uint32_t)) {
-    throw std::runtime_error("mrts: spill blob shorter than its checksum");
-  }
-  const auto payload = blob.subspan(0, blob.size() - sizeof(std::uint32_t));
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, blob.data() + payload.size(), sizeof(stored));
-  if (util::crc32(payload) != stored) {
-    throw std::runtime_error("mrts: spill blob failed checksum verification");
-  }
-  return payload;
-}
-
-}  // namespace
+// Spill and migration blobs carry their own CRC (storage::seal_blob) so
+// corruption introduced anywhere between serialization and deserialization
+// (including below a CRC-checking backend) is detected at reload. Storage
+// seal failures are Status-handled by the recovery ladder; only the wire
+// paths (migration install), where a bad seal means a broken transport
+// rather than a sick disk, still treat it as fatal.
+using storage::seal_blob;
+using storage::sealed_blob_valid;
+using storage::sealed_crc;
+using storage::unseal_blob;
 
 Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
                  const ObjectTypeRegistry& registry,
@@ -53,7 +37,7 @@ Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
       ooc_(options.ooc),
       store_(std::move(spill_backend), &counters_.disk_time,
              storage::ObjectStoreOptions{
-                 .max_retries = options.storage_max_retries,
+                 .retry = options.storage_retry,
                  .synchronous = options.synchronous_storage,
                  .trace_track = node}),
       pool_(tasking::make_pool(options.pool_backend, options.pool_workers)) {
@@ -154,6 +138,9 @@ void Runtime::destroy(MobilePtr ptr) {
   }
   if (e.state == Residency::kOnDisk || e.blob_bytes > 0) {
     store_.erase(ptr.id);  // ignore kNotFound for in-flight states
+  }
+  if (options_.recovery.checkpoint_store) {
+    options_.recovery.checkpoint_store->erase(ptr.id);  // drop stale copy
   }
   queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
   directory_.erase(ptr);
@@ -263,6 +250,12 @@ void Runtime::am_location_update(NodeId /*src*/, util::ByteReader& in) {
 }
 
 void Runtime::enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg) {
+  if (e.poisoned) {
+    // Quarantined object: its state is lost, messages to it are dropped and
+    // counted (the application sees kPoisoned via object_health()).
+    counters_.poisoned_messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (e.state == Residency::kInCore) {
     ooc_hits_->inc();
   } else {
@@ -322,6 +315,7 @@ void Runtime::lock_in_core(MobilePtr ptr) {
     throw std::logic_error("mrts: lock_in_core() on a remote object");
   }
   ++e.lock_count;
+  if (e.poisoned) return;  // nothing loadable; health says kPoisoned
   if (e.state == Residency::kOnDisk || e.state == Residency::kStoring) {
     e.load_wanted = true;
     if (e.state == Residency::kOnDisk && !e.load_queued) {
@@ -345,7 +339,7 @@ void Runtime::set_priority(MobilePtr ptr, int priority) {
 
 void Runtime::prefetch(MobilePtr ptr) {
   Entry* e = find_entry(ptr);
-  if (e == nullptr || e->state == Residency::kRemote) return;
+  if (e == nullptr || e->state == Residency::kRemote || e->poisoned) return;
   if (e->state == Residency::kOnDisk || e->state == Residency::kStoring) {
     e->load_wanted = true;
     if (e->state == Residency::kOnDisk && !e->load_queued) {
@@ -478,7 +472,14 @@ void Runtime::am_install(NodeId src, util::ByteReader& in) {
     obs::ChargedSpan span(obs::Cat::kComp, "migrate.deserialize",
                           static_cast<std::uint16_t>(node_),
                           &counters_.comp_time);
-    util::ByteReader body(unseal_blob(blob));
+    auto payload = unseal_blob(blob);
+    if (!payload.is_ok()) {
+      // A bad seal on the wire path is a broken transport, not a recoverable
+      // storage fault: fail fast.
+      throw std::runtime_error("mrts: migration blob for " + to_string(ptr) +
+                               " rejected: " + payload.status().to_string());
+    }
+    util::ByteReader body(payload.value());
     obj->deserialize(body);
   }
   const std::size_t fp = obj->footprint_bytes();
@@ -654,9 +655,19 @@ bool Runtime::advance_multicasts() {
       op.requested.assign(op.targets.size(), false);
     }
     bool all_ready = true;
+    bool dropped = false;
     for (std::size_t t = 0; t < op.targets.size(); ++t) {
       const MobilePtr ptr = op.targets[t];
       Entry* e = find_entry(ptr);
+      if (e != nullptr && e->poisoned) {
+        // A quarantined target can never be collected: the multicast would
+        // stall termination forever. Drop the whole op, counting its
+        // deliveries as dropped messages.
+        counters_.poisoned_messages_dropped.fetch_add(
+            op.deliver_count, std::memory_order_relaxed);
+        dropped = true;
+        break;
+      }
       if (e == nullptr || e->state == Residency::kRemote) {
         all_ready = false;
         if (!op.requested[t]) {
@@ -691,6 +702,17 @@ bool Runtime::advance_multicasts() {
       } else if (e->collect_for != op.id) {
         all_ready = false;  // reserved by an earlier op; wait for release
       }
+    }
+    if (dropped) {
+      for (MobilePtr ptr : op.targets) {
+        if (Entry* e = find_entry(ptr);
+            e != nullptr && e->collect_for == op.id) {
+          e->collect_for = 0;
+        }
+      }
+      multicasts_.erase(multicasts_.begin() + static_cast<std::ptrdiff_t>(i));
+      did = true;
+      continue;
     }
     if (!all_ready) {
       ++i;
@@ -789,6 +811,9 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
   e.state = Residency::kStoring;
   e.in_ready_list = false;  // stale ready entries skip on state check
   e.blob_bytes = blob.size();
+  // Content identity of this spill: a reload must produce exactly these
+  // bytes. Catches a stale replica serving an older (seal-valid) version.
+  e.blob_crc = sealed_crc(blob);
   ooc_.on_spilled(blob.size());
   counters_.objects_spilled.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_spilled.fetch_add(blob.size(), std::memory_order_relaxed);
@@ -797,11 +822,17 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
                                        static_cast<std::uint16_t>(node_),
                                        blob.size());
   ++outstanding_stores_;
-  store_.store_async(ptr.id, std::move(blob), [this, ptr](util::Status s) {
-    std::lock_guard lock(completions_mutex_);
-    completions_.push_back(Completion{ptr.id, /*is_load=*/false, std::move(s), {}});
-    completions_available_.fetch_add(1, std::memory_order_release);
-  });
+  store_.store_async(
+      ptr.id, std::move(blob),
+      [this, ptr](util::Status s, std::vector<std::byte> payload) {
+        // On failure `payload` is the sealed blob handed back by the storage
+        // layer — the object's only remaining copy; the control thread
+        // reinstalls it in core.
+        std::lock_guard lock(completions_mutex_);
+        completions_.push_back(Completion{ptr.id, /*is_load=*/false,
+                                          std::move(s), std::move(payload)});
+        completions_available_.fetch_add(1, std::memory_order_release);
+      });
 }
 
 bool Runtime::schedule_loads() {
@@ -814,7 +845,7 @@ bool Runtime::schedule_loads() {
     Entry* e = find_entry(ptr);
     if (e == nullptr) continue;
     e->load_queued = false;
-    if (e->state != Residency::kOnDisk) continue;
+    if (e->state != Residency::kOnDisk || e->poisoned) continue;
     if (!e->queue.empty() || e->load_wanted) {
       // Make room before reading the blob back in — strict victims only:
       // evicting another object that still has queued messages here can
@@ -865,39 +896,63 @@ bool Runtime::drain_completions() {
     if (c.is_load) {
       --outstanding_loads_;
       if (e == nullptr) continue;  // destroyed mid-flight
-      if (!c.status.is_ok()) {
-        throw std::runtime_error("mrts: failed to load " + to_string(ptr) +
-                                 " from storage: " + c.status.to_string());
+      if (c.status.is_ok() && blob_matches(*e, c.bytes)) {
+        finish_load(*e, ptr, std::move(c.bytes));
+        continue;
       }
-      finish_load(*e, ptr, std::move(c.bytes));
+      // Hard load failure: retries exhausted, bad seal, or stale content.
+      const util::Status cause =
+          c.status.is_ok() ? util::Status(util::StatusCode::kCorruption,
+                                          "loaded blob failed seal/content "
+                                          "verification")
+                           : c.status;
+      if (!options_.recovery.enabled) {
+        throw std::runtime_error("mrts: failed to load " + to_string(ptr) +
+                                 " from storage: " + cause.to_string());
+      }
+      recover_failed_load(ptr, *e, cause);
     } else {
       --outstanding_stores_;
-      if (!c.status.is_ok()) {
+      if (c.status.is_ok()) {
+        if (e == nullptr) continue;
+        if (e->state == Residency::kStoring) {
+          e->state = Residency::kOnDisk;
+          if ((!e->queue.empty() || e->load_wanted) && !e->load_queued) {
+            e->load_queued = true;
+            load_queue_.push_back(ptr);
+          }
+        }
+        continue;
+      }
+      if (!options_.recovery.enabled) {
         throw std::runtime_error("mrts: failed to spill " + to_string(ptr) +
                                  ": " + c.status.to_string());
       }
-      if (e == nullptr) continue;
+      if (e == nullptr) continue;  // destroyed mid-flight; nothing to save
       if (e->state == Residency::kStoring) {
-        e->state = Residency::kOnDisk;
-        if ((!e->queue.empty() || e->load_wanted) && !e->load_queued) {
-          e->load_queued = true;
-          load_queue_.push_back(ptr);
-        }
+        recover_failed_store(ptr, *e, c.status, std::move(c.bytes));
       }
     }
   }
   return !batch.empty();
 }
 
+bool Runtime::blob_matches(const Entry& e,
+                           std::span<const std::byte> bytes) const {
+  return sealed_blob_valid(bytes) && sealed_crc(bytes) == e.blob_crc;
+}
+
 void Runtime::finish_load(Entry& e, MobilePtr ptr,
                           std::vector<std::byte> bytes) {
   assert(e.state == Residency::kLoading);
+  auto payload = unseal_blob(bytes);
+  assert(payload.is_ok());  // callers verify the seal before installing
   auto obj = registry_.create(e.type);
   {
     obs::ChargedSpan span(obs::Cat::kComp, "load.deserialize",
                           static_cast<std::uint16_t>(node_),
                           &counters_.comp_time);
-    util::ByteReader reader(unseal_blob(bytes));
+    util::ByteReader reader(payload.value());
     obj->deserialize(reader);
   }
   e.obj = std::move(obj);
@@ -908,6 +963,7 @@ void Runtime::finish_load(Entry& e, MobilePtr ptr,
   e.obj->on_register(*this, ptr);
   store_.erase(ptr.id);
   e.blob_bytes = 0;
+  e.blob_crc = 0;
   counters_.objects_loaded.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_loaded.fetch_add(bytes.size(), std::memory_order_relaxed);
   if (!e.queue.empty()) push_ready(e, ptr);
@@ -919,6 +975,120 @@ void Runtime::finish_load(Entry& e, MobilePtr ptr,
   // of about one object, that livelocks the load/evict cycle.
   while (ooc_.hard_pressure(0) && spill_one_victim(/*allow_relaxed=*/false)) {
   }
+}
+
+// --------------------------------------------------------------------------
+// Storage-failure recovery (the self-healing ladder)
+
+void Runtime::recover_failed_load(MobilePtr ptr, Entry& e,
+                                  const util::Status& cause) {
+  // Rung 1: one synchronous re-issued load (with its own retry budget). A
+  // transient fault window that outlived the async attempt may be over, and
+  // a replicated backend repairs itself on exactly this kind of read.
+  auto again = store_.load_sync(ptr.id);
+  if (again.is_ok() && blob_matches(e, again.value())) {
+    counters_.loads_recovered.fetch_add(1, std::memory_order_relaxed);
+    ledger_.add(FailureRecord{ptr, node_, FailureOp::kLoad,
+                              FailureResolution::kRetried, cause.code(),
+                              cause.message(), 0});
+    obs::TraceRecorder::global().instant(obs::Cat::kDisk, "recover.reload",
+                                         static_cast<std::uint16_t>(node_),
+                                         ptr.id);
+    finish_load(e, ptr, std::move(again).value());
+    return;
+  }
+  // Rung 2: the per-object checkpoint copy, accepted only when its seal CRC
+  // equals the spilled blob's (identical content — a stale checkpoint of an
+  // object that changed since is silent corruption and must not win).
+  if (options_.recovery.checkpoint_store != nullptr) {
+    auto cp = options_.recovery.checkpoint_store->load(ptr.id);
+    if (cp.is_ok() && blob_matches(e, cp.value())) {
+      counters_.checkpoint_recoveries.fetch_add(1, std::memory_order_relaxed);
+      ledger_.add(FailureRecord{ptr, node_, FailureOp::kLoad,
+                                FailureResolution::kCheckpointRecovered,
+                                cause.code(), cause.message(), 0});
+      obs::TraceRecorder::global().instant(
+          obs::Cat::kDisk, "recover.checkpoint",
+          static_cast<std::uint16_t>(node_), ptr.id);
+      finish_load(e, ptr, std::move(cp).value());
+      return;
+    }
+  }
+  poison_object(ptr, e, FailureOp::kLoad, cause);
+}
+
+void Runtime::recover_failed_store(MobilePtr ptr, Entry& e,
+                                   const util::Status& cause,
+                                   std::vector<std::byte> bytes) {
+  // The storage layer hands a failed store's payload back: undo the
+  // eviction and reinstall the object in core from it. Verify anyway —
+  // these bytes are the object's only copy.
+  if (!blob_matches(e, bytes)) {
+    poison_object(ptr, e, FailureOp::kStore, cause);
+    return;
+  }
+  auto payload = unseal_blob(bytes);
+  auto obj = registry_.create(e.type);
+  {
+    obs::ChargedSpan span(obs::Cat::kComp, "spill.reinstall",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
+    util::ByteReader reader(payload.value());
+    obj->deserialize(reader);
+  }
+  e.obj = std::move(obj);
+  e.state = Residency::kInCore;
+  e.footprint = e.obj->footprint_bytes();
+  e.blob_bytes = 0;
+  e.blob_crc = 0;
+  ooc_.on_install(ptr.id, e.footprint);
+  e.obj->on_register(*this, ptr);
+  counters_.spills_reinstalled.fetch_add(1, std::memory_order_relaxed);
+  ledger_.add(FailureRecord{ptr, node_, FailureOp::kStore,
+                            FailureResolution::kReinstalled, cause.code(),
+                            cause.message(), 0});
+  obs::TraceRecorder::global().instant(obs::Cat::kDisk, "recover.reinstall",
+                                       static_cast<std::uint16_t>(node_),
+                                       ptr.id);
+  if (!e.queue.empty()) push_ready(e, ptr);
+  bump_activity();
+  // The reinstall may exceed the budget; strict relief only — the relaxed
+  // pass could evict this same queued object straight back into the sick
+  // store and livelock the reinstall cycle.
+  while (ooc_.hard_pressure(0) && spill_one_victim(/*allow_relaxed=*/false)) {
+  }
+}
+
+void Runtime::poison_object(MobilePtr ptr, Entry& e, FailureOp op,
+                            const util::Status& cause) {
+  const std::uint64_t dropped = e.queue.size();
+  queued_messages_.fetch_sub(dropped, std::memory_order_acq_rel);
+  e.queue.clear();
+  e.poisoned = true;
+  e.state = Residency::kOnDisk;  // whatever blob remains is known-bad
+  e.load_wanted = false;
+  e.load_queued = false;
+  e.in_ready_list = false;
+  counters_.objects_poisoned.fetch_add(1, std::memory_order_relaxed);
+  counters_.poisoned_messages_dropped.fetch_add(dropped,
+                                                std::memory_order_relaxed);
+  ledger_.add(FailureRecord{ptr, node_, op, FailureResolution::kPoisoned,
+                            cause.code(), cause.message(), dropped});
+  obs::MetricsRegistry::global().counter("runtime.objects_poisoned").inc();
+  obs::TraceRecorder::global().instant(obs::Cat::kDisk, "recover.poison",
+                                       static_cast<std::uint16_t>(node_),
+                                       ptr.id);
+  MRTS_LOG_WARN(
+      "node {}: {} poisoned after unrecoverable {} failure ({}); {} queued "
+      "message(s) dropped",
+      node_, to_string(ptr), to_string(op), cause.to_string(), dropped);
+  bump_activity();
+}
+
+ObjectHealth Runtime::object_health(MobilePtr ptr) const {
+  const Entry* e = find_entry(ptr);
+  return (e != nullptr && e->poisoned) ? ObjectHealth::kPoisoned
+                                       : ObjectHealth::kHealthy;
 }
 
 // --------------------------------------------------------------------------
@@ -1066,21 +1236,25 @@ bool Runtime::is_idle() const { return idle_.load(std::memory_order_acquire); }
 // --------------------------------------------------------------------------
 // Checkpoint / restore
 
-void Runtime::checkpoint_to(util::ByteWriter& out) {
+util::Status Runtime::checkpoint_to(util::ByteWriter& out) {
   store_.drain();
+  for (const auto& [ptr, e] : directory_) {
+    if (e.state == Residency::kLoading || e.state == Residency::kStoring) {
+      return util::Status(util::StatusCode::kInvalidArgument,
+                          "checkpoint_to called with I/O in flight (not a "
+                          "phase boundary)");
+    }
+  }
   out.write(next_seq_);
   std::uint64_t count = 0;
   for (const auto& [ptr, e] : directory_) {
-    if (e.state != Residency::kRemote) ++count;
+    // Poisoned objects have no recoverable state; they are not part of the
+    // checkpointed world.
+    if (e.state != Residency::kRemote && !e.poisoned) ++count;
   }
   out.write(count);
   for (auto& [ptr, e] : directory_) {
-    if (e.state == Residency::kRemote) continue;
-    if (e.state == Residency::kLoading || e.state == Residency::kStoring) {
-      throw std::logic_error(
-          "mrts: checkpoint_to called with I/O in flight (not a phase "
-          "boundary)");
-    }
+    if (e.state == Residency::kRemote || e.poisoned) continue;
     out.write(ptr.id);
     out.write(e.type);
     out.write(static_cast<std::int32_t>(e.priority));
@@ -1090,67 +1264,118 @@ void Runtime::checkpoint_to(util::ByteWriter& out) {
       out.write(msg.src);
       out.write_vector(msg.payload);
     }
+    std::vector<std::byte> blob;
     if (e.state == Residency::kInCore) {
       util::ByteWriter body(e.footprint + 64);
       e.obj->serialize(body);
-      out.write_vector(seal_blob(std::move(body)));
+      blob = seal_blob(std::move(body));
     } else {
       // Already spilled: the stored blob is sealed; copy it verbatim.
-      auto blob = store_.load_sync(ptr.id);
-      if (!blob.is_ok()) {
-        throw std::runtime_error("mrts: checkpoint could not read spilled " +
-                                 to_string(ptr) + ": " +
-                                 blob.status().to_string());
+      auto loaded = store_.load_sync(ptr.id);
+      if (!loaded.is_ok()) {
+        return util::Status(loaded.status().code(),
+                            "checkpoint could not read spilled " +
+                                to_string(ptr) + ": " +
+                                loaded.status().message());
       }
-      out.write_vector(blob.value());
+      blob = std::move(loaded).value();
+      if (!sealed_blob_valid(blob)) {
+        return util::Status(util::StatusCode::kCorruption,
+                            "checkpoint read a corrupt spill blob for " +
+                                to_string(ptr));
+      }
     }
+    if (options_.recovery.checkpoint_store != nullptr) {
+      // Side copy feeding the recovery ladder's checkpoint rung. Best
+      // effort: a failed copy degrades recovery, not the checkpoint.
+      if (auto s = options_.recovery.checkpoint_store->store(ptr.id, blob);
+          !s.is_ok()) {
+        MRTS_LOG_WARN("node {}: checkpoint side-copy of {} failed: {}", node_,
+                      to_string(ptr), s.to_string());
+      }
+    }
+    out.write_vector(blob);
   }
+  return util::Status::ok();
 }
 
-void Runtime::restore_from(util::ByteReader& in) {
-  next_seq_ = std::max(next_seq_, in.read<std::uint64_t>());
-  const auto count = in.read<std::uint64_t>();
-  for (std::uint64_t k = 0; k < count; ++k) {
-    const MobilePtr ptr{in.read<std::uint64_t>()};
-    const auto type = in.read<TypeId>();
-    const auto priority = in.read<std::int32_t>();
-    const auto queue_len = in.read<std::uint64_t>();
+util::Status Runtime::restore_from(util::ByteReader& in) {
+  // Phase 1: parse and validate the whole image without touching runtime
+  // state, so a truncated or corrupt checkpoint cannot install a partial
+  // world (ArchiveError covers reads past a truncated buffer).
+  struct PendingObject {
+    MobilePtr ptr;
+    TypeId type = 0;
+    std::int32_t priority = kDefaultPriority;
     std::deque<QueuedMessage> queue;
-    for (std::uint64_t i = 0; i < queue_len; ++i) {
-      QueuedMessage msg;
-      msg.handler = in.read<HandlerId>();
-      msg.src = in.read<NodeId>();
-      msg.payload = in.read_vector<std::byte>();
-      queue.push_back(std::move(msg));
+    std::unique_ptr<MobileObject> obj;
+    std::size_t footprint = 0;
+  };
+  std::uint64_t seq = 0;
+  std::vector<PendingObject> pending;
+  try {
+    seq = in.read<std::uint64_t>();
+    const auto count = in.read<std::uint64_t>();
+    pending.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      PendingObject p;
+      p.ptr = MobilePtr{in.read<std::uint64_t>()};
+      p.type = in.read<TypeId>();
+      p.priority = in.read<std::int32_t>();
+      const auto queue_len = in.read<std::uint64_t>();
+      for (std::uint64_t i = 0; i < queue_len; ++i) {
+        QueuedMessage msg;
+        msg.handler = in.read<HandlerId>();
+        msg.src = in.read<NodeId>();
+        msg.payload = in.read_vector<std::byte>();
+        p.queue.push_back(std::move(msg));
+      }
+      auto blob = in.read_vector<std::byte>();
+      auto payload = unseal_blob(blob);
+      if (!payload.is_ok()) {
+        return util::Status(util::StatusCode::kCorruption,
+                            "restore blob for " + to_string(p.ptr) +
+                                " rejected: " + payload.status().message());
+      }
+      p.obj = registry_.create(p.type);
+      util::ByteReader body(payload.value());
+      p.obj->deserialize(body);
+      p.footprint = p.obj->footprint_bytes();
+      if (const Entry* existing = find_entry(p.ptr);
+          existing != nullptr && existing->state != Residency::kRemote) {
+        return util::Status(util::StatusCode::kAlreadyExists,
+                            "restore over an existing local object " +
+                                to_string(p.ptr));
+      }
+      pending.push_back(std::move(p));
     }
-    auto blob = in.read_vector<std::byte>();
-    auto obj = registry_.create(type);
-    {
-      util::ByteReader body(unseal_blob(blob));
-      obj->deserialize(body);
+  } catch (const util::ArchiveError& err) {
+    return util::Status(util::StatusCode::kCorruption,
+                        std::string("restore image truncated or malformed: ") +
+                            err.what());
+  }
+
+  // Phase 2: install. Nothing below can fail.
+  next_seq_ = std::max(next_seq_, seq);
+  for (auto& p : pending) {
+    while (ooc_.hard_pressure(p.footprint) && spill_one_victim()) {
     }
-    const std::size_t fp = obj->footprint_bytes();
-    while (ooc_.hard_pressure(fp) && spill_one_victim()) {
-    }
-    auto [it, inserted] = directory_.try_emplace(ptr, Entry{});
+    auto [it, inserted] = directory_.try_emplace(p.ptr, Entry{});
     Entry& e = it->second;
-    if (!inserted && e.state != Residency::kRemote) {
-      throw std::logic_error("mrts: restore over an existing local object " +
-                             to_string(ptr));
-    }
     e.state = Residency::kInCore;
-    e.type = type;
-    e.obj = std::move(obj);
-    e.priority = priority;
-    e.footprint = fp;
+    e.type = p.type;
+    e.obj = std::move(p.obj);
+    e.priority = p.priority;
+    e.footprint = p.footprint;
     e.epoch = 1;  // restored world restarts the epoch clock
-    e.queue = std::move(queue);
-    ooc_.on_install(ptr.id, fp);
-    e.obj->on_register(*this, ptr);
+    e.queue = std::move(p.queue);
+    ooc_.on_install(p.ptr.id, e.footprint);
+    e.obj->on_register(*this, p.ptr);
     queued_messages_.fetch_add(e.queue.size(), std::memory_order_acq_rel);
     bump_activity();
-    if (!e.queue.empty()) push_ready(e, ptr);
+    if (!e.queue.empty()) push_ready(e, p.ptr);
   }
+  return util::Status::ok();
 }
 
 void Runtime::note_remote_location(MobilePtr ptr, NodeId where) {

@@ -20,11 +20,13 @@
 #include <vector>
 
 #include "core/counters.hpp"
+#include "core/failure_ledger.hpp"
 #include "core/mobile_object.hpp"
 #include "core/mobile_ptr.hpp"
 #include "core/ooc_layer.hpp"
 #include "simnet/fabric.hpp"
 #include "storage/object_store.hpp"
+#include "storage/retry_policy.hpp"
 #include "tasking/task_pool.hpp"
 
 namespace mrts::obs {
@@ -48,13 +50,26 @@ struct RuntimeOptions {
   /// node on the route learns the object's current location. Disable to
   /// measure the cost of forwarding through stale entries forever.
   bool lazy_location_updates = true;
-  /// Transient (kUnavailable) storage failures are retried this many times
-  /// by the storage layer before the error becomes fatal.
-  int storage_max_retries = 3;
+  /// Retry policy for transient (kUnavailable) storage failures, applied by
+  /// the storage layer before an error reaches the recovery ladder.
+  storage::RetryPolicy storage_retry{};
   /// Run the storage layer inline on the control thread instead of on the
   /// I/O thread. Sacrifices I/O overlap for a deterministic completion
   /// order; used by the chaos harness's seed-replay driver.
   bool synchronous_storage = false;
+  /// Storage-failure recovery (the self-healing path). When enabled,
+  /// exhausted loads and corrupt blobs never throw: the runtime walks a
+  /// recovery ladder (re-issued load → checkpoint copy → poison) and failed
+  /// spill-stores reinstall the object in core from the returned payload.
+  /// When disabled, such failures abort the run (the pre-recovery behavior,
+  /// kept for tests that pin fail-stop semantics).
+  struct Recovery {
+    bool enabled = true;
+    /// Optional side store that receives a copy of every object blob written
+    /// by checkpoint_to(); the ladder's second rung reads it back. Shared
+    /// ownership: the cluster owns one per node, tests may inject their own.
+    std::shared_ptr<storage::StorageBackend> checkpoint_store;
+  } recovery;
 };
 
 /// The runtime's active-message channels, in registration order. Fabric
@@ -86,6 +101,15 @@ struct LoadBalanceOptions {
 inline constexpr int kMinPriority = 0;
 inline constexpr int kMaxPriority = 10;
 inline constexpr int kDefaultPriority = 5;
+
+/// Application-visible health of a local object's storage state.
+enum class ObjectHealth : std::uint8_t {
+  kHealthy = 0,
+  /// The recovery ladder was exhausted: the object's state is lost. It stays
+  /// in the directory (so routing still resolves), but queued messages were
+  /// dropped and new sends to it are dropped and counted.
+  kPoisoned,
+};
 
 class Runtime {
  public:
@@ -210,17 +234,40 @@ class Runtime {
   }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
 
+  /// Health of a local object (kHealthy for unknown/remote objects: poison
+  /// is a property of the hosting replica's storage, not of the pointer).
+  [[nodiscard]] ObjectHealth object_health(MobilePtr ptr) const;
+
+  /// Structured log of storage failures and their resolutions.
+  [[nodiscard]] const FailureLedger& failure_ledger() const { return ledger_; }
+
+  /// Transient storage retries performed by this node's storage layer.
+  [[nodiscard]] std::uint64_t storage_retries() const {
+    return store_.retries_performed();
+  }
+
+  /// Backoff accumulated by the retry policy, in microseconds (virtual time
+  /// only under the deterministic driver — nothing slept).
+  [[nodiscard]] std::uint64_t storage_backoff_us() const {
+    return store_.backoff_microseconds();
+  }
+
   /// Drains outstanding spills (used by tests and at phase boundaries).
   void flush_stores() { store_.drain(); }
 
   // --- checkpoint/restore support (see core/checkpoint.hpp) ---------------
 
   /// Serializes every local object (in-core or spilled) with its queue and
-  /// metadata. Phase-boundary only: no handler running, no I/O in flight.
-  void checkpoint_to(util::ByteWriter& out);
+  /// metadata. Phase-boundary only: no handler running, no I/O in flight
+  /// (kInvalidArgument otherwise); spilled blobs that cannot be read back
+  /// surface as the load's status. When a recovery checkpoint_store is
+  /// configured, each object's sealed blob is also copied into it.
+  [[nodiscard]] util::Status checkpoint_to(util::ByteWriter& out);
 
   /// Installs objects previously written by checkpoint_to on this node.
-  void restore_from(util::ByteReader& in);
+  /// Two-phase: the image is fully parsed and validated first, then
+  /// installed, so a truncated or corrupt image leaves the node unchanged.
+  [[nodiscard]] util::Status restore_from(util::ByteReader& in);
 
   /// Seeds the directory cache: the object is currently hosted at `where`.
   /// Used after restore so home nodes relearn migrated objects' locations.
@@ -294,8 +341,14 @@ class Runtime {
     bool in_ready_list = false;
     bool load_wanted = false;   // lock/prefetch asked for a load
     bool load_queued = false;   // present in load_queue_
+    bool poisoned = false;      // recovery ladder exhausted; state lost
     std::size_t footprint = 0;
     std::size_t blob_bytes = 0;  // size of the on-disk blob
+    /// Seal CRC of the blob written by the last spill: content identity of
+    /// the bytes a reload must produce. Defense in depth against a stale
+    /// replica serving an older (seal-valid!) version, and the acceptance
+    /// check for the ladder's checkpoint rung.
+    std::uint32_t blob_crc = 0;
     std::uint64_t collect_for = 0;  // nonzero: reserved by a multicast op
   };
 
@@ -303,7 +356,9 @@ class Runtime {
     std::uint64_t key;
     bool is_load;
     util::Status status;
-    std::vector<std::byte> bytes;  // load payload
+    /// Load payload on a successful load; on a FAILED store, the sealed
+    /// payload handed back by the storage layer (the object's only copy).
+    std::vector<std::byte> bytes;
   };
 
   // wire protocol -----------------------------------------------------------
@@ -324,6 +379,19 @@ class Runtime {
   void execute_message(MobilePtr ptr, Entry& e, QueuedMessage& msg);
   bool drain_completions();
   void finish_load(Entry& e, MobilePtr ptr, std::vector<std::byte> bytes);
+  /// True when the sealed bytes are intact and match the entry's blob_crc.
+  [[nodiscard]] bool blob_matches(const Entry& e,
+                                  std::span<const std::byte> bytes) const;
+  /// Recovery ladder for a load that failed (hard error, bad seal, or stale
+  /// content): re-issued load → checkpoint copy → poison.
+  void recover_failed_load(MobilePtr ptr, Entry& e, const util::Status& cause);
+  /// Recovery for a spill-store that failed: reinstall the object in core
+  /// from the payload the storage layer handed back.
+  void recover_failed_store(MobilePtr ptr, Entry& e, const util::Status& cause,
+                            std::vector<std::byte> bytes);
+  /// Last rung: quarantine the object, drop its queue, record the loss.
+  void poison_object(MobilePtr ptr, Entry& e, FailureOp op,
+                     const util::Status& cause);
   bool schedule_loads();
   bool relieve_pressure();
   void start_load(Entry& e, MobilePtr ptr);
@@ -362,6 +430,7 @@ class Runtime {
   const ObjectTypeRegistry& registry_;
   RuntimeOptions options_;
   NodeCounters counters_;
+  FailureLedger ledger_;
   obs::Counter* ooc_hits_;    // registry-owned; message target was in-core
   obs::Counter* ooc_misses_;  // message target was on disk / in flight
   obs::Counter* ooc_evictions_;

@@ -170,6 +170,22 @@ class OocApp {
         [](const core::NodeCounters& c) { return c.inline_deliveries.load(); });
     result.migrations = cluster_.sum_counters(
         [](const core::NodeCounters& c) { return c.migrations_in.load(); });
+    result.loads_recovered = cluster_.sum_counters(
+        [](const core::NodeCounters& c) { return c.loads_recovered.load(); });
+    result.checkpoint_recoveries =
+        cluster_.sum_counters([](const core::NodeCounters& c) {
+          return c.checkpoint_recoveries.load();
+        });
+    result.spills_reinstalled =
+        cluster_.sum_counters([](const core::NodeCounters& c) {
+          return c.spills_reinstalled.load();
+        });
+    result.objects_poisoned = cluster_.sum_counters(
+        [](const core::NodeCounters& c) { return c.objects_poisoned.load(); });
+    for (std::size_t n = 0; n < cluster_.size(); ++n) {
+      result.storage_retries +=
+          cluster_.node(static_cast<core::NodeId>(n)).storage_retries();
+    }
     return result;
   }
 

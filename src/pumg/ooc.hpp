@@ -42,6 +42,13 @@ struct OocRunResult {
   /// the refinement queue when the run went quiescent (must be zero).
   std::uint64_t dirty_left = 0;
   std::uint64_t pending_left = 0;
+  /// Self-healing storage path activity; all zero on a fault-free run (the
+  /// benches report these so regressions in the happy path are visible).
+  std::uint64_t storage_retries = 0;
+  std::uint64_t loads_recovered = 0;
+  std::uint64_t checkpoint_recoveries = 0;
+  std::uint64_t spills_reinstalled = 0;
+  std::uint64_t objects_poisoned = 0;
   /// Per-node busy seconds of the main parallel phase derived from trace
   /// spans (obs::TraceRecorder aggregates), for cross-checking the
   /// NodeCounters breakdown in `report`. All zero unless the caller enabled

@@ -25,6 +25,7 @@ struct BackendStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t store_ops = 0;
   std::uint64_t load_ops = 0;
+  std::uint64_t erase_ops = 0;
 };
 
 /// Abstract keyed blob store. Implementations must be thread-safe: the

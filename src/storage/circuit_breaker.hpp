@@ -1,0 +1,105 @@
+#pragma once
+
+// Per-backend circuit breaker. After `failure_threshold` consecutive hard
+// failures the breaker opens: callers stop offering operations to the sick
+// backend (the replicated store routes them to the mirror instead) until a
+// cooldown of `cooldown_ops` skipped operations has elapsed, at which point
+// one probe operation is let through (half-open). A successful probe closes
+// the breaker; a failed probe re-opens it and restarts the cooldown.
+//
+// The cooldown is counted in operations, not wall time, so breaker behavior
+// is a pure function of the operation schedule — deterministic chaos runs
+// replay byte-for-byte. Transitions are published as obs metrics and trace
+// instants by the owner (see ReplicatedStore).
+//
+// Thread safety: none; the owner serializes calls (ReplicatedStore holds
+// its decision mutex across breaker updates).
+
+#include <cstdint>
+#include <string_view>
+
+namespace mrts::storage {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+[[nodiscard]] constexpr std::string_view to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int failure_threshold, std::uint64_t cooldown_ops)
+      : failure_threshold_(failure_threshold > 0 ? failure_threshold : 1),
+        cooldown_ops_(cooldown_ops) {}
+
+  /// Decide whether the protected backend may be offered this operation.
+  /// Open: counts the skip, and once the cooldown elapses transitions to
+  /// half-open and admits the operation as a probe.
+  [[nodiscard]] bool allow() {
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kHalfOpen:
+        // One probe at a time: further ops wait for its verdict.
+        return false;
+      case BreakerState::kOpen:
+        if (++skipped_ >= cooldown_ops_) {
+          state_ = BreakerState::kHalfOpen;
+          ++probes_;
+          return true;
+        }
+        return false;
+    }
+    return true;
+  }
+
+  /// Outcome of an admitted operation. Returns true when the state changed
+  /// (the owner then emits a transition event).
+  bool on_success() {
+    consecutive_failures_ = 0;
+    if (state_ != BreakerState::kClosed) {
+      state_ = BreakerState::kClosed;
+      skipped_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  bool on_failure() {
+    if (state_ == BreakerState::kHalfOpen) {
+      // Failed probe: straight back to open, cooldown restarts.
+      state_ = BreakerState::kOpen;
+      skipped_ = 0;
+      return true;
+    }
+    if (state_ == BreakerState::kClosed &&
+        ++consecutive_failures_ >= failure_threshold_) {
+      state_ = BreakerState::kOpen;
+      consecutive_failures_ = 0;
+      skipped_ = 0;
+      ++opens_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] std::uint64_t opens() const { return opens_; }
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+ private:
+  const int failure_threshold_;
+  const std::uint64_t cooldown_ops_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::uint64_t skipped_ = 0;  // ops skipped since the breaker opened
+  std::uint64_t opens_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace mrts::storage

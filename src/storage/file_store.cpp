@@ -99,6 +99,7 @@ util::Status FileStore::erase(ObjectKey key) {
     }
     stored_bytes_ -= it->second;
     sizes_.erase(it);
+    ++stats_.erase_ops;
   }
   std::error_code ec;
   fs::remove(path_for(key), ec);

@@ -32,6 +32,7 @@ util::Status MemStore::erase(ObjectKey key) {
   }
   stored_bytes_ -= it->second.size();
   blobs_.erase(it);
+  ++stats_.erase_ops;
   return util::Status::ok();
 }
 

@@ -1,6 +1,7 @@
 #include "storage/object_store.hpp"
 
 #include <cassert>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -72,34 +73,56 @@ void ObjectStore::load_async(ObjectKey key, LoadCallback done) {
   cv_.notify_one();
 }
 
+void ObjectStore::backoff(ObjectKey key, int attempt) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  const auto delay = options_.retry.delay_for(key, attempt);
+  if (delay.count() <= 0) return;
+  backoff_us_.fetch_add(static_cast<std::uint64_t>(delay.count()),
+                        std::memory_order_relaxed);
+  // Synchronous mode runs on the deterministic driver's virtual clock:
+  // account for the delay but never sleep, so replay stays byte-identical.
+  if (!options_.synchronous) std::this_thread::sleep_for(delay);
+}
+
+template <typename Op>
+util::Status ObjectStore::run_retrying(ObjectKey key, Op&& op) {
+  const util::WallTimer timer;
+  util::Status status;
+  for (int attempt = 0;; ++attempt) {
+    status = op();
+    if (!RetryPolicy::retryable(status.code())) return status;
+    if (attempt >= options_.retry.max_retries) return status;
+    if (!options_.synchronous && options_.retry.deadline.count() > 0 &&
+        timer.elapsed() >= options_.retry.deadline) {
+      return status;
+    }
+    backoff(key, attempt + 1);
+  }
+}
+
 util::Status ObjectStore::store_sync(ObjectKey key,
                                      std::span<const std::byte> bytes) {
-  util::Status status;
-  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    status = backend_->store(key, bytes);
-    if (status.code() != util::StatusCode::kUnavailable) return status;
-    std::lock_guard lock(mutex_);
-    ++retries_;
-  }
-  return status;
+  return run_retrying(key, [&] { return backend_->store(key, bytes); });
 }
 
 util::Result<std::vector<std::byte>> ObjectStore::load_sync(ObjectKey key) {
   util::Result<std::vector<std::byte>> result =
       util::Status(util::StatusCode::kUnavailable, "not attempted");
-  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+  run_retrying(key, [&] {
     result = backend_->load(key);
-    if (result.is_ok() ||
-        result.status().code() != util::StatusCode::kUnavailable) {
-      return result;
-    }
-    std::lock_guard lock(mutex_);
-    ++retries_;
-  }
+    return result.status();
+  });
   return result;
 }
 
-util::Status ObjectStore::erase(ObjectKey key) { return backend_->erase(key); }
+util::Status ObjectStore::erase(ObjectKey key) {
+  // Same treatment as loads and stores: retried, charged, traced, counted in
+  // BackendStats (the backend bumps erase_ops).
+  obs::ChargedSpan span(obs::Cat::kDisk, "erase",
+                        static_cast<std::uint16_t>(options_.trace_track),
+                        disk_time_);
+  return run_retrying(key, [&] { return backend_->erase(key); });
+}
 
 void ObjectStore::drain() {
   std::unique_lock lock(mutex_);
@@ -112,8 +135,11 @@ std::size_t ObjectStore::pending() const {
 }
 
 std::uint64_t ObjectStore::retries_performed() const {
-  std::lock_guard lock(mutex_);
-  return retries_;
+  return retries_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ObjectStore::backoff_microseconds() const {
+  return backoff_us_.load(std::memory_order_relaxed);
 }
 
 void ObjectStore::io_loop() {
@@ -152,27 +178,22 @@ void ObjectStore::execute(Request& req) {
                         static_cast<std::uint16_t>(options_.trace_track),
                         disk_time_);
   if (req.is_store) {
-    util::Status status;
-    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-      status = backend_->store(req.key, req.bytes);
-      if (status.code() != util::StatusCode::kUnavailable) break;
-      std::lock_guard lk(mutex_);
-      ++retries_;
-    }
+    const util::Status status =
+        run_retrying(req.key, [&] { return backend_->store(req.key, req.bytes); });
     span.close();
-    if (req.store_done) req.store_done(status);
+    if (req.store_done) {
+      // Failed stores hand the payload back: the caller holds the object's
+      // only serialized copy and decides how to recover it.
+      req.store_done(status, status.is_ok() ? std::vector<std::byte>{}
+                                            : std::move(req.bytes));
+    }
   } else {
     util::Result<std::vector<std::byte>> result =
         util::Status(util::StatusCode::kUnavailable, "not attempted");
-    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    run_retrying(req.key, [&] {
       result = backend_->load(req.key);
-      if (result.is_ok() ||
-          result.status().code() != util::StatusCode::kUnavailable) {
-        break;
-      }
-      std::lock_guard lk(mutex_);
-      ++retries_;
-    }
+      return result.status();
+    });
     span.close();
     if (req.load_done) req.load_done(std::move(result));
   }

@@ -6,6 +6,7 @@
 // property measured as "Overlap" in the paper's Tables IV-VI. Busy time of
 // the I/O thread is charged to a TimeAccumulator supplied by the runtime.
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -14,6 +15,7 @@
 #include <thread>
 
 #include "storage/backend.hpp"
+#include "storage/retry_policy.hpp"
 #include "util/timer.hpp"
 
 namespace mrts::obs {
@@ -22,13 +24,17 @@ class Gauge;
 
 namespace mrts::storage {
 
-using StoreCallback = std::function<void(util::Status)>;
+/// Completion of a store. On failure the payload is handed back (moved) so
+/// the caller still owns a copy of the object's only on-disk representation
+/// and can recover (reinstall in core, re-spill elsewhere); empty on success.
+using StoreCallback =
+    std::function<void(util::Status, std::vector<std::byte>)>;
 using LoadCallback = std::function<void(util::Result<std::vector<std::byte>>)>;
 
 struct ObjectStoreOptions {
-  /// Transient (kUnavailable) backend failures are retried this many times
+  /// Transient (kUnavailable) backend failures are retried under this policy
   /// before the error is propagated to the callback.
-  int max_retries = 3;
+  RetryPolicy retry{};
   /// Loads are served before stores when both are queued: a pending load
   /// blocks a message handler, a pending store only delays reclamation.
   bool prioritize_loads = true;
@@ -72,6 +78,10 @@ class ObjectStore {
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] const StorageBackend& backend() const { return *backend_; }
   [[nodiscard]] std::uint64_t retries_performed() const;
+  /// Total backoff computed by the retry policy, in microseconds. In
+  /// synchronous (deterministic) mode this is virtual time only — nothing
+  /// actually slept.
+  [[nodiscard]] std::uint64_t backoff_microseconds() const;
 
  private:
   struct Request {
@@ -84,6 +94,12 @@ class ObjectStore {
 
   void io_loop();
   void execute(Request& req);
+  /// Sleeps (real clock) or accumulates (virtual clock) the policy delay
+  /// before retry number `attempt` on `key`.
+  void backoff(ObjectKey key, int attempt);
+  /// Runs `op` under the retry policy; every retry site funnels through here.
+  template <typename Op>
+  util::Status run_retrying(ObjectKey key, Op&& op);
   /// Records the current queue depth (queued + in flight); call under mutex_.
   void sample_queue_depth_locked();
 
@@ -98,7 +114,10 @@ class ObjectStore {
   std::deque<Request> queue_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
-  std::uint64_t retries_ = 0;
+  // Atomics, not mutex_-guarded: retries are counted on the I/O hot path and
+  // must not contend with the request queue.
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> backoff_us_{0};
 
   std::thread io_thread_;
 };

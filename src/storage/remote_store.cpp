@@ -41,6 +41,7 @@ class RemoteMemoryBackend final : public StorageBackend {
       stored_bytes_ -= it->second;
       sizes_.erase(it);
     }
+    ++stats_.erase_ops;
     return util::Status::ok();
   }
 

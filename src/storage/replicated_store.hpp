@@ -1,0 +1,109 @@
+#pragma once
+
+// Replicated spill store (Weaver-style repair-on-read): every store is
+// mirrored to a secondary backend; loads that fail on the primary — hard
+// error or seal/CRC mismatch — fall back to the mirror and repair the
+// primary copy in place (scrub-on-read). A per-primary circuit breaker
+// opens after N consecutive hard failures so a blacked-out device stops
+// eating latency: new stores route straight to the mirror (or a bounded
+// in-memory overflow when the mirror refuses too) until a probe succeeds.
+//
+// Placement: outermost decorator of a node's spill stack —
+//   ReplicatedStore( primary = FaultStore(LatencyStore(base)), mirror )
+// so injected faults and device latency hit only the primary, exactly like
+// a sick disk under a healthy replica.
+//
+// stats()/count()/stored_bytes() report the PRIMARY (device traffic, what
+// the benches chart); recovery activity is exposed via replicated_stats()
+// and as obs metrics. Thread-safe: one mutex serializes decisions and inner
+// calls (each node owns its stack; the only concurrency is the node's I/O
+// thread against control-thread erase()).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/backend.hpp"
+#include "storage/circuit_breaker.hpp"
+
+namespace mrts::storage {
+
+struct ReplicatedStoreOptions {
+  /// Consecutive hard primary failures (kUnavailable/kIoError/corrupt seal)
+  /// before the breaker opens.
+  int breaker_failure_threshold = 3;
+  /// Primary operations skipped while open before one probe is admitted.
+  /// Counted in operations, not wall time, for deterministic replay.
+  std::uint64_t breaker_cooldown_ops = 16;
+  /// Bound on bytes parked in the in-memory overflow when both primary and
+  /// mirror refuse a store; beyond it the store error is propagated.
+  std::uint64_t overflow_capacity_bytes = 64u << 20;
+  /// Verify the payload's sealed CRC trailer on every primary load and
+  /// treat a mismatch as a primary failure (the runtime seals all spill
+  /// blobs). Disable if payloads are not sealed.
+  bool verify_seals = true;
+  /// Metrics/trace track (the owning node id).
+  std::uint32_t tag = 0;
+};
+
+/// Recovery-side counters; primary device traffic stays in stats().
+struct ReplicatedStats {
+  std::uint64_t mirror_writes = 0;        // successful mirror copies
+  std::uint64_t mirror_write_failures = 0;
+  std::uint64_t mirror_hits = 0;          // loads served by the mirror
+  std::uint64_t repairs = 0;              // primary copies rewritten on read
+  std::uint64_t redirected_stores = 0;    // stores routed around an open breaker
+  std::uint64_t overflow_stores = 0;      // stores parked in the overflow
+  std::uint64_t overflow_bytes = 0;       // bytes currently parked
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_probes = 0;
+  BreakerState breaker_state = BreakerState::kClosed;
+};
+
+class ReplicatedStore final : public StorageBackend {
+ public:
+  ReplicatedStore(std::unique_ptr<StorageBackend> primary,
+                  std::unique_ptr<StorageBackend> mirror,
+                  ReplicatedStoreOptions options = {});
+
+  util::Status store(ObjectKey key, std::span<const std::byte> bytes) override;
+  util::Result<std::vector<std::byte>> load(ObjectKey key) override;
+  util::Status erase(ObjectKey key) override;
+  bool contains(ObjectKey key) const override;
+  std::size_t count() const override;
+  std::uint64_t stored_bytes() const override;
+  /// Primary-device view (what the paper's disk-traffic figures chart).
+  BackendStats stats() const override;
+
+  [[nodiscard]] ReplicatedStats replicated_stats() const;
+  [[nodiscard]] const StorageBackend& primary() const { return *primary_; }
+  [[nodiscard]] const StorageBackend& mirror() const { return *mirror_; }
+
+ private:
+  /// True for results the breaker should count against the primary.
+  [[nodiscard]] bool hard_failure(util::StatusCode code) const;
+  /// Emits metrics + a trace instant; call with mutex_ held.
+  void note_transition_locked(const char* what);
+  /// Re-plays parked overflow blobs into a freshly healed primary.
+  void drain_overflow_locked();
+
+  std::unique_ptr<StorageBackend> primary_;
+  std::unique_ptr<StorageBackend> mirror_;
+  const ReplicatedStoreOptions options_;
+
+  mutable std::mutex mutex_;
+  CircuitBreaker breaker_;
+  std::unordered_map<ObjectKey, std::vector<std::byte>> overflow_;
+  std::uint64_t overflow_bytes_ = 0;
+  /// Keys whose freshest version did not land on the primary (redirected,
+  /// failed store, failed erase): the primary's lingering older blob would
+  /// pass its seal check yet be stale, so loads skip the primary until a
+  /// repair rewrites it. The stale-replica guard behind the sweep's
+  /// no-silent-data-loss invariant.
+  std::unordered_set<ObjectKey> primary_stale_;
+  ReplicatedStats rstats_;
+};
+
+}  // namespace mrts::storage

@@ -1,0 +1,75 @@
+#pragma once
+
+// Retry policy for transient storage failures: bounded attempt count,
+// exponential backoff with deterministic jitter, and an optional wall-clock
+// deadline. One policy object is shared by every retry site in ObjectStore
+// (store_sync / load_sync / the async execute path / erase), replacing the
+// previous copy-pasted zero-delay loops.
+//
+// Determinism: the jitter for (key, attempt) is a pure function of
+// (seed, key, attempt) — no shared RNG state — so two runs of the same
+// schedule back off identically. Under the deterministic chaos driver the
+// ObjectStore runs synchronously and never sleeps on the real clock; the
+// computed delays are only accumulated into a counter, keeping seed-replay
+// byte-identical with backoff enabled.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace mrts::storage {
+
+struct RetryPolicy {
+  /// Retries after the first attempt; attempt count is max_retries + 1.
+  int max_retries = 3;
+  /// Delay before the first retry; 0 disables backoff (retries are
+  /// immediate, the pre-policy behavior).
+  std::chrono::microseconds base_delay{0};
+  /// Ceiling for the exponentially growing delay.
+  std::chrono::microseconds max_delay{100'000};
+  /// Growth factor between consecutive retries.
+  double multiplier = 2.0;
+  /// Jitter fraction: the delay is scaled by a deterministic factor drawn
+  /// from [1 - jitter, 1 + jitter) keyed on (seed, key, attempt).
+  double jitter = 0.25;
+  /// Wall-clock budget across all attempts of one operation; 0 = unlimited.
+  /// Ignored when the store runs synchronously (virtual time).
+  std::chrono::milliseconds deadline{0};
+  /// Seed for the jitter hash; defaults are fine, tests may pin it.
+  std::uint64_t seed = 0x52455452'59504F4Cull;  // "RETRYPOL"
+
+  /// Only transient failures are worth repeating: kUnavailable by contract.
+  /// kIoError / kCorruption are hard faults handled by the recovery ladder
+  /// above; kNotFound is an answer, not a failure.
+  [[nodiscard]] static bool retryable(util::StatusCode code) {
+    return code == util::StatusCode::kUnavailable;
+  }
+
+  /// Backoff before retry number `attempt` (1-based) of the operation on
+  /// `key`. Pure function of (policy, key, attempt).
+  [[nodiscard]] std::chrono::microseconds delay_for(std::uint64_t key,
+                                                    int attempt) const {
+    if (base_delay.count() <= 0 || attempt <= 0) {
+      return std::chrono::microseconds{0};
+    }
+    double scale = 1.0;
+    for (int i = 1; i < attempt; ++i) scale *= multiplier;
+    double us = static_cast<double>(base_delay.count()) * scale;
+    us = std::min(us, static_cast<double>(max_delay.count()));
+    if (jitter > 0.0) {
+      std::uint64_t h = seed ^ (key * 0x9E3779B97F4A7C15ull) ^
+                        static_cast<std::uint64_t>(attempt);
+      const std::uint64_t bits = util::splitmix64(h);
+      // Map to [1 - jitter, 1 + jitter).
+      const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+      us *= 1.0 + jitter * (2.0 * u - 1.0);
+    }
+    return std::chrono::microseconds{
+        static_cast<std::chrono::microseconds::rep>(us)};
+  }
+};
+
+}  // namespace mrts::storage

@@ -59,7 +59,7 @@ TEST_P(ChaosSeedSweep, SurvivableFaultsKeepAllInvariants) {
   core::ClusterOptions options;
   options.nodes = 4;
   options.runtime.ooc.memory_budget_bytes = 256u << 10;
-  options.runtime.storage_max_retries = 16;
+  options.runtime.storage_retry.max_retries = 16;
   options.spill = core::SpillMedium::kMemory;
   options.max_run_time = std::chrono::seconds(120);
   harness.instrument(options);

@@ -19,7 +19,7 @@ core::ClusterOptions base_options(std::size_t nodes,
   core::ClusterOptions options;
   options.nodes = nodes;
   options.runtime.ooc.memory_budget_bytes = budget_bytes;
-  options.runtime.storage_max_retries = 16;
+  options.runtime.storage_retry.max_retries = 16;
   options.spill = core::SpillMedium::kMemory;
   options.max_run_time = std::chrono::seconds(120);
   return options;

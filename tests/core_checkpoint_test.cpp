@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <span>
 
 #include "core/checkpoint.hpp"
 #include "storage/file_store.hpp"
+#include "util/crc32.hpp"
 
 namespace mrts::core {
 namespace {
@@ -191,6 +195,119 @@ TEST_F(CheckpointTest, MismatchedClusterIsRejected) {
 TEST_F(CheckpointTest, MissingDirectoryIsAnError) {
   World w;
   EXPECT_FALSE(restore_cluster(*w.cluster, dir_ / "nope").is_ok());
+}
+
+// --- error paths: damaged images must fail with a clean Status, never
+// throw, and never leave a partially restored cluster ----------------------
+
+std::size_t total_objects(Cluster& cluster) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    cluster.node(static_cast<NodeId>(i))
+        .for_each_local_object([&](MobilePtr) { ++n; });
+  }
+  return n;
+}
+
+void make_populated_checkpoint(World& w, const std::filesystem::path& dir) {
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 6; ++i) {
+    auto [p, box] =
+        w.cluster->node(static_cast<NodeId>(i % 3)).create<Box>(w.type);
+    box->data.assign(500, static_cast<std::uint64_t>(i));
+    ptrs.push_back(p);
+  }
+  ASSERT_FALSE(w.cluster->run().timed_out);
+  ASSERT_TRUE(checkpoint_cluster(*w.cluster, dir).is_ok());
+}
+
+TEST_F(CheckpointTest, TruncatedManifestIsRejectedCleanly) {
+  World w;
+  make_populated_checkpoint(w, dir_);
+  std::filesystem::resize_file(dir_ / "manifest", 5);
+
+  World w2;
+  util::Status s = restore_cluster(*w2.cluster, dir_);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(total_objects(*w2.cluster), 0u) << "partial restore";
+}
+
+TEST_F(CheckpointTest, TruncatedNodeFileLeavesClusterUnchanged) {
+  World w;
+  make_populated_checkpoint(w, dir_);
+  const auto node2 = dir_ / "node2.ckpt";
+  std::filesystem::resize_file(node2,
+                               std::filesystem::file_size(node2) / 2);
+
+  World w2;
+  util::Status s = restore_cluster(*w2.cluster, dir_);
+  EXPECT_FALSE(s.is_ok());
+  // Two-phase restore: nodes 0 and 1 had readable images, yet nothing may
+  // be installed anywhere when node 2's image is unreadable.
+  EXPECT_EQ(total_objects(*w2.cluster), 0u) << "partial restore";
+}
+
+TEST_F(CheckpointTest, BitFlippedNodeFileIsRejectedByItsCrc) {
+  World w;
+  make_populated_checkpoint(w, dir_);
+  const auto node1 = dir_ / "node1.ckpt";
+  {
+    std::fstream f(node1, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(node1)) /
+            2);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.write(&byte, 1);
+  }
+
+  World w2;
+  util::Status s = restore_cluster(*w2.cluster, dir_);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_EQ(total_objects(*w2.cluster), 0u) << "partial restore";
+}
+
+TEST_F(CheckpointTest, CorruptImageBelowTheFileCrcIsStillRejected) {
+  // Damage the serialized node image but re-seal the file with a correct
+  // file-level CRC: only Runtime::restore_from's inner validation (object
+  // blob seals, archive bounds) can catch it — and it must do so before
+  // installing anything.
+  World w;
+  make_populated_checkpoint(w, dir_);
+  const auto node0 = dir_ / "node0.ckpt";
+  std::vector<std::byte> file_bytes;
+  {
+    std::ifstream in(node0, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    file_bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(file_bytes.data()),
+            static_cast<std::streamsize>(file_bytes.size()));
+  }
+  ASSERT_GT(file_bytes.size(), sizeof(std::uint32_t) + 64);
+  // Flip payload bytes mid-image (past the header, before the file CRC).
+  std::span<std::byte> payload(file_bytes.data(),
+                               file_bytes.size() - sizeof(std::uint32_t));
+  for (std::size_t i = payload.size() / 2;
+       i < payload.size() / 2 + 16 && i < payload.size(); ++i) {
+    payload[i] ^= std::byte{0xA5};
+  }
+  const std::uint32_t crc = util::crc32(payload);
+  std::memcpy(file_bytes.data() + payload.size(), &crc, sizeof(crc));
+  {
+    std::ofstream out(node0, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(file_bytes.data()),
+              static_cast<std::streamsize>(file_bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  World w2;
+  util::Status s = restore_cluster(*w2.cluster, dir_);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(total_objects(*w2.cluster), 0u) << "partial restore";
 }
 
 }  // namespace

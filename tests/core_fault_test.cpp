@@ -37,10 +37,12 @@ struct Harness {
   TypeId type = 0;
   HandlerId h_add = 0;
 
-  explicit Harness(storage::FaultPlan plan, std::size_t budget_kb = 256) {
+  explicit Harness(storage::FaultPlan plan, std::size_t budget_kb = 256,
+                   bool recovery_enabled = true) {
     RuntimeOptions options;
     options.ooc.memory_budget_bytes = budget_kb << 10;
-    options.storage_max_retries = 12;  // ride out bursts of injected faults
+    options.storage_retry.max_retries = 12;  // ride out bursts of injected faults
+    options.recovery.enabled = recovery_enabled;
     rt = std::make_unique<Runtime>(
         0, fabric.endpoint(0), registry,
         std::make_unique<storage::FaultStore>(
@@ -101,10 +103,49 @@ TEST(FaultInjection, TransientFaultsAreRetriedTransparently) {
   EXPECT_GT(h.rt->counters().objects_spilled.load(), 0u);
 }
 
-TEST(FaultInjection, CorruptedBlobIsDetectedNotDeserialized) {
-  // Every load is corrupted: the runtime's CRC check must throw rather
-  // than hand garbage to deserialize().
+TEST(FaultInjection, CorruptedBlobPoisonsObjectInsteadOfDeserializing) {
+  // Every load is corrupted and there is no replica or checkpoint copy to
+  // recover from: the recovery ladder must exhaust and poison the object —
+  // never hand garbage to deserialize(), never throw out of the control
+  // loop, and never stall the node.
   Harness h(storage::FaultPlan{.corruption_rate = 1.0, .seed = 7});
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < 16; ++i) ptrs.push_back(h.make_box(8000));
+  h.pump();
+  h.rt->flush_stores();
+  MobilePtr cold = kNullPtr;
+  for (MobilePtr p : ptrs) {
+    if (!h.rt->is_in_core(p)) cold = p;
+  }
+  ASSERT_FALSE(cold.is_null()) << "budget did not force any spills";
+  h.rt->send(cold, h.h_add, Harness::arg_u64(1));
+  h.pump();
+  EXPECT_TRUE(h.rt->is_idle());
+  EXPECT_EQ(h.rt->object_health(cold), ObjectHealth::kPoisoned);
+  EXPECT_GE(h.rt->counters().objects_poisoned.load(), 1u);
+  EXPECT_GE(h.rt->counters().poisoned_messages_dropped.load(), 1u);
+  bool ledgered = false;
+  for (const auto& rec : h.rt->failure_ledger().snapshot()) {
+    if (rec.object == cold &&
+        rec.resolution == FailureResolution::kPoisoned) {
+      ledgered = true;
+    }
+  }
+  EXPECT_TRUE(ledgered);
+  // Later messages to the quarantined object are dropped on arrival.
+  const auto dropped_before =
+      h.rt->counters().poisoned_messages_dropped.load();
+  h.rt->send(cold, h.h_add, Harness::arg_u64(1));
+  h.pump();
+  EXPECT_GT(h.rt->counters().poisoned_messages_dropped.load(),
+            dropped_before);
+}
+
+TEST(FaultInjection, CorruptedBlobThrowsWhenRecoveryDisabled) {
+  // With the recovery ladder switched off the legacy contract holds: the
+  // CRC check throws rather than deserializing garbage.
+  Harness h(storage::FaultPlan{.corruption_rate = 1.0, .seed = 7}, 256,
+            /*recovery_enabled=*/false);
   std::vector<MobilePtr> ptrs;
   for (int i = 0; i < 16; ++i) ptrs.push_back(h.make_box(8000));
   h.pump();

@@ -239,7 +239,9 @@ TEST(ObjectStore, AsyncStoreThenLoad) {
   ObjectStore store(std::make_unique<MemStore>());
   const auto blob = random_blob(512, 21);
   std::promise<util::Status> stored;
-  store.store_async(5, blob, [&](util::Status s) { stored.set_value(s); });
+  store.store_async(5, blob, [&](util::Status s, std::vector<std::byte>) {
+    stored.set_value(s);
+  });
   ASSERT_TRUE(stored.get_future().get().is_ok());
 
   std::promise<std::vector<std::byte>> loaded;
@@ -273,10 +275,12 @@ TEST(ObjectStore, RetriesTransientFaults) {
       std::make_unique<FaultStore>(std::make_unique<MemStore>(),
                                    FaultPlan{.store_failure_rate = 0.5,
                                              .seed = 1234}),
-      nullptr, ObjectStoreOptions{.max_retries = 10});
+      nullptr, ObjectStoreOptions{.retry = {.max_retries = 10}});
   std::promise<util::Status> done;
   store.store_async(1, random_blob(16, 1),
-                    [&](util::Status s) { done.set_value(s); });
+                    [&](util::Status s, std::vector<std::byte>) {
+                      done.set_value(s);
+                    });
   EXPECT_TRUE(done.get_future().get().is_ok());
   EXPECT_GE(store.retries_performed(), 0u);
 }
@@ -298,7 +302,7 @@ TEST(ObjectStore, ManyConcurrentRequestsComplete) {
   constexpr int kN = 200;
   for (int k = 0; k < kN; ++k) {
     store.store_async(static_cast<ObjectKey>(k), random_blob(32, k),
-                      [&](util::Status s) {
+                      [&](util::Status s, std::vector<std::byte>) {
                         EXPECT_TRUE(s.is_ok());
                         completed.fetch_add(1);
                       });
