@@ -1,0 +1,67 @@
+// Spill elision on the read-mostly OUPDR workload: after the mesh
+// converges, query rounds send a read-only message to every cell, so each
+// cell reloads and is evicted again unmodified. With clean-spill elision
+// the eviction skips serialize+store and drops the in-core copy against
+// the blob already on the backend; forced-spill mode (the pre-elision
+// contract) re-stores every time. The acceptance bar is a >= 40% cut in
+// bytes_spilled.
+
+#include "bench_common.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+namespace {
+
+pumg::OocRunResult run_mode(std::size_t target, bool spill_elision) {
+  const auto problem = uniform_problem(target);
+  pumg::OupdrOocConfig config{
+      .cluster = ooc_cluster(4, 2048, core::SpillMedium::kFile),
+      .nx = 8,
+      .ny = 8,
+      .query_rounds = 6};
+  config.cluster.runtime.spill_elision = spill_elision;
+  return pumg::run_oupdr_ooc(problem, config);
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report(
+      "spill_elision",
+      "Clean-spill elision — OUPDR with read-mostly query rounds (8x8 grid, "
+      "4 nodes, 2 MB per node, file-backed spill, 6 query rounds)",
+      "unmodified reload->evict cycles skip serialize+store entirely");
+
+  Table t({"elements (10^3)", "mode", "time (s)", "spills", "elided",
+           "spilled MB", "elided MB"});
+  std::uint64_t spilled_elision = 0, spilled_forced = 0;
+  std::uint64_t reduction_pct_worst = 100;
+  for (std::size_t target : {40000, 80000}) {
+    const auto forced = run_mode(target, /*spill_elision=*/false);
+    const auto elided = run_mode(target, /*spill_elision=*/true);
+    t.row(forced.mesh.elements / 1000, "forced", forced.report.total_seconds,
+          forced.objects_spilled, forced.spills_elided,
+          forced.bytes_spilled >> 20, forced.bytes_spill_elided >> 20);
+    t.row(elided.mesh.elements / 1000, "elided", elided.report.total_seconds,
+          elided.objects_spilled, elided.spills_elided,
+          elided.bytes_spilled >> 20, elided.bytes_spill_elided >> 20);
+    spilled_forced += forced.bytes_spilled;
+    spilled_elision += elided.bytes_spilled;
+    if (forced.bytes_spilled > 0) {
+      const std::uint64_t pct =
+          100 - (100 * elided.bytes_spilled) / forced.bytes_spilled;
+      reduction_pct_worst = std::min(reduction_pct_worst, pct);
+    }
+  }
+  report.add("elision", std::move(t));
+  report.set_meta("bytes_spilled_forced", std::to_string(spilled_forced));
+  report.set_meta("bytes_spilled_elision", std::to_string(spilled_elision));
+  const std::uint64_t reduction =
+      spilled_forced > 0
+          ? 100 - (100 * spilled_elision) / spilled_forced
+          : 0;
+  report.set_meta("reduction_pct", std::to_string(reduction));
+  report.set_meta("reduction_pct_worst_size", std::to_string(reduction_pct_worst));
+  return 0;
+}

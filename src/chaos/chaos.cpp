@@ -116,6 +116,7 @@ InvariantReport Harness::check(core::Cluster& cluster) const {
   checker_.finish(report);
   check_directory_convergence(cluster, report);
   check_budget(cluster, plan_.budget_overshoot_bytes, report);
+  check_queue_accounting(cluster, report);
   return report;
 }
 

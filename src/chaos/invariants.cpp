@@ -194,6 +194,19 @@ void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
   }
 }
 
+void check_queue_accounting(core::Cluster& cluster, InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& rt = cluster.node(static_cast<net::NodeId>(i));
+    const std::uint64_t queued = rt.queued_messages();
+    if (queued != 0) {
+      out.add(util::format(
+          "node {} reports {} queued message(s) at quiescence: a drop path "
+          "leaked queued_messages_ accounting",
+          i, queued));
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Storage recovery layer
 

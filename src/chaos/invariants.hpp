@@ -80,4 +80,10 @@ void check_budget(core::Cluster& cluster, std::size_t allowed_overshoot_bytes,
 /// messages, no kPoisoned ledger records on any node.
 void check_recovery(core::Cluster& cluster, InvariantReport& out);
 
+/// Message-queue accounting: at quiescence every object queue is empty, so
+/// the queued_messages() gauge must read zero on every node. A nonzero
+/// value means a drop path (poison, migration, destroy) leaked counter
+/// updates — the balancer would then chase phantom load forever.
+void check_queue_accounting(core::Cluster& cluster, InvariantReport& out);
+
 }  // namespace mrts::chaos

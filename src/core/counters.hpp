@@ -30,6 +30,10 @@ struct NodeCounters {
   std::atomic<std::uint64_t> objects_spilled{0};
   std::atomic<std::uint64_t> bytes_spilled{0};
   std::atomic<std::uint64_t> bytes_loaded{0};
+  // Clean-spill elision: evictions that skipped serialize+store because the
+  // object's dirty generation still matched the blob on the backend.
+  std::atomic<std::uint64_t> spills_elided{0};
+  std::atomic<std::uint64_t> bytes_spill_elided{0};
   std::atomic<std::uint64_t> migrations_in{0};
   std::atomic<std::uint64_t> migrations_out{0};
   std::atomic<std::uint64_t> location_updates{0};
@@ -72,6 +76,16 @@ struct RunBreakdown {
     return ov > 0.0 ? ov : 0.0;
   }
 };
+
+/// Fraction (0..1) of eviction traffic that skipped the store entirely —
+/// bytes_spill_elided over the total bytes evictions would have written
+/// without clean-spill elision. The elision bench's headline number.
+[[nodiscard]] inline double elision_ratio(std::uint64_t bytes_spilled,
+                                          std::uint64_t bytes_elided) {
+  const double total =
+      static_cast<double>(bytes_spilled) + static_cast<double>(bytes_elided);
+  return total > 0.0 ? static_cast<double>(bytes_elided) / total : 0.0;
+}
 
 /// One node's busy-time contribution to a run.
 struct BusyTimes {

@@ -10,17 +10,19 @@ TypeId ObjectTypeRegistry::register_type(std::string name,
   if (sealed_) {
     throw std::logic_error("ObjectTypeRegistry: register_type after seal()");
   }
-  types_.push_back(Type{std::move(name), std::move(factory), {}});
+  types_.push_back(Type{std::move(name), std::move(factory), {}, {}});
   return static_cast<TypeId>(types_.size() - 1);
 }
 
 HandlerId ObjectTypeRegistry::register_handler(TypeId type,
-                                               MessageHandler handler) {
+                                               MessageHandler handler,
+                                               bool read_only) {
   if (sealed_) {
     throw std::logic_error("ObjectTypeRegistry: register_handler after seal()");
   }
   auto& t = types_.at(type);
   t.handlers.push_back(std::move(handler));
+  t.read_only.push_back(read_only ? 1 : 0);
   return static_cast<HandlerId>(t.handlers.size() - 1);
 }
 
@@ -31,6 +33,10 @@ std::unique_ptr<MobileObject> ObjectTypeRegistry::create(TypeId type) const {
 const MessageHandler& ObjectTypeRegistry::handler(TypeId type,
                                                   HandlerId h) const {
   return types_.at(type).handlers.at(h);
+}
+
+bool ObjectTypeRegistry::handler_read_only(TypeId type, HandlerId h) const {
+  return types_.at(type).read_only.at(h) != 0;
 }
 
 const std::string& ObjectTypeRegistry::type_name(TypeId type) const {

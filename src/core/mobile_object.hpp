@@ -46,7 +46,32 @@ class MobileObject {
   }
 
   /// Called before the object leaves a node (migration or unload to disk).
+  /// If the override mutates state that serialize() captures, it must call
+  /// mark_dirty() — otherwise clean-spill elision may keep serving the blob
+  /// sealed before the mutation.
   virtual void on_unregister(Runtime& rt) { (void)rt; }
+
+  // --- dirty-generation tracking (clean-spill elision) -------------------
+  // The runtime bumps the generation whenever a (non-read-only) handler
+  // executes against the object or its footprint changes, and records the
+  // generation each successful spill captured. An eviction whose in-core
+  // generation still matches the blob on the backend skips serialize+store
+  // entirely. Applications mutating an object outside a handler (e.g.
+  // through peek()) must call mark_dirty() themselves.
+
+  /// Monotone counter of observed mutations since this instance was built.
+  [[nodiscard]] std::uint64_t dirty_generation() const { return dirty_gen_; }
+
+  /// Marks the in-core state as diverged from any spilled blob.
+  void mark_dirty() { ++dirty_gen_; }
+
+  /// Runtime-internal: aligns a freshly deserialized instance with the
+  /// generation its source blob was sealed at, so a clean reload→evict
+  /// cycle elides the re-store. Not for application use.
+  void sync_generation(std::uint64_t gen) { dirty_gen_ = gen; }
+
+ private:
+  std::uint64_t dirty_gen_ = 1;
 };
 
 /// A message handler: runs on the node currently hosting the target object,
@@ -76,7 +101,14 @@ class ObjectTypeRegistry {
                          [] { return std::make_unique<T>(); });
   }
 
-  HandlerId register_handler(TypeId type, MessageHandler handler);
+  /// `read_only` declares that the handler never mutates state captured by
+  /// serialize(): the runtime then skips the dirty-generation bump after it
+  /// runs, so read-mostly traffic keeps objects eligible for clean-spill
+  /// elision. A footprint change after a "read-only" handler still marks
+  /// the object dirty (safety net), but other mutations would go unnoticed
+  /// — the flag is a contract, not a sandbox.
+  HandlerId register_handler(TypeId type, MessageHandler handler,
+                             bool read_only = false);
 
   /// Forbids further registration; called by Cluster before the parallel
   /// phase. Registration after sealing is a programming error.
@@ -85,6 +117,7 @@ class ObjectTypeRegistry {
 
   [[nodiscard]] std::unique_ptr<MobileObject> create(TypeId type) const;
   [[nodiscard]] const MessageHandler& handler(TypeId type, HandlerId h) const;
+  [[nodiscard]] bool handler_read_only(TypeId type, HandlerId h) const;
   [[nodiscard]] const std::string& type_name(TypeId type) const;
   [[nodiscard]] std::size_t type_count() const { return types_.size(); }
   [[nodiscard]] std::size_t handler_count(TypeId type) const;
@@ -94,6 +127,7 @@ class ObjectTypeRegistry {
     std::string name;
     ObjectFactory factory;
     std::vector<MessageHandler> handlers;
+    std::vector<std::uint8_t> read_only;  // parallel to handlers
   };
   std::vector<Type> types_;
   bool sealed_ = false;

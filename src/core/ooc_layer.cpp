@@ -35,8 +35,34 @@ void OocLayer::on_remove(std::uint64_t key) {
   policy_.on_erase(key);
 }
 
-void OocLayer::on_spilled(std::size_t blob_bytes) {
+void OocLayer::on_spilled(std::uint64_t key, std::size_t blob_bytes) {
+  auto [it, inserted] = spilled_.try_emplace(key, blob_bytes);
+  if (!inserted) {
+    const std::size_t old = it->second;
+    it->second = blob_bytes;
+    if (old == largest_spilled_ && blob_bytes < old) {
+      // The previous maximum shrank in place; recompute.
+      largest_spilled_ = 0;
+      for (const auto& [k, b] : spilled_) {
+        largest_spilled_ = std::max(largest_spilled_, b);
+      }
+      return;
+    }
+  }
   largest_spilled_ = std::max(largest_spilled_, blob_bytes);
+}
+
+void OocLayer::on_spill_erased(std::uint64_t key) {
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  const std::size_t bytes = it->second;
+  spilled_.erase(it);
+  if (bytes < largest_spilled_) return;
+  // Erased the (a) largest blob: the hard threshold must deflate with it.
+  largest_spilled_ = 0;
+  for (const auto& [k, b] : spilled_) {
+    largest_spilled_ = std::max(largest_spilled_, b);
+  }
 }
 
 std::size_t OocLayer::free_bytes() const {

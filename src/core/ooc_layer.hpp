@@ -46,8 +46,14 @@ class OocLayer {
   void on_footprint_change(std::uint64_t key, std::size_t new_bytes);
   /// Object left memory (evicted or destroyed).
   void on_remove(std::uint64_t key);
-  /// Object's serialized blob landed on disk.
-  void on_spilled(std::size_t blob_bytes);
+  /// Object's serialized blob landed on disk (or was re-sealed at a new
+  /// size). The layer tracks per-key blob sizes so the hard threshold —
+  /// derived from the largest blob *currently* on the backend — deflates
+  /// again once that blob is erased.
+  void on_spilled(std::uint64_t key, std::size_t blob_bytes);
+  /// Object's spill blob was erased from the backend (migration out,
+  /// destroy, or a store that never landed).
+  void on_spill_erased(std::uint64_t key);
 
   // --- thresholds --------------------------------------------------------
   /// Free memory remaining under the budget (0 when over).
@@ -83,9 +89,10 @@ class OocLayer {
   OocOptions options_;
   storage::EvictionPolicy policy_;
   std::unordered_map<std::uint64_t, std::size_t> resident_;  // key -> bytes
+  std::unordered_map<std::uint64_t, std::size_t> spilled_;   // key -> blob
   std::size_t in_core_bytes_ = 0;
   std::size_t peak_in_core_bytes_ = 0;
-  std::size_t largest_spilled_ = 0;
+  std::size_t largest_spilled_ = 0;  // cached max over spilled_
 };
 
 }  // namespace mrts::core

@@ -34,6 +34,7 @@ Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
       ooc_hits_(&obs::MetricsRegistry::global().counter("ooc.hits")),
       ooc_misses_(&obs::MetricsRegistry::global().counter("ooc.misses")),
       ooc_evictions_(&obs::MetricsRegistry::global().counter("ooc.evictions")),
+      ooc_elisions_(&obs::MetricsRegistry::global().counter("ooc.elisions")),
       ooc_(options.ooc),
       store_(std::move(spill_backend), &counters_.disk_time,
              storage::ObjectStoreOptions{
@@ -138,11 +139,12 @@ void Runtime::destroy(MobilePtr ptr) {
   }
   if (e.state == Residency::kOnDisk || e.blob_bytes > 0) {
     store_.erase(ptr.id);  // ignore kNotFound for in-flight states
+    ooc_.on_spill_erased(ptr.id);
   }
   if (options_.recovery.checkpoint_store) {
     options_.recovery.checkpoint_store->erase(ptr.id);  // drop stale copy
   }
-  queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
+  sub_queued(e.queue.size());
   directory_.erase(ptr);
   bump_activity();
 }
@@ -302,6 +304,7 @@ bool Runtime::try_deliver_inline(MobilePtr dst, HandlerId handler,
   }
   e->running = false;
   counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+  if (!registry_.handler_read_only(e->type, handler)) e->obj->mark_dirty();
   after_handler_accounting(dst, *e);
   return true;
 }
@@ -353,6 +356,10 @@ void Runtime::prefetch(MobilePtr ptr) {
 void Runtime::refresh_footprint(MobilePtr ptr) {
   Entry* e = find_entry(ptr);
   if (e == nullptr || e->state != Residency::kInCore) return;
+  // Callers invoke this after mutating the object outside a handler (e.g.
+  // through peek()): treat it as an explicit dirty signal even when the
+  // footprint happens to be unchanged.
+  e->obj->mark_dirty();
   after_handler_accounting(ptr, *e);
 }
 
@@ -437,12 +444,15 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   ooc_.on_remove(ptr.id);
   if (e.blob_bytes > 0) {
     store_.erase(ptr.id);  // stale spill copy must not outlive the move
+    ooc_.on_spill_erased(ptr.id);
     e.blob_bytes = 0;
+    e.blob_crc = 0;
+    e.stored_gen = 0;
   }
   e.state = Residency::kRemote;
   e.last_known = dst;
   e.epoch += 1;  // matches the epoch written into the install message
-  queued_messages_.fetch_sub(e.queue.size(), std::memory_order_acq_rel);
+  sub_queued(e.queue.size());
   e.queue.clear();
   e.in_ready_list = false;  // stale ready entries are skipped by state check
   counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
@@ -498,6 +508,10 @@ void Runtime::am_install(NodeId src, util::ByteReader& in) {
   e.queue = std::move(queue);
   e.load_wanted = false;
   e.load_queued = false;
+  // Blob identity never survives a migration (the sender erased its copy).
+  e.blob_bytes = 0;
+  e.blob_crc = 0;
+  e.stored_gen = 0;
   ooc_.on_install(ptr.id, fp);
   e.obj->on_register(*this, ptr);
   counters_.migrations_in.fetch_add(1, std::memory_order_relaxed);
@@ -744,6 +758,7 @@ bool Runtime::advance_multicasts() {
       }
       e.running = false;
       counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+      if (!registry_.handler_read_only(e.type, op.handler)) e.obj->mark_dirty();
       after_handler_accounting(op.targets[t], e);
     }
     for (MobilePtr ptr : op.targets) {
@@ -797,6 +812,38 @@ bool Runtime::spill_one_victim(bool allow_relaxed) {
 
 void Runtime::spill(MobilePtr ptr, Entry& e) {
   assert(evictable_relaxed(e));
+  // Clean-spill elision: the blob left on the backend by the last
+  // successful spill still serializes exactly this dirty generation, so
+  // the eviction needs no serialize and no store — just drop the in-core
+  // copy and flip straight to kOnDisk. blob_bytes/blob_crc are left
+  // untouched: the recovery ladder's checkpoint rung keeps comparing
+  // against the last-spill CRC exactly as before.
+  if (options_.spill_elision && e.blob_bytes > 0 &&
+      e.stored_gen == e.obj->dirty_generation()) {
+    e.obj->on_unregister(*this);
+    e.obj.reset();
+    ooc_.on_remove(ptr.id);
+    e.state = Residency::kOnDisk;
+    e.in_ready_list = false;  // stale ready entries skip on state check
+    counters_.spills_elided.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_spill_elided.fetch_add(e.blob_bytes,
+                                           std::memory_order_relaxed);
+    ooc_elisions_->inc();
+    obs::TraceRecorder::global().instant(obs::Cat::kDisk, "spill.elide",
+                                         static_cast<std::uint16_t>(node_),
+                                         e.blob_bytes);
+    // No store completion will arrive, so requeue any pending work here
+    // (the relaxed-eviction escape hatch can evict queued objects).
+    if ((!e.queue.empty() || e.load_wanted) && !e.load_queued) {
+      e.load_queued = true;
+      load_queue_.push_back(ptr);
+    }
+    return;
+  }
+  // The generation this spill captures; recorded on the entry only when the
+  // store completes OK (a failed write-behind store must not leave the
+  // entry claiming a CRC for bytes that never landed).
+  const std::uint64_t spill_gen = e.obj->dirty_generation();
   util::ByteWriter body(e.footprint + 64);
   {
     obs::ChargedSpan span(obs::Cat::kComp, "spill.serialize",
@@ -814,7 +861,7 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
   // Content identity of this spill: a reload must produce exactly these
   // bytes. Catches a stale replica serving an older (seal-valid) version.
   e.blob_crc = sealed_crc(blob);
-  ooc_.on_spilled(blob.size());
+  ooc_.on_spilled(ptr.id, blob.size());
   counters_.objects_spilled.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_spilled.fetch_add(blob.size(), std::memory_order_relaxed);
   ooc_evictions_->inc();
@@ -822,15 +869,19 @@ void Runtime::spill(MobilePtr ptr, Entry& e) {
                                        static_cast<std::uint16_t>(node_),
                                        blob.size());
   ++outstanding_stores_;
+  const std::size_t spill_bytes = blob.size();
+  write_behind_inflight_bytes_ += spill_bytes;
   store_.store_async(
       ptr.id, std::move(blob),
-      [this, ptr](util::Status s, std::vector<std::byte> payload) {
+      [this, ptr, spill_bytes,
+       spill_gen](util::Status s, std::vector<std::byte> payload) {
         // On failure `payload` is the sealed blob handed back by the storage
         // layer — the object's only remaining copy; the control thread
         // reinstalls it in core.
         std::lock_guard lock(completions_mutex_);
         completions_.push_back(Completion{ptr.id, /*is_load=*/false,
-                                          std::move(s), std::move(payload)});
+                                          std::move(s), std::move(payload),
+                                          spill_bytes, spill_gen});
         completions_available_.fetch_add(1, std::memory_order_release);
       });
 }
@@ -913,10 +964,17 @@ bool Runtime::drain_completions() {
       recover_failed_load(ptr, *e, cause);
     } else {
       --outstanding_stores_;
+      // Draining the completion frees the write-behind budget, whatever the
+      // outcome (even when the entry was destroyed mid-flight).
+      assert(write_behind_inflight_bytes_ >= c.spill_bytes);
+      write_behind_inflight_bytes_ -= c.spill_bytes;
       if (c.status.is_ok()) {
         if (e == nullptr) continue;
         if (e->state == Residency::kStoring) {
           e->state = Residency::kOnDisk;
+          // The blob landed: only now does the entry claim its generation
+          // (and keep the CRC recorded at serialize time honest).
+          e->stored_gen = c.spill_gen;
           if ((!e->queue.empty() || e->load_wanted) && !e->load_queued) {
             e->load_queued = true;
             load_queue_.push_back(ptr);
@@ -959,11 +1017,22 @@ void Runtime::finish_load(Entry& e, MobilePtr ptr,
   e.state = Residency::kInCore;
   e.footprint = e.obj->footprint_bytes();
   e.load_wanted = false;
+  // The fresh instance is byte-for-byte what the blob serializes: align its
+  // dirty generation with the blob's so a clean evict elides the re-store.
+  e.obj->sync_generation(e.stored_gen);
   ooc_.on_install(ptr.id, e.footprint);
   e.obj->on_register(*this, ptr);
-  store_.erase(ptr.id);
-  e.blob_bytes = 0;
-  e.blob_crc = 0;
+  // With elision enabled the blob (and its recorded identity) stays on the
+  // backend: if the object is evicted again unmodified, spill() skips
+  // serialize+store entirely. Forced-spill mode keeps the pre-elision
+  // behavior of dropping the blob on reload.
+  if (!options_.spill_elision) {
+    store_.erase(ptr.id);
+    ooc_.on_spill_erased(ptr.id);
+    e.blob_bytes = 0;
+    e.blob_crc = 0;
+    e.stored_gen = 0;
+  }
   counters_.objects_loaded.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_loaded.fetch_add(bytes.size(), std::memory_order_relaxed);
   if (!e.queue.empty()) push_ready(e, ptr);
@@ -1039,8 +1108,12 @@ void Runtime::recover_failed_store(MobilePtr ptr, Entry& e,
   e.obj = std::move(obj);
   e.state = Residency::kInCore;
   e.footprint = e.obj->footprint_bytes();
+  // The store never landed: the entry must not claim a blob, a CRC, or a
+  // stored generation for bytes that are not on the backend.
   e.blob_bytes = 0;
   e.blob_crc = 0;
+  e.stored_gen = 0;
+  ooc_.on_spill_erased(ptr.id);
   ooc_.on_install(ptr.id, e.footprint);
   e.obj->on_register(*this, ptr);
   counters_.spills_reinstalled.fetch_add(1, std::memory_order_relaxed);
@@ -1062,10 +1135,11 @@ void Runtime::recover_failed_store(MobilePtr ptr, Entry& e,
 void Runtime::poison_object(MobilePtr ptr, Entry& e, FailureOp op,
                             const util::Status& cause) {
   const std::uint64_t dropped = e.queue.size();
-  queued_messages_.fetch_sub(dropped, std::memory_order_acq_rel);
+  sub_queued(dropped);
   e.queue.clear();
   e.poisoned = true;
   e.state = Residency::kOnDisk;  // whatever blob remains is known-bad
+  e.stored_gen = 0;              // and must never satisfy an elision check
   e.load_wanted = false;
   e.load_queued = false;
   e.in_ready_list = false;
@@ -1099,6 +1173,9 @@ void Runtime::after_handler_accounting(MobilePtr ptr, Entry& e) {
   if (fp != e.footprint) {
     e.footprint = fp;
     ooc_.on_footprint_change(ptr.id, fp);
+    // Safety net for handlers declared read-only that grew or shrank the
+    // object anyway: a footprint change is proof of mutation.
+    e.obj->mark_dirty();
   }
   while (ooc_.hard_pressure(0) && spill_one_victim()) {
   }
@@ -1130,7 +1207,7 @@ bool Runtime::run_ready_object() {
     while (budget-- > 0 && !e->queue.empty()) {
       QueuedMessage msg = std::move(e->queue.front());
       e->queue.pop_front();
-      queued_messages_.fetch_sub(1, std::memory_order_acq_rel);
+      sub_queued(1);
       execute_message(ptr, *e, msg);
       e = find_entry(ptr);  // handler may destroy others; self must persist
       assert(e != nullptr);
@@ -1167,6 +1244,7 @@ void Runtime::execute_message(MobilePtr ptr, Entry& e, QueuedMessage& msg) {
   }
   e.running = false;
   counters_.messages_executed.fetch_add(1, std::memory_order_relaxed);
+  if (!registry_.handler_read_only(e.type, msg.handler)) e.obj->mark_dirty();
 }
 
 void Runtime::advise_shed(std::uint32_t count, NodeId target) {
@@ -1206,7 +1284,14 @@ bool Runtime::progress_once() {
   did |= advance_pending_migrations();
   did |= advance_multicasts();
   did |= schedule_loads();
-  if (ooc_.soft_pressure() && spill_one_victim(/*allow_relaxed=*/false)) did = true;
+  // Background (soft-pressure) eviction is write-behind: it stops issuing
+  // new spill stores while the in-flight-bytes budget is full; the drained
+  // completions above free it. Hard-pressure eviction paths are not gated —
+  // when an allocation needs room now, the spill is issued immediately.
+  if (ooc_.soft_pressure() && write_behind_has_budget() &&
+      spill_one_victim(/*allow_relaxed=*/false)) {
+    did = true;
+  }
   did |= run_ready_object();
 
   if (did) {
@@ -1369,6 +1454,10 @@ util::Status Runtime::restore_from(util::ByteReader& in) {
     e.footprint = p.footprint;
     e.epoch = 1;  // restored world restarts the epoch clock
     e.queue = std::move(p.queue);
+    // A restored object has no blob on the spill backend yet.
+    e.blob_bytes = 0;
+    e.blob_crc = 0;
+    e.stored_gen = 0;
     ooc_.on_install(p.ptr.id, e.footprint);
     e.obj->on_register(*this, p.ptr);
     queued_messages_.fetch_add(e.queue.size(), std::memory_order_acq_rel);

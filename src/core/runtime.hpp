@@ -13,6 +13,7 @@
 // handler (which runs on that same thread). Tasks spawned inside a handler
 // via pool() may only compute; they must not call Runtime methods.
 
+#include <cassert>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -57,6 +58,20 @@ struct RuntimeOptions {
   /// I/O thread. Sacrifices I/O overlap for a deterministic completion
   /// order; used by the chaos harness's seed-replay driver.
   bool synchronous_storage = false;
+  /// Clean-spill elision: evicting an object whose dirty generation still
+  /// matches the blob its last spill left on the backend skips
+  /// serialize+store entirely and just drops the in-core copy. Disable to
+  /// force every eviction through the full spill path — the forced-spill
+  /// baseline the elision bench and the chaos digest cross-check compare
+  /// against (also restores the pre-elision behavior of erasing the blob on
+  /// reload).
+  bool spill_elision = true;
+  /// Write-behind bound for dirty evictions under *soft* pressure: no new
+  /// spill store is issued while at least this many serialized bytes are
+  /// still in flight to the storage layer; completions drained in
+  /// progress_once() free the budget. Hard-pressure evictions ignore the
+  /// bound (memory must be freed now). 0 = unbounded.
+  std::size_t write_behind_max_bytes = 8u << 20;
   /// Storage-failure recovery (the self-healing path). When enabled,
   /// exhausted loads and corrupt blobs never throw: the runtime walks a
   /// recovery ladder (re-issued load → checkpoint copy → poison) and failed
@@ -228,6 +243,16 @@ class Runtime {
   [[nodiscard]] std::size_t resident_objects() const {
     return ooc_.resident_count();
   }
+  /// Largest blob currently on the spill backend — the input to the hard
+  /// threshold. Shrinks when that blob is erased (migration out, destroy).
+  [[nodiscard]] std::size_t largest_spilled_bytes() const {
+    return ooc_.largest_spilled_bytes();
+  }
+  /// Serialized spill bytes issued by this runtime and not yet completed
+  /// (the write-behind budget's current fill).
+  [[nodiscard]] std::size_t write_behind_inflight_bytes() const {
+    return write_behind_inflight_bytes_;
+  }
   [[nodiscard]] std::size_t local_objects() const;
   [[nodiscard]] const storage::StorageBackend& spill_backend() const {
     return store_.backend();
@@ -349,6 +374,12 @@ class Runtime {
     /// replica serving an older (seal-valid!) version, and the acceptance
     /// check for the ladder's checkpoint rung.
     std::uint32_t blob_crc = 0;
+    /// Dirty generation captured by the last *successful* spill store: the
+    /// blob on the backend serializes exactly that generation of the
+    /// object. 0 = no landed blob. Set only when the store completes OK —
+    /// never at issue time — so a failed write-behind store can't leave the
+    /// entry claiming a CRC for bytes that never landed.
+    std::uint64_t stored_gen = 0;
     std::uint64_t collect_for = 0;  // nonzero: reserved by a multicast op
   };
 
@@ -359,6 +390,11 @@ class Runtime {
     /// Load payload on a successful load; on a FAILED store, the sealed
     /// payload handed back by the storage layer (the object's only copy).
     std::vector<std::byte> bytes;
+    /// Stores only: sealed payload size (drains the write-behind budget
+    /// even when the entry is gone) and the dirty generation the blob
+    /// serializes (recorded on the entry only on success).
+    std::size_t spill_bytes = 0;
+    std::uint64_t spill_gen = 0;
   };
 
   // wire protocol -----------------------------------------------------------
@@ -417,6 +453,23 @@ class Runtime {
     activity_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  /// Every queued_messages_ decrement funnels through here: an underflow
+  /// means a drop path (poison, migration, destroy) double-counted queue
+  /// entries, which debug builds catch immediately.
+  void sub_queued(std::size_t n) {
+    if (n == 0) return;
+    [[maybe_unused]] const auto prev =
+        queued_messages_.fetch_sub(n, std::memory_order_acq_rel);
+    assert(prev >= n && "queued_messages_ underflow");
+  }
+
+  /// True while soft-pressure (background) evictions may issue another
+  /// spill store without blowing the write-behind budget.
+  [[nodiscard]] bool write_behind_has_budget() const {
+    return options_.write_behind_max_bytes == 0 ||
+           write_behind_inflight_bytes_ < options_.write_behind_max_bytes;
+  }
+
   Entry& entry_of(MobilePtr ptr);
   [[nodiscard]] const Entry* find_entry(MobilePtr ptr) const;
   Entry* find_entry(MobilePtr ptr);
@@ -434,6 +487,7 @@ class Runtime {
   obs::Counter* ooc_hits_;    // registry-owned; message target was in-core
   obs::Counter* ooc_misses_;  // message target was on disk / in flight
   obs::Counter* ooc_evictions_;
+  obs::Counter* ooc_elisions_;  // evictions satisfied without a store
   OocLayer ooc_;
   storage::ObjectStore store_;
   std::unique_ptr<tasking::TaskPool> pool_;
@@ -449,6 +503,9 @@ class Runtime {
   std::uint64_t next_multicast_id_ = 1;
   int outstanding_loads_ = 0;
   int outstanding_stores_ = 0;
+  /// Control-thread-owned: bytes of issued spill stores whose completions
+  /// have not yet been drained. Bounds soft-pressure eviction (write-behind).
+  std::size_t write_behind_inflight_bytes_ = 0;
 
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;

@@ -35,6 +35,11 @@ struct OocRunResult {
   std::uint64_t objects_loaded = 0;
   std::uint64_t bytes_spilled = 0;
   std::uint64_t bytes_loaded = 0;
+  /// Clean-spill elision activity: evictions that skipped serialize+store
+  /// because the object was unmodified since its last spill (read-mostly
+  /// reload traffic; see RuntimeOptions::spill_elision).
+  std::uint64_t spills_elided = 0;
+  std::uint64_t bytes_spill_elided = 0;
   std::uint64_t messages_executed = 0;
   std::uint64_t inline_deliveries = 0;
   std::uint64_t migrations = 0;
@@ -68,6 +73,11 @@ struct OupdrOocConfig {
   int nx = 4;
   int ny = 4;
   std::size_t max_phases = 1000;
+  /// Read-mostly post-refinement phase: after the mesh converges, run this
+  /// many bulk-synchronous sweeps that send a read-only query to every cell
+  /// (cells reload and are evicted again unmodified — the traffic pattern
+  /// clean-spill elision targets).
+  std::size_t query_rounds = 0;
 };
 
 struct OnupdrOocConfig {

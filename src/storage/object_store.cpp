@@ -39,6 +39,8 @@ void ObjectStore::store_async(ObjectKey key, std::vector<std::byte> bytes,
               .bytes = std::move(bytes),
               .store_done = std::move(done),
               .load_done = {}};
+  store_bytes_in_flight_.fetch_add(req.bytes.size(),
+                                   std::memory_order_acq_rel);
   if (options_.synchronous) {
     execute(req);
     return;
@@ -178,6 +180,8 @@ void ObjectStore::execute(Request& req) {
                         static_cast<std::uint16_t>(options_.trace_track),
                         disk_time_);
   if (req.is_store) {
+    // Captured up front: the payload may be moved out below on failure.
+    const std::size_t payload_bytes = req.bytes.size();
     const util::Status status =
         run_retrying(req.key, [&] { return backend_->store(req.key, req.bytes); });
     span.close();
@@ -187,6 +191,7 @@ void ObjectStore::execute(Request& req) {
       req.store_done(status, status.is_ok() ? std::vector<std::byte>{}
                                             : std::move(req.bytes));
     }
+    store_bytes_in_flight_.fetch_sub(payload_bytes, std::memory_order_acq_rel);
   } else {
     util::Result<std::vector<std::byte>> result =
         util::Status(util::StatusCode::kUnavailable, "not attempted");

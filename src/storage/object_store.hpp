@@ -76,6 +76,14 @@ class ObjectStore {
   void drain();
 
   [[nodiscard]] std::size_t pending() const;
+  /// Store payload bytes queued or executing right now — the storage-layer
+  /// half of the write-behind accounting (the runtime additionally tracks a
+  /// control-thread-owned budget; see RuntimeOptions::write_behind_max_bytes).
+  /// In synchronous mode stores execute inline, so this reads zero between
+  /// calls.
+  [[nodiscard]] std::uint64_t in_flight_store_bytes() const {
+    return store_bytes_in_flight_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const StorageBackend& backend() const { return *backend_; }
   [[nodiscard]] std::uint64_t retries_performed() const;
   /// Total backoff computed by the retry policy, in microseconds. In
@@ -118,6 +126,7 @@ class ObjectStore {
   // must not contend with the request queue.
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> backoff_us_{0};
+  std::atomic<std::uint64_t> store_bytes_in_flight_{0};
 
   std::thread io_thread_;
 };

@@ -41,6 +41,10 @@ core::ClusterOptions recovery_options() {
   // Nonzero backoff: under the deterministic driver the delays are virtual
   // (accumulated, never slept), so replay stays byte-identical.
   options.runtime.storage_retry.base_delay = std::chrono::microseconds(100);
+  // Engage the write-behind budget so blackout windows land on deferred
+  // soft-pressure spills too: a failed write-behind store must still ride
+  // the recovery ladder (reinstall) without claiming a phantom blob.
+  options.runtime.write_behind_max_bytes = 16u << 10;
   options.spill = core::SpillMedium::kMemory;
   options.replicate_spills = true;
   options.replication.breaker_failure_threshold = 3;

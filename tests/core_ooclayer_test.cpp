@@ -48,15 +48,43 @@ TEST(OocLayer, HardThresholdTracksLargestSpill) {
   EXPECT_FALSE(ooc.hard_pressure(100));
   EXPECT_TRUE(ooc.hard_pressure(500));
   // A 150-byte spill raises the threshold to 300.
-  ooc.on_spilled(150);
+  ooc.on_spilled(10, 150);
   EXPECT_EQ(ooc.largest_spilled_bytes(), 150u);
   EXPECT_TRUE(ooc.hard_pressure(200));   // free 400 - 200 < 300
   EXPECT_FALSE(ooc.hard_pressure(50));   // free 400 - 50 >= 300
 }
 
+TEST(OocLayer, HardThresholdDeflatesWhenLargestSpillErased) {
+  OocLayer ooc(small_options());
+  ooc.on_spilled(1, 100);
+  ooc.on_spilled(2, 400);  // the one-off huge blob
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 400u);
+  // Erasing the huge blob (migration out / destroy) must restore the
+  // smaller threshold, not leave it permanently inflated.
+  ooc.on_spill_erased(2);
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 100u);
+  ooc.on_spill_erased(1);
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 0u);
+  // Erasing an unknown key is a no-op.
+  ooc.on_spill_erased(99);
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 0u);
+}
+
+TEST(OocLayer, ReSpillAtSmallerSizeShrinksTheMaximum) {
+  OocLayer ooc(small_options());
+  ooc.on_spilled(1, 100);
+  ooc.on_spilled(2, 400);
+  // Key 2 re-spills smaller (the object shrank between evictions): the
+  // cached maximum must follow it down.
+  ooc.on_spilled(2, 150);
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 150u);
+  ooc.on_spilled(2, 50);
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 100u);
+}
+
 TEST(OocLayer, HardThresholdIsCappedAtHalfBudget) {
   OocLayer ooc(small_options());
-  ooc.on_spilled(5000);  // uncapped threshold would be 10000 > budget
+  ooc.on_spilled(1, 5000);  // uncapped threshold would be 10000 > budget
   // Capped at 500: an empty node with a tiny allocation is NOT under
   // pressure (free = 1000, 1000 - 100 >= 500).
   EXPECT_FALSE(ooc.hard_pressure(100));
@@ -124,6 +152,17 @@ TEST(Registry, TypeAndHandlerIdsAreSequential) {
   EXPECT_EQ(reg.register_handler(t0, h), 1u);
   EXPECT_EQ(reg.register_handler(t1, h), 0u);  // per-type numbering
   EXPECT_EQ(reg.handler_count(t0), 2u);
+}
+
+TEST(Registry, ReadOnlyFlagIsPerHandler) {
+  ObjectTypeRegistry reg;
+  const TypeId t = reg.register_type<Dummy>("dummy");
+  MessageHandler h = [](Runtime&, MobileObject&, MobilePtr, NodeId,
+                        util::ByteReader&) {};
+  const HandlerId mut = reg.register_handler(t, h);
+  const HandlerId ro = reg.register_handler(t, h, /*read_only=*/true);
+  EXPECT_FALSE(reg.handler_read_only(t, mut));
+  EXPECT_TRUE(reg.handler_read_only(t, ro));
 }
 
 TEST(Registry, FactoryCreatesBlankInstances) {

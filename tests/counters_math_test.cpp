@@ -120,3 +120,22 @@ TEST(NodeCounters, ResetTimesClearsOnlyAccumulators) {
 
 }  // namespace
 }  // namespace mrts::core
+
+namespace mrts::core {
+namespace {
+
+// Elision ratio: elided bytes over total eviction traffic (stored +
+// elided). Dyadic inputs keep every quotient exact.
+TEST(ElisionRatio, GoldenValues) {
+  EXPECT_DOUBLE_EQ(elision_ratio(3072, 1024), 0.25);
+  EXPECT_DOUBLE_EQ(elision_ratio(0, 512), 1.0);
+  EXPECT_DOUBLE_EQ(elision_ratio(512, 0), 0.0);
+  EXPECT_DOUBLE_EQ(elision_ratio(1024, 1024), 0.5);
+}
+
+TEST(ElisionRatio, ZeroTrafficYieldsZeroNotNan) {
+  EXPECT_DOUBLE_EQ(elision_ratio(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace mrts::core

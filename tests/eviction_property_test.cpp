@@ -325,3 +325,37 @@ TEST(OocPickVictimProperty, LowestPriorityClassWinsThenScheme) {
 
 }  // namespace
 }  // namespace mrts::core
+
+namespace mrts::core {
+namespace {
+
+// Satellite of the spill pipeline: largest_spilled_bytes() must equal the
+// brute-force max over the per-key blob sizes currently on the backend,
+// under any interleaving of spills, re-seals at new sizes, and erasures.
+// (The old implementation was a monotone high-watermark: it kept the hard
+// threshold inflated forever after a one-off huge object left the node.)
+TEST(OocLayerLargestSpilled, MatchesBruteForceMaxUnderRandomChurn) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed * 7919);
+    OocLayer layer{OocOptions{}};
+    std::map<std::uint64_t, std::size_t> ref;  // key -> blob bytes
+    for (int op = 0; op < 2000; ++op) {
+      const std::uint64_t key = rng.below(24);
+      if (rng.below(3) != 0) {
+        const auto bytes = static_cast<std::size_t>(1 + rng.below(1u << 16));
+        layer.on_spilled(key, bytes);
+        ref[key] = bytes;
+      } else {
+        layer.on_spill_erased(key);
+        ref.erase(key);
+      }
+      std::size_t want = 0;
+      for (const auto& [k, b] : ref) want = std::max(want, b);
+      ASSERT_EQ(layer.largest_spilled_bytes(), want)
+          << "seed=" << seed << " op=" << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrts::core
