@@ -117,6 +117,13 @@ InvariantReport Harness::check(core::Cluster& cluster) const {
   check_directory_convergence(cluster, report);
   check_budget(cluster, plan_.budget_overshoot_bytes, report);
   check_queue_accounting(cluster, report);
+  // End-to-end delivery invariants exist only when the reliable layer is on
+  // (the raw wire makes no exactly-once/FIFO promise under fault injection).
+  if (cluster.size() > 0 &&
+      cluster.node(0).options().reliable_net.enabled) {
+    check_exactly_once(cluster, report);
+    check_fifo_restored(cluster, report);
+  }
   return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simnet/reliable.hpp"
 #include "util/format.hpp"
 
 namespace mrts::chaos {
@@ -203,6 +204,72 @@ void check_queue_accounting(core::Cluster& cluster, InvariantReport& out) {
           "node {} reports {} queued message(s) at quiescence: a drop path "
           "leaked queued_messages_ accounting",
           i, queued));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Reliable-net layer
+
+void check_exactly_once(core::Cluster& cluster, InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    const net::ReliableLink* link = cluster.node(node).reliable_link();
+    if (link == nullptr) {
+      out.add(util::format(
+          "node {} has no reliable link: check_exactly_once requires "
+          "reliable_net.enabled",
+          i));
+      continue;
+    }
+    for (const auto& tx : link->tx_flows()) {
+      if (tx.unacked != 0) {
+        out.add(util::format(
+            "node {} still has {} unacked frame(s) to node {} at quiescence",
+            i, tx.unacked, tx.peer));
+      }
+      // The receiver of this flow must have dispatched exactly what we sent.
+      const net::ReliableLink* peer = cluster.node(tx.peer).reliable_link();
+      std::uint64_t dispatched = 0;
+      if (peer != nullptr) {
+        for (const auto& rx : peer->rx_flows()) {
+          if (rx.peer == node) dispatched = rx.dispatched;
+        }
+      }
+      if (dispatched != tx.sent) {
+        out.add(util::format(
+            "flow {}->{}: {} frame(s) sent but {} dispatched (exactly-once "
+            "broken)",
+            i, tx.peer, tx.sent, dispatched));
+      }
+    }
+    for (const auto& rx : link->rx_flows()) {
+      if (rx.buffered != 0) {
+        out.add(util::format(
+            "node {} still holds {} frame(s) from node {} in its reorder "
+            "buffer at quiescence",
+            i, rx.buffered, rx.peer));
+      }
+    }
+  }
+}
+
+void check_fifo_restored(core::Cluster& cluster, InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const net::ReliableLink* link =
+        cluster.node(static_cast<net::NodeId>(i)).reliable_link();
+    if (link == nullptr) {
+      out.add(util::format(
+          "node {} has no reliable link: check_fifo_restored requires "
+          "reliable_net.enabled",
+          i));
+      continue;
+    }
+    if (const auto v = link->dispatch_order_violations(); v != 0) {
+      out.add(util::format(
+          "node {} dispatched {} frame(s) out of sequence (FIFO not "
+          "restored before dispatch)",
+          i, v));
     }
   }
 }

@@ -86,4 +86,16 @@ void check_recovery(core::Cluster& cluster, InvariantReport& out);
 /// updates — the balancer would then chase phantom load forever.
 void check_queue_accounting(core::Cluster& cluster, InvariantReport& out);
 
+/// Reliable-net: at quiescence every (src,dst) flow must balance end to
+/// end — no unacked frames at any sender, no frames parked in any reorder
+/// buffer, and each receiver dispatched exactly as many frames as its peer
+/// sent it. Requires reliable_net.enabled; a cluster without the link is a
+/// violation (the caller asked for a guarantee nothing provides).
+void check_exactly_once(core::Cluster& cluster, InvariantReport& out);
+
+/// Reliable-net: handlers observed strictly gap-free, in-order sequences on
+/// every flow (ReliableLink::dispatch_order_violations is zero everywhere),
+/// i.e. the reorder buffer restored FIFO before dispatch.
+void check_fifo_restored(core::Cluster& cluster, InvariantReport& out);
+
 }  // namespace mrts::chaos

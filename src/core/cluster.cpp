@@ -302,9 +302,11 @@ RunReport Cluster::run_deterministic() {
   }
   running_.store(false, std::memory_order_release);
   for (auto& rt : runtimes_) rt->flush_stores();
-  return finish_report(timed_out, timer.seconds(), before,
-                       busy_snapshot(runtimes_), fabric_before,
-                       fabric_->stats());
+  RunReport report = finish_report(timed_out, timer.seconds(), before,
+                                   busy_snapshot(runtimes_), fabric_before,
+                                   fabric_->stats());
+  report.det_steps = step;
+  return report;
 }
 
 }  // namespace mrts::core

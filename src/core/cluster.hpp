@@ -106,6 +106,10 @@ struct ClusterOptions {
 struct RunReport : RunBreakdown {
   bool timed_out = false;
   net::FabricStats fabric;
+  /// Deterministic mode only: virtual steps (full sweeps) the run took.
+  /// Wall-clock-free work metric — the reliable-net bench reports protocol
+  /// overhead as a det_steps delta, which is reproducible in CI.
+  std::uint64_t det_steps = 0;
 };
 
 class Cluster {

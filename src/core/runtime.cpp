@@ -69,6 +69,37 @@ void Runtime::register_am_handlers() {
   assert(am_install_id_ == kAmInstall);
   assert(am_migrate_request_id_ == kAmMigrateRequest);
   assert(am_multicast_id_ == kAmMulticast);
+  if (options_.reliable_net.enabled) {
+    reliable_ = std::make_unique<net::ReliableLink>(
+        endpoint_, options_.reliable_net,
+        [this](NodeId src, net::AmHandlerId channel, util::ByteReader& in) {
+          dispatch_reliable(src, channel, in);
+        });
+    assert(reliable_->data_handler_id() == kAmReliableData);
+    assert(reliable_->ack_handler_id() == kAmReliableAck);
+  }
+}
+
+void Runtime::net_send(NodeId dst, net::AmHandlerId channel,
+                       std::vector<std::byte> payload) {
+  if (reliable_ != nullptr) {
+    reliable_->send(dst, channel, std::move(payload));
+    return;
+  }
+  endpoint_.send(dst, channel, std::move(payload));
+}
+
+void Runtime::dispatch_reliable(NodeId src, net::AmHandlerId channel,
+                                util::ByteReader& in) {
+  switch (channel) {
+    case kAmDeliver: am_deliver(src, in); return;
+    case kAmLocationUpdate: am_location_update(src, in); return;
+    case kAmInstall: am_install(src, in); return;
+    case kAmMigrateRequest: am_migrate_request(src, in); return;
+    case kAmMulticast: am_multicast(src, in); return;
+    default:
+      assert(false && "unknown inner channel in reliable frame");
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -189,7 +220,7 @@ void Runtime::route_remote(MobilePtr dst, HandlerId handler, NodeId origin,
   w.write(origin);
   w.write_vector(route);
   w.write_vector(payload);
-  endpoint_.send(next, am_deliver_id_, w.take());
+  net_send(next, am_deliver_id_, w.take());
 }
 
 void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
@@ -220,7 +251,7 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
       w.write(dst.id);
       w.write(node_);
       w.write<std::uint64_t>(e->epoch);
-      endpoint_.send(n, am_location_update_id_, w.take());
+      net_send(n, am_location_update_id_, w.take());
       counters_.location_updates.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -458,7 +489,7 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
   obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.out",
                                        static_cast<std::uint16_t>(node_), dst);
-  endpoint_.send(dst, am_install_id_, w.take());
+  net_send(dst, am_install_id_, w.take());
 }
 
 void Runtime::am_install(NodeId src, util::ByteReader& in) {
@@ -536,14 +567,14 @@ void Runtime::am_migrate_request(NodeId /*src*/, util::ByteReader& in) {
     util::ByteWriter w(16);
     w.write(ptr.id);
     w.write(requester);
-    endpoint_.send(ptr.home_node(), am_migrate_request_id_, w.take());
+    net_send(ptr.home_node(), am_migrate_request_id_, w.take());
     return;
   }
   if (e->state == Residency::kRemote) {
     util::ByteWriter w(16);
     w.write(ptr.id);
     w.write(requester);
-    endpoint_.send(e->last_known, am_migrate_request_id_, w.take());
+    net_send(e->last_known, am_migrate_request_id_, w.take());
     return;
   }
   if (requester == node_) return;  // it came home in the meantime
@@ -565,7 +596,7 @@ bool Runtime::advance_pending_migrations() {
         util::ByteWriter w(16);
         w.write(ptr.id);
         w.write(dst);
-        endpoint_.send(e->last_known, am_migrate_request_id_, w.take());
+        net_send(e->last_known, am_migrate_request_id_, w.take());
       }
       did = true;
       continue;
@@ -617,7 +648,7 @@ void Runtime::send_multicast(std::vector<MobilePtr> targets,
   w.write(handler);
   w.write(node_);
   w.write_vector(payload);
-  endpoint_.send(next, am_multicast_id_, w.take());
+  net_send(next, am_multicast_id_, w.take());
 }
 
 void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
@@ -644,7 +675,7 @@ void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
     w.write(handler);
     w.write(origin);
     w.write_vector(payload);
-    endpoint_.send(next, am_multicast_id_, w.take());
+    net_send(next, am_multicast_id_, w.take());
     return;
   }
   multicasts_.push_back(MulticastOp{
@@ -691,7 +722,7 @@ bool Runtime::advance_multicasts() {
           util::ByteWriter w(16);
           w.write(ptr.id);
           w.write(node_);
-          endpoint_.send(next, am_migrate_request_id_, w.take());
+          net_send(next, am_migrate_request_id_, w.take());
           did = true;
         }
         continue;
@@ -1279,6 +1310,9 @@ bool Runtime::apply_shed_advice() {
 bool Runtime::progress_once() {
   bool did = false;
   did |= endpoint_.poll() > 0;
+  // One control-loop iteration == one virtual tick of the reliable layer;
+  // overdue unacked frames are retransmitted here.
+  if (reliable_ != nullptr) did |= reliable_->on_tick();
   did |= drain_completions();
   did |= apply_shed_advice();
   did |= advance_pending_migrations();
@@ -1302,6 +1336,13 @@ bool Runtime::progress_once() {
                    outstanding_loads_ > 0 || outstanding_stores_ > 0 ||
                    !endpoint_.inbox_empty() ||
                    completions_available_.load(std::memory_order_acquire) > 0;
+    // Unacked frames keep this node non-idle so the termination detector
+    // can never quiesce over a lost message — the retransmit that recovers
+    // it is guaranteed another control-loop iteration. Parked reorder-buffer
+    // frames likewise represent undispatched work.
+    if (!pending && reliable_ != nullptr) {
+      pending = reliable_->has_unacked() || reliable_->rx_buffered() > 0;
+    }
     if (!pending) {
       for (const auto& [ptr, e] : directory_) {
         if (e.state == Residency::kRemote) continue;

@@ -26,6 +26,7 @@
 #include "core/mobile_ptr.hpp"
 #include "core/ooc_layer.hpp"
 #include "simnet/fabric.hpp"
+#include "simnet/reliable.hpp"
 #include "storage/object_store.hpp"
 #include "storage/retry_policy.hpp"
 #include "tasking/task_pool.hpp"
@@ -85,6 +86,13 @@ struct RuntimeOptions {
     /// ownership: the cluster owns one per node, tests may inject their own.
     std::shared_ptr<storage::StorageBackend> checkpoint_store;
   } recovery;
+  /// End-to-end reliable delivery (simnet/reliable.hpp). When enabled, every
+  /// runtime AM is wrapped in a sequenced DATA frame with ack/retransmit and
+  /// receiver-side dedup + reordering buffer, so handlers observe FIFO,
+  /// exactly-once delivery even over a lossy fabric. Note that wire traffic
+  /// then consists of kAmReliableData/kAmReliableAck frames: fault plans
+  /// targeting the inner channel ids (0-4) no longer match anything.
+  net::ReliableOptions reliable_net;
 };
 
 /// The runtime's active-message channels, in registration order. Fabric
@@ -94,6 +102,12 @@ inline constexpr net::AmHandlerId kAmLocationUpdate = 1;
 inline constexpr net::AmHandlerId kAmInstall = 2;
 inline constexpr net::AmHandlerId kAmMigrateRequest = 3;
 inline constexpr net::AmHandlerId kAmMulticast = 4;
+/// Registered by ReliableLink (when reliable_net.enabled) right after the
+/// five runtime channels, so they too are part of the wire contract. Under
+/// reliable mode these are the only ids that appear on the fabric; the ids
+/// above become inner channel tags carried inside DATA frames.
+inline constexpr net::AmHandlerId kAmReliableData = 5;
+inline constexpr net::AmHandlerId kAmReliableAck = 6;
 
 /// Dynamic load-balancing knobs (paper §II.D: the control layer "serves
 /// system aspects like ... decision making for load-balancing"). The
@@ -266,6 +280,12 @@ class Runtime {
   /// Structured log of storage failures and their resolutions.
   [[nodiscard]] const FailureLedger& failure_ledger() const { return ledger_; }
 
+  /// Reliable-delivery layer, or nullptr when reliable_net is disabled.
+  /// Invariant checkers read its flow snapshots at quiescence.
+  [[nodiscard]] const net::ReliableLink* reliable_link() const {
+    return reliable_.get();
+  }
+
   /// Transient storage retries performed by this node's storage layer.
   [[nodiscard]] std::uint64_t storage_retries() const {
     return store_.retries_performed();
@@ -399,6 +419,15 @@ class Runtime {
 
   // wire protocol -----------------------------------------------------------
   void register_am_handlers();
+  /// Routes every outgoing AM: through the ReliableLink when reliable_net is
+  /// enabled, straight onto the fabric otherwise. `channel` is one of the
+  /// five kAm* runtime channels.
+  void net_send(NodeId dst, net::AmHandlerId channel,
+                std::vector<std::byte> payload);
+  /// ReliableLink dispatch target: hands a dispatched frame's payload to the
+  /// handler registered for its inner channel.
+  void dispatch_reliable(NodeId src, net::AmHandlerId channel,
+                         util::ByteReader& in);
   void am_deliver(NodeId src, util::ByteReader& in);
   void am_location_update(NodeId src, util::ByteReader& in);
   void am_install(NodeId src, util::ByteReader& in);
@@ -522,6 +551,9 @@ class Runtime {
   net::AmHandlerId am_install_id_ = 0;
   net::AmHandlerId am_migrate_request_id_ = 0;
   net::AmHandlerId am_multicast_id_ = 0;
+  /// Present iff options_.reliable_net.enabled; constructed after the five
+  /// runtime handlers so its DATA/ACK ids land on kAmReliableData/Ack.
+  std::unique_ptr<net::ReliableLink> reliable_;
 };
 
 }  // namespace mrts::core

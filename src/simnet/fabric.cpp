@@ -95,6 +95,17 @@ std::size_t Fabric::held_messages() const {
   return held_.size();
 }
 
+bool Fabric::drop_window_active() const {
+  const NetFaultPlan& plan = chaos_plan_;
+  if (plan.drop_handler_windows.empty()) return true;  // legacy: forever
+  for (const StepWindow& w : plan.drop_handler_windows) {
+    if (current_step_ >= w.begin_step && current_step_ < w.end_step) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
                         std::vector<std::byte> payload) {
   const std::size_t bytes = payload.size();
@@ -108,6 +119,9 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
                   .pair_seq = seq,
                   .bytes = bytes};
   emit(ev);
+  // Every branch below is ONE logical send; what varies is how many inbox
+  // copies enter the in-flight balance (0 for drop, 2 for duplicate).
+  messages_sent_.fetch_add(1, std::memory_order_acq_rel);
   const NetFaultPlan& plan = chaos_plan_;
   auto roll = [this](double p) { return p > 0.0 && chaos_rng_.uniform() < p; };
   Endpoint::Incoming msg{
@@ -118,12 +132,12 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
       .pair_seq = seq,
   };
 
-  if ((plan.drop_handler && *plan.drop_handler == handler) ||
+  if ((plan.drop_handler && *plan.drop_handler == handler &&
+       drop_window_active()) ||
       roll(plan.drop_rate)) {
-    // Dropped: count it as delivered so the quiescence detector's
-    // sent == delivered balance still converges.
-    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
-    messages_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    // Dropped: no inbox copy, so nothing enters the in-flight balance and
+    // the termination detector converges without counting a phantom
+    // delivery. Whether anyone retransmits is the reliable layer's problem.
     messages_dropped_.fetch_add(1, std::memory_order_relaxed);
     ev.kind = MsgEventKind::kDrop;
     emit(ev);
@@ -131,7 +145,7 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
   }
   if (roll(plan.dup_rate)) {
     Endpoint::Incoming copy = msg;
-    messages_sent_.fetch_add(2, std::memory_order_acq_rel);
+    in_flight_.fetch_add(2, std::memory_order_acq_rel);
     messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
     ev.kind = MsgEventKind::kDuplicate;
     emit(ev);
@@ -143,7 +157,7 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
     const std::uint64_t release =
         current_step_ + 1 +
         chaos_rng_.below(std::max<std::uint32_t>(plan.max_delay_steps, 1));
-    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
     messages_delayed_.fetch_add(1, std::memory_order_relaxed);
     ev.kind = MsgEventKind::kDelay;
     ev.release_step = release;
@@ -152,14 +166,17 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
     return;
   }
   if (roll(plan.reorder_rate)) {
-    messages_sent_.fetch_add(1, std::memory_order_acq_rel);
-    messages_reordered_.fetch_add(1, std::memory_order_relaxed);
-    ev.kind = MsgEventKind::kReorder;
-    emit(ev);
-    endpoint(dst).enqueue_front(std::move(msg));
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (endpoint(dst).enqueue_front(std::move(msg))) {
+      messages_reordered_.fetch_add(1, std::memory_order_relaxed);
+      ev.kind = MsgEventKind::kReorder;
+      emit(ev);
+    }
+    // Front-pushed into an empty inbox: nothing was displaced, so this is a
+    // plain delivery — neither counted nor traced as a reorder.
     return;
   }
-  messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
   endpoint(dst).enqueue(std::move(msg));
 }
 
@@ -200,10 +217,11 @@ void Endpoint::send(NodeId dst, AmHandlerId handler,
     return;
   }
   Endpoint& target = fabric_->endpoint(dst);
-  // The send counter must be incremented before the message becomes
-  // deliverable so the termination detector can never observe
-  // sent == delivered while a message is being handed over.
-  fabric_->messages_sent_.fetch_add(1, std::memory_order_acq_rel);
+  // The in-flight balance must be incremented before the message becomes
+  // deliverable so the termination detector can never observe an empty
+  // fabric while a message is being handed over.
+  fabric_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  fabric_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
   target.enqueue(Incoming{
       .src = id_,
       .handler = handler,
@@ -217,9 +235,11 @@ void Endpoint::enqueue(Incoming msg) {
   inbox_.push_back(std::move(msg));
 }
 
-void Endpoint::enqueue_front(Incoming msg) {
+bool Endpoint::enqueue_front(Incoming msg) {
   std::lock_guard lock(mutex_);
+  const bool displaced = !inbox_.empty();
   inbox_.push_front(std::move(msg));
+  return displaced;
 }
 
 std::size_t Endpoint::poll() {
@@ -253,9 +273,10 @@ std::size_t Endpoint::poll() {
       util::ByteReader reader(msg.payload);
       (*handler)(msg.src, reader);
     }
-    // Delivered only after the handler ran: a handler that enqueues local
-    // work does so before the detector can see this message as consumed.
-    fabric_->messages_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    // Consumed only after the handler ran: a handler that enqueues local
+    // work does so before the detector can see this message leave flight.
+    fabric_->messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     ++delivered;
   }
   return delivered;

@@ -53,7 +53,11 @@ struct LinkModel {
 };
 
 struct FabricStats {
+  /// Logical sends: one per Endpoint::send, regardless of what fault
+  /// injection did to the message (a duplicate is still ONE logical send).
   std::uint64_t messages_sent = 0;
+  /// Handler invocations: one per inbox copy actually delivered (an injected
+  /// duplicate delivers twice, a dropped message never).
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_sent = 0;
   // Chaos-mode fault injections (all zero when chaos is disabled).
@@ -61,6 +65,14 @@ struct FabricStats {
   std::uint64_t messages_duplicated = 0;
   std::uint64_t messages_delayed = 0;
   std::uint64_t messages_reordered = 0;
+};
+
+/// Virtual-step span [begin_step, end_step) during which a scheduled fault
+/// applies — the network-side analogue of storage::FaultWindow, which spans
+/// operation indices instead of steps.
+struct StepWindow {
+  std::uint64_t begin_step = 0;
+  std::uint64_t end_step = 0;
 };
 
 /// Seeded network fault injection applied to every send while enabled.
@@ -76,6 +88,11 @@ struct NetFaultPlan {
   /// Deliberate bug injection: every message addressed to this AM handler
   /// is dropped (e.g. location updates, to starve the lazy directory).
   std::optional<AmHandlerId> drop_handler;
+  /// Bounds drop_handler to virtual-step windows: with a non-empty list the
+  /// handler's messages are dropped only while the driver's current step
+  /// falls inside one of them, so a starvation drill can END and recovery
+  /// afterward is assertable. Empty = drop forever (the legacy drill).
+  std::vector<StepWindow> drop_handler_windows;
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool any() const {
@@ -160,7 +177,11 @@ class Endpoint {
   };
 
   void enqueue(Incoming msg);
-  void enqueue_front(Incoming msg);
+  /// Pushes `msg` ahead of everything already queued. Returns true when the
+  /// inbox was non-empty, i.e. the message actually displaced another one; a
+  /// front-push into an empty inbox is indistinguishable from a plain
+  /// delivery and must not be accounted as a reorder.
+  bool enqueue_front(Incoming msg);
 
   Fabric* fabric_;
   NodeId id_;
@@ -193,11 +214,13 @@ class Fabric {
   /// Counts sends (before fault injection, like bytes_sent).
   [[nodiscard]] std::vector<PairTraffic> pair_traffic() const;
 
-  /// True when every message ever sent has been delivered. Combined with
-  /// per-node idle flags by the runtime's termination detector.
+  /// True when no message copy is in flight: everything enqueued (or parked
+  /// by a delay fault) has been handed to its handler. Combined with
+  /// per-node idle flags by the runtime's termination detector. Injected
+  /// drops never enter the in-flight count, so a lossy fabric still
+  /// converges without pretending the dropped message was delivered.
   [[nodiscard]] bool all_delivered() const {
-    return messages_sent_.load(std::memory_order_acquire) ==
-           messages_delivered_.load(std::memory_order_acquire);
+    return in_flight_.load(std::memory_order_acquire) == 0;
   }
 
   /// Monotone counter of sends; used by the two-phase termination check to
@@ -232,10 +255,13 @@ class Fabric {
   std::chrono::nanoseconds transit_time(std::size_t bytes);
 
   /// Chaos-mode send path: stamps the pair sequence, rolls the fault plan,
-  /// and performs the chosen action. Returns the number of inbox copies made
-  /// (0 for drop/delay, 1 normally, 2 for duplicate).
+  /// and performs the chosen action (drop, duplicate, delay, reorder, or
+  /// plain enqueue).
   void chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
                   std::vector<std::byte> payload);
+
+  /// True when drop_handler applies at the current virtual step.
+  [[nodiscard]] bool drop_window_active() const;
 
   void emit(const MessageEvent& event) {
     if (observer_ != nullptr) observer_->on_message(event);
@@ -248,6 +274,11 @@ class Fabric {
   std::vector<std::atomic<std::uint64_t>> pair_bytes_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
+  /// Inbox copies enqueued (or parked by a delay fault) minus handler
+  /// invocations — the termination detector's balance. A duplicate adds 2,
+  /// a drop adds 0, so sent/delivered stats no longer have to lie to keep
+  /// this converging.
+  std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_dropped_{0};
   std::atomic<std::uint64_t> messages_duplicated_{0};

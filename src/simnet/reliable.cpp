@@ -1,0 +1,213 @@
+#include "simnet/reliable.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.hpp"
+
+namespace mrts::net {
+
+// Wire format. DATA: channel (AmHandlerId), seq (u64), payload vector.
+// ACK: cumulative sequence (u64) — "I have dispatched everything <= cum".
+// Acks are unreliable by design: a lost ack merely provokes a retransmit
+// whose duplicate the receiver suppresses and re-acks.
+
+ReliableLink::ReliableLink(Endpoint& endpoint, ReliableOptions options,
+                           Dispatch dispatch)
+    : endpoint_(endpoint),
+      options_(options),
+      dispatch_(std::move(dispatch)),
+      m_retransmits_(&obs::MetricsRegistry::global().counter("net.retransmits")),
+      m_dups_suppressed_(
+          &obs::MetricsRegistry::global().counter("net.dups_suppressed")),
+      m_reorder_buffered_(
+          &obs::MetricsRegistry::global().counter("net.reorder_buffered")),
+      m_reorder_evicted_(
+          &obs::MetricsRegistry::global().counter("net.reorder_evicted")),
+      m_ack_rtt_(&obs::MetricsRegistry::global().histogram("net.ack_rtt_us")) {
+  assert(dispatch_ != nullptr);
+  data_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { on_data(src, in); });
+  ack_id_ = endpoint_.register_handler(
+      [this](NodeId src, util::ByteReader& in) { on_ack(src, in); });
+}
+
+void ReliableLink::send(NodeId dst, AmHandlerId channel,
+                        std::vector<std::byte> payload) {
+  TxFlow& flow = tx_[dst];
+  const std::uint64_t seq = flow.next_seq++;
+  Pending frame{
+      .channel = channel,
+      .payload = std::move(payload),
+      .attempt = 1,
+      .sent_tick = tick_,
+      .retx_tick = tick_ + retx_delay_ticks(dst, seq, 1),
+  };
+  transmit(dst, seq, frame);
+  flow.unacked.emplace(seq, std::move(frame));
+}
+
+void ReliableLink::transmit(NodeId dst, std::uint64_t seq,
+                            const Pending& frame) {
+  util::ByteWriter w(frame.payload.size() + 24);
+  w.write(frame.channel);
+  w.write(seq);
+  w.write_vector(frame.payload);
+  endpoint_.send(dst, data_id_, w.take());
+}
+
+void ReliableLink::send_ack(NodeId dst, std::uint64_t cum) {
+  util::ByteWriter w(8);
+  w.write(cum);
+  endpoint_.send(dst, ack_id_, w.take());
+}
+
+std::uint64_t ReliableLink::retx_delay_ticks(NodeId dst, std::uint64_t seq,
+                                             int attempt) const {
+  // Growth is capped, attempts are not: delay_for's exponential scale stops
+  // growing past max_retries + 1, so an arbitrarily long outage costs a
+  // bounded (and deterministic) retransmit cadence, never a give-up.
+  const int capped =
+      std::min(attempt, options_.retransmit.max_retries + 1);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dst) << 32) ^ seq;
+  const auto us = options_.retransmit.delay_for(key, std::max(capped, 1));
+  const std::uint64_t quantum = std::max<std::uint64_t>(
+      options_.tick_quantum_us, 1);
+  return std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(us.count()) / quantum, 1);
+}
+
+bool ReliableLink::on_tick() {
+  ++tick_;
+  bool did = false;
+  for (auto& [dst, flow] : tx_) {
+    for (auto& [seq, frame] : flow.unacked) {
+      if (frame.retx_tick > tick_) continue;
+      ++frame.attempt;
+      frame.retx_tick = tick_ + retx_delay_ticks(dst, seq, frame.attempt);
+      transmit(dst, seq, frame);
+      ++retransmits_;
+      m_retransmits_->inc();
+      did = true;
+    }
+  }
+  return did;
+}
+
+void ReliableLink::on_data(NodeId src, util::ByteReader& in) {
+  const auto channel = in.read<AmHandlerId>();
+  const auto seq = in.read<std::uint64_t>();
+  const auto payload = in.read_vector<std::byte>();
+  RxFlow& flow = rx_[src];
+
+  if (seq < flow.next_expected || flow.buffer.contains(seq)) {
+    // Duplicate (retransmit of something already dispatched or parked):
+    // absorb it and re-ack so the sender stops resending.
+    ++flow.dup_suppressed;
+    ++dups_suppressed_;
+    m_dups_suppressed_->inc();
+    send_ack(src, flow.next_expected - 1);
+    return;
+  }
+  if (seq >= flow.next_expected + options_.reorder_window) {
+    // Beyond the reorder buffer: refuse without acking. The cumulative ack
+    // leaves it unacked at the sender, whose retransmit will find the
+    // window advanced once the gap frames arrive.
+    ++flow.evicted;
+    m_reorder_evicted_->inc();
+    send_ack(src, flow.next_expected - 1);
+    return;
+  }
+  if (seq != flow.next_expected) {
+    // Ahead of the gap: park until the missing frame arrives.
+    flow.buffer.emplace(
+        seq, BufferedFrame{channel, {payload.begin(), payload.end()}});
+    m_reorder_buffered_->inc();
+    send_ack(src, flow.next_expected - 1);
+    return;
+  }
+  // In order: dispatch, then flush everything the gap was holding back.
+  dispatch_frame(src, flow, seq, channel, payload);
+  while (true) {
+    auto it = flow.buffer.find(flow.next_expected);
+    if (it == flow.buffer.end()) break;
+    BufferedFrame frame = std::move(it->second);
+    flow.buffer.erase(it);
+    dispatch_frame(src, flow, flow.next_expected, frame.channel,
+                   frame.payload);
+  }
+  send_ack(src, flow.next_expected - 1);
+}
+
+void ReliableLink::dispatch_frame(NodeId src, RxFlow& flow, std::uint64_t seq,
+                                  AmHandlerId channel,
+                                  std::span<const std::byte> payload) {
+  if (seq != flow.last_dispatched + 1) ++order_violations_;
+  flow.last_dispatched = seq;
+  flow.next_expected = seq + 1;
+  ++flow.dispatched;
+  util::ByteReader reader(payload);
+  dispatch_(src, channel, reader);
+}
+
+void ReliableLink::on_ack(NodeId src, util::ByteReader& in) {
+  const auto cum = in.read<std::uint64_t>();
+  auto it = tx_.find(src);
+  if (it == tx_.end()) return;
+  TxFlow& flow = it->second;
+  flow.cum_acked = std::max(flow.cum_acked, cum);
+  auto& unacked = flow.unacked;
+  for (auto f = unacked.begin(); f != unacked.end() && f->first <= cum;) {
+    // RTT from the FIRST transmission: a retransmitted frame's sample
+    // includes the backoff it waited, which is exactly the latency the
+    // application observed.
+    m_ack_rtt_->observe((tick_ - f->second.sent_tick) *
+                        options_.tick_quantum_us);
+    f = unacked.erase(f);
+  }
+}
+
+bool ReliableLink::has_unacked() const {
+  for (const auto& [dst, flow] : tx_) {
+    if (!flow.unacked.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t ReliableLink::rx_buffered() const {
+  std::size_t n = 0;
+  for (const auto& [src, flow] : rx_) n += flow.buffer.size();
+  return n;
+}
+
+std::vector<ReliableTxFlow> ReliableLink::tx_flows() const {
+  std::vector<ReliableTxFlow> out;
+  out.reserve(tx_.size());
+  for (const auto& [dst, flow] : tx_) {
+    out.push_back(ReliableTxFlow{
+        .peer = dst,
+        .sent = flow.next_seq - 1,
+        .acked = flow.cum_acked,
+        .unacked = flow.unacked.size(),
+    });
+  }
+  return out;
+}
+
+std::vector<ReliableRxFlow> ReliableLink::rx_flows() const {
+  std::vector<ReliableRxFlow> out;
+  out.reserve(rx_.size());
+  for (const auto& [src, flow] : rx_) {
+    out.push_back(ReliableRxFlow{
+        .peer = src,
+        .dispatched = flow.dispatched,
+        .dup_suppressed = flow.dup_suppressed,
+        .evicted = flow.evicted,
+        .buffered = flow.buffer.size(),
+    });
+  }
+  return out;
+}
+
+}  // namespace mrts::net

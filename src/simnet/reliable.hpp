@@ -1,0 +1,192 @@
+#pragma once
+
+// End-to-end reliable delivery over the (possibly lossy) fabric. The MRTS
+// control layer was written against ARMCI's transport guarantees — FIFO,
+// exactly-once delivery between every ordered endpoint pair — but the chaos
+// fabric can drop, duplicate, reorder, and delay messages. ReliableLink
+// restores the contract end to end instead of assuming it from the wire
+// (cf. "Design and Evaluation of Mechanisms for a Multicomputer Object
+// Store": object-store semantics must be enforced by the ends):
+//
+//   sender    per-destination sequence numbers; every frame is kept until
+//             the receiver's cumulative ack covers it, and retransmitted on
+//             a backoff schedule driven by storage::RetryPolicy (the same
+//             bounded-exponential machinery the self-healing storage path
+//             uses). Retransmission never gives up — max_retries only caps
+//             the backoff growth — so at-least-once holds under any finite
+//             loss rate.
+//   receiver  per-source dedup (cumulative sequence + a bounded reorder
+//             buffer): duplicates are suppressed and re-acked, frames ahead
+//             of the next expected sequence are buffered and flushed in
+//             order once the gap arrives, frames beyond the buffer window
+//             are refused (unacked — the sender retransmits them later).
+//             Handlers therefore observe exactly-once, FIFO delivery.
+//
+// Timing is virtual: on_tick() is called once per control-loop iteration
+// and retransmit deadlines are tick counts computed from the pure function
+// RetryPolicy::delay_for, so a chaos seed replays byte-identically — no
+// wall clock is ever consulted. One ReliableLink is owned per node and is
+// control-thread-only, like the Runtime that owns it.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "storage/retry_policy.hpp"
+#include "util/archive.hpp"
+
+namespace mrts::obs {
+class Counter;
+class HistogramMetric;
+}  // namespace mrts::obs
+
+namespace mrts::net {
+
+struct ReliableOptions {
+  /// Wrap every runtime send in a sequenced DATA frame with ack/retransmit.
+  /// Off by default: a fault-free fabric already gives FIFO exactly-once,
+  /// and the chaos drop drills rely on raw-wire semantics.
+  bool enabled = false;
+  /// Backoff schedule for retransmits. max_retries bounds the GROWTH of the
+  /// delay, not the number of attempts — a reliable link never gives up.
+  /// The default first retransmit fires after ~25 ticks (2500us / 100us),
+  /// comfortably above the deterministic driver's 1-2 sweep ack round trip
+  /// and the fault plans' typical delay horizons.
+  storage::RetryPolicy retransmit{
+      .max_retries = 8,
+      .base_delay = std::chrono::microseconds(2500),
+      .max_delay = std::chrono::microseconds(200'000),
+  };
+  /// Virtual microseconds one on_tick() call represents when mapping
+  /// RetryPolicy delays (microseconds) onto tick counts.
+  std::uint64_t tick_quantum_us = 100;
+  /// Frames a receiver buffers ahead of the next expected sequence; frames
+  /// at or beyond next_expected + reorder_window are refused (and counted)
+  /// until retransmission finds the window advanced.
+  std::size_t reorder_window = 64;
+};
+
+/// Per-destination sender-side flow snapshot (for invariant checkers).
+struct ReliableTxFlow {
+  NodeId peer = 0;
+  std::uint64_t sent = 0;    // logical frames handed to send()
+  std::uint64_t acked = 0;   // cumulatively acked by the peer
+  std::uint64_t unacked = 0; // still awaiting ack (retransmit candidates)
+};
+
+/// Per-source receiver-side flow snapshot (for invariant checkers).
+struct ReliableRxFlow {
+  NodeId peer = 0;
+  std::uint64_t dispatched = 0;     // frames handed to the app, in order
+  std::uint64_t dup_suppressed = 0; // duplicate frames absorbed
+  std::uint64_t evicted = 0;        // refused beyond the reorder window
+  std::uint64_t buffered = 0;       // currently parked in the reorder buffer
+};
+
+class ReliableLink {
+ public:
+  /// Invoked for every dispatched frame with the inner channel id and a
+  /// reader over the application payload. Runs on the control thread from
+  /// inside Endpoint::poll.
+  using Dispatch =
+      std::function<void(NodeId src, AmHandlerId channel, util::ByteReader&)>;
+
+  /// Registers the DATA and ACK handlers on `endpoint` — construction order
+  /// is part of the wire contract, exactly like the runtime's own handlers.
+  ReliableLink(Endpoint& endpoint, ReliableOptions options, Dispatch dispatch);
+
+  ReliableLink(const ReliableLink&) = delete;
+  ReliableLink& operator=(const ReliableLink&) = delete;
+
+  /// Sends `payload` to `dst` on the inner `channel` as a sequenced DATA
+  /// frame, retained until acked.
+  void send(NodeId dst, AmHandlerId channel, std::vector<std::byte> payload);
+
+  /// Advances virtual time by one tick and retransmits every overdue
+  /// unacked frame. Call once per control-loop iteration; returns true when
+  /// anything was retransmitted (i.e. work was done).
+  bool on_tick();
+
+  /// Handler ids the link registered (wired into fault plans by tests).
+  [[nodiscard]] AmHandlerId data_handler_id() const { return data_id_; }
+  [[nodiscard]] AmHandlerId ack_handler_id() const { return ack_id_; }
+
+  // --- quiescence ----------------------------------------------------------
+
+  /// True while any sent frame is unacked; blocks the owner's idle flag so
+  /// the termination detector can never quiesce over a lost message.
+  [[nodiscard]] bool has_unacked() const;
+  /// Frames parked in reorder buffers (must be zero at quiescence).
+  [[nodiscard]] std::size_t rx_buffered() const;
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] std::vector<ReliableTxFlow> tx_flows() const;
+  [[nodiscard]] std::vector<ReliableRxFlow> rx_flows() const;
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t dups_suppressed() const {
+    return dups_suppressed_;
+  }
+  /// Dispatches whose sequence was not exactly the previous + 1. Zero by
+  /// construction; check_fifo_restored pins that construction.
+  [[nodiscard]] std::uint64_t dispatch_order_violations() const {
+    return order_violations_;
+  }
+
+ private:
+  struct Pending {
+    AmHandlerId channel = 0;
+    std::vector<std::byte> payload;
+    int attempt = 1;               // transmissions so far
+    std::uint64_t sent_tick = 0;   // first transmission (ack RTT basis)
+    std::uint64_t retx_tick = 0;   // next retransmission deadline
+  };
+  struct TxFlow {
+    std::uint64_t next_seq = 1;
+    std::uint64_t cum_acked = 0;
+    std::map<std::uint64_t, Pending> unacked;
+  };
+  struct BufferedFrame {
+    AmHandlerId channel = 0;
+    std::vector<std::byte> payload;
+  };
+  struct RxFlow {
+    std::uint64_t next_expected = 1;
+    std::uint64_t last_dispatched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t dup_suppressed = 0;
+    std::uint64_t evicted = 0;
+    std::map<std::uint64_t, BufferedFrame> buffer;
+  };
+
+  void on_data(NodeId src, util::ByteReader& in);
+  void on_ack(NodeId src, util::ByteReader& in);
+  void transmit(NodeId dst, std::uint64_t seq, const Pending& frame);
+  void send_ack(NodeId dst, std::uint64_t cum);
+  void dispatch_frame(NodeId src, RxFlow& flow, std::uint64_t seq,
+                      AmHandlerId channel, std::span<const std::byte> payload);
+  [[nodiscard]] std::uint64_t retx_delay_ticks(NodeId dst, std::uint64_t seq,
+                                               int attempt) const;
+
+  Endpoint& endpoint_;
+  ReliableOptions options_;
+  Dispatch dispatch_;
+  AmHandlerId data_id_ = 0;
+  AmHandlerId ack_id_ = 0;
+  std::uint64_t tick_ = 0;
+  // std::map: retransmission scans iterate in deterministic order.
+  std::map<NodeId, TxFlow> tx_;
+  std::map<NodeId, RxFlow> rx_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t dups_suppressed_ = 0;
+  std::uint64_t order_violations_ = 0;
+  obs::Counter* m_retransmits_;       // net.retransmits
+  obs::Counter* m_dups_suppressed_;   // net.dups_suppressed
+  obs::Counter* m_reorder_buffered_;  // net.reorder_buffered
+  obs::Counter* m_reorder_evicted_;   // net.reorder_evicted
+  obs::HistogramMetric* m_ack_rtt_;   // net.ack_rtt_us (virtual us)
+};
+
+}  // namespace mrts::net

@@ -159,5 +159,138 @@ TEST(Fabric, ConcurrentSendersAllDelivered) {
   EXPECT_EQ(received.load(), 1500);
 }
 
+// --------------------------------------------------------------------------
+// Chaos-mode stats accounting
+
+// Records every transport event for assertions on what was emitted.
+class EventLog : public FabricObserver {
+ public:
+  void on_message(const MessageEvent& event) override {
+    events.push_back(event);
+  }
+  [[nodiscard]] std::size_t count(MsgEventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += e.kind == kind ? 1 : 0;
+    return n;
+  }
+  std::vector<MessageEvent> events;
+};
+
+TEST(FabricChaos, DuplicateIsOneLogicalSendDeliveredTwice) {
+  // Golden stats for the duplicate path: 5 logical sends at dup_rate=1.0
+  // must read sent=5, duplicated=5, delivered=10 — not sent=10, which is
+  // what the old accounting (send counter bumped once per inbox copy)
+  // produced, skewing every sent/delivered balance.
+  Fabric fabric(2);
+  fabric.enable_chaos(NetFaultPlan{.dup_rate = 1.0, .seed = 7}, nullptr);
+  int received = 0;
+  const auto h = fabric.endpoint(1).register_handler(
+      [&](NodeId, util::ByteReader&) { ++received; });
+  for (int i = 0; i < 5; ++i) fabric.endpoint(0).send(1, h, {});
+  EXPECT_FALSE(fabric.all_delivered());
+  fabric.endpoint(1).poll();
+  EXPECT_EQ(received, 10);
+  const FabricStats s = fabric.stats();
+  EXPECT_EQ(s.messages_sent, 5u);
+  EXPECT_EQ(s.messages_duplicated, 5u);
+  EXPECT_EQ(s.messages_delivered, 10u);
+  EXPECT_TRUE(fabric.all_delivered());
+}
+
+TEST(FabricChaos, DroppedMessagesAreNotCountedDelivered) {
+  // A dropped message never reaches a handler, and the stats must say so:
+  // the old implementation counted drops as deliveries to keep the
+  // termination detector converging.
+  Fabric fabric(2);
+  fabric.enable_chaos(NetFaultPlan{.drop_rate = 1.0, .seed = 7}, nullptr);
+  int received = 0;
+  const auto h = fabric.endpoint(1).register_handler(
+      [&](NodeId, util::ByteReader&) { ++received; });
+  for (int i = 0; i < 3; ++i) fabric.endpoint(0).send(1, h, {});
+  const FabricStats s = fabric.stats();
+  EXPECT_EQ(s.messages_sent, 3u);
+  EXPECT_EQ(s.messages_dropped, 3u);
+  EXPECT_EQ(s.messages_delivered, 0u);
+  EXPECT_EQ(received, 0);
+  // ...and the fabric still converges: nothing is in flight.
+  EXPECT_TRUE(fabric.all_delivered());
+}
+
+TEST(FabricChaos, ReorderIntoEmptyInboxIsNotCountedOrTraced) {
+  // A reorder fault that front-pushes into an EMPTY inbox displaces
+  // nothing — it is indistinguishable from a plain delivery and must be
+  // neither counted nor traced as a reorder.
+  Fabric fabric(2);
+  EventLog log;
+  fabric.enable_chaos(NetFaultPlan{.reorder_rate = 1.0, .seed = 7}, &log);
+  std::vector<int> order;
+  const auto h = fabric.endpoint(1).register_handler(
+      [&](NodeId, util::ByteReader& in) { order.push_back(in.read<int>()); });
+  auto payload = [](int v) {
+    util::ByteWriter w;
+    w.write(v);
+    return w.take();
+  };
+  // First send finds an empty inbox: not a reorder. Second finds the first
+  // still queued and jumps it: a real reorder.
+  fabric.endpoint(0).send(1, h, payload(1));
+  EXPECT_EQ(fabric.stats().messages_reordered, 0u);
+  EXPECT_EQ(log.count(MsgEventKind::kReorder), 0u);
+  fabric.endpoint(0).send(1, h, payload(2));
+  EXPECT_EQ(fabric.stats().messages_reordered, 1u);
+  EXPECT_EQ(log.count(MsgEventKind::kReorder), 1u);
+  fabric.endpoint(1).poll();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // the second message really did jump the queue
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(fabric.stats().messages_delivered, 2u);
+}
+
+TEST(FabricChaos, DropHandlerWindowsBoundTheDrop) {
+  // drop_handler with step windows: messages on the targeted channel are
+  // dropped only while the driver's current step is inside a window, so a
+  // starvation drill ends and recovery afterward is assertable.
+  Fabric fabric(2);
+  NetFaultPlan plan;
+  plan.drop_handler = 0;
+  plan.drop_handler_windows = {{.begin_step = 5, .end_step = 10}};
+  fabric.enable_chaos(plan, nullptr);
+  int received = 0;
+  const auto h = fabric.endpoint(1).register_handler(
+      [&](NodeId, util::ByteReader&) { ++received; });
+  ASSERT_EQ(h, 0u);
+  auto send_at = [&](std::uint64_t step) {
+    fabric.advance_step(step);
+    fabric.endpoint(0).send(1, h, {});
+  };
+  send_at(4);   // before the window: delivered
+  send_at(5);   // in [5,10): dropped
+  send_at(9);   // in [5,10): dropped
+  send_at(10);  // end_step is exclusive: delivered
+  fabric.endpoint(1).poll();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(fabric.stats().messages_dropped, 2u);
+  EXPECT_TRUE(fabric.all_delivered());
+}
+
+TEST(FabricChaos, DropHandlerWithoutWindowsDropsForever) {
+  // Empty window list = the legacy drill: the channel is dropped at every
+  // step (the bug-injection tests in chaos_test.cpp pin this behavior).
+  Fabric fabric(2);
+  NetFaultPlan plan;
+  plan.drop_handler = 0;
+  fabric.enable_chaos(plan, nullptr);
+  int received = 0;
+  const auto h = fabric.endpoint(1).register_handler(
+      [&](NodeId, util::ByteReader&) { ++received; });
+  for (std::uint64_t step = 1; step <= 20; step += 7) {
+    fabric.advance_step(step);
+    fabric.endpoint(0).send(1, h, {});
+  }
+  fabric.endpoint(1).poll();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric.stats().messages_dropped, 3u);
+}
+
 }  // namespace
 }  // namespace mrts::net
