@@ -30,6 +30,15 @@ std::unique_ptr<storage::StorageBackend> make_spill_backend(
     case SpillMedium::kRemoteMemory:
       base = remote_pool->backend_for(node);
       break;
+    case SpillMedium::kSegmentLog: {
+      storage::LogStoreOptions lopts = options.log_store;
+      if (lopts.dir.empty() && !lopts.in_memory) {
+        lopts.dir = storage::make_temp_spill_dir(
+            options.spill_tag + "-seg-n" + std::to_string(node));
+      }
+      base = std::make_unique<storage::LogStore>(std::move(lopts));
+      break;
+    }
   }
   const bool modeled = options.disk_model.access_latency.count() > 0 ||
                        options.disk_model.bandwidth_bytes_per_sec > 0.0;

@@ -26,6 +26,7 @@
 #include "simnet/fabric.hpp"
 #include "storage/fault_store.hpp"
 #include "storage/latency_store.hpp"
+#include "storage/log_store.hpp"
 #include "storage/remote_store.hpp"
 #include "storage/replicated_store.hpp"
 
@@ -50,6 +51,7 @@ enum class SpillMedium {
   kFile,          // real files in a temp spill directory
   kMemory,        // process-local map (fast; unit tests, baselines)
   kRemoteMemory,  // peers' RAM via the shared RemoteMemoryPool (paper [33])
+  kSegmentLog,    // log-structured segment store with group commit
 };
 
 struct ClusterOptions {
@@ -65,6 +67,10 @@ struct ClusterOptions {
   std::uint64_t remote_memory_capacity_bytes = 0;
   /// Tag used in spill directory names.
   std::string spill_tag = "mrts";
+  /// Engine options for SpillMedium::kSegmentLog. `dir` left empty gets a
+  /// per-node temp directory (like kFile); tests may pin it to reopen the
+  /// segments across cluster lifetimes.
+  storage::LogStoreOptions log_store;
   /// Safety limit for run(); exceeded runs stop and are marked timed_out.
   std::chrono::seconds max_run_time{600};
   /// Dynamic load balancing by the cluster monitor (paper §II.D).

@@ -962,6 +962,10 @@ void Runtime::start_load(Entry& e, MobilePtr ptr) {
 }
 
 bool Runtime::drain_completions() {
+  // Advance the backend's virtual maintenance clock every pass — even when
+  // no completions are queued — so group-commit flush deadlines and
+  // compaction progress while the node computes.
+  store_.tick_backend(++storage_ticks_);
   if (completions_available_.load(std::memory_order_acquire) == 0) {
     return false;
   }

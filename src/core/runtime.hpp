@@ -532,6 +532,11 @@ class Runtime {
   std::uint64_t next_multicast_id_ = 1;
   int outstanding_loads_ = 0;
   int outstanding_stores_ = 0;
+  /// Virtual clock for storage-backend maintenance: one tick per
+  /// drain_completions pass. Deterministic under the chaos driver — the
+  /// log-structured engine's group-commit deadlines and compaction run as a
+  /// pure function of the control schedule, never wall time.
+  std::uint64_t storage_ticks_ = 0;
   /// Control-thread-owned: bytes of issued spill stores whose completions
   /// have not yet been drained. Bounds soft-pressure eviction (write-behind).
   std::size_t write_behind_inflight_bytes_ = 0;

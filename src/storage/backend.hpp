@@ -19,13 +19,29 @@ namespace mrts::storage {
 using ObjectKey = std::uint64_t;
 
 /// Byte counters maintained by every backend; used by the benches to report
-/// disk traffic.
+/// disk traffic. store/load/erase_ops count *logical* keyed operations; the
+/// device_* counters below count the physical device operations (syscalls,
+/// file writes, segment appends) issued to serve them — the unit the
+/// log-structured engine amortizes via group commit, and the number the
+/// "backend ops per spilled byte" gate compares across engines.
 struct BackendStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t store_ops = 0;
   std::uint64_t load_ops = 0;
   std::uint64_t erase_ops = 0;
+  /// Physical writes: FileStore pays payload-write + rename per store and an
+  /// unlink per erase; LogStore pays one append per group commit.
+  std::uint64_t device_write_ops = 0;
+  /// Physical reads: one per blob load (FileStore) or per segment-range
+  /// read / compaction scan (LogStore).
+  std::uint64_t device_read_ops = 0;
+  // --- log-structured engines only (storage/log_store.hpp) ---------------
+  std::uint64_t group_commits = 0;     // append-buffer commits to the device
+  std::uint64_t segments_sealed = 0;   // segments closed at target size
+  std::uint64_t compactions = 0;       // sealed segments rewritten/dropped
+  std::uint64_t compacted_bytes = 0;   // live framed bytes rewritten
+  std::uint64_t records_dropped = 0;   // dead records dropped by compaction
 };
 
 /// Abstract keyed blob store. Implementations must be thread-safe: the
@@ -52,6 +68,14 @@ class StorageBackend {
   virtual std::uint64_t stored_bytes() const = 0;
 
   virtual BackendStats stats() const = 0;
+
+  /// Deterministic maintenance hook, driven by the runtime's control loop in
+  /// virtual ticks (one per drain_completions pass) rather than by a
+  /// background thread, so everything a backend does under chaos replay is a
+  /// pure function of the op/tick schedule. Log-structured engines use it
+  /// for group-commit flushes and bounded compaction; blob-per-object
+  /// backends ignore it. Decorators must forward it to their inner store.
+  virtual void tick(std::uint64_t /*virtual_now*/) {}
 };
 
 }  // namespace mrts::storage

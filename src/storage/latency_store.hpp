@@ -34,6 +34,7 @@ class LatencyStore final : public StorageBackend {
   std::size_t count() const override { return inner_->count(); }
   std::uint64_t stored_bytes() const override { return inner_->stored_bytes(); }
   BackendStats stats() const override { return inner_->stats(); }
+  void tick(std::uint64_t virtual_now) override { inner_->tick(virtual_now); }
 
   [[nodiscard]] const DeviceModel& model() const { return model_; }
 

@@ -10,6 +10,7 @@ util::Status MemStore::store(ObjectKey key, std::span<const std::byte> bytes) {
   stored_bytes_ += slot.size();
   stats_.bytes_written += bytes.size();
   ++stats_.store_ops;
+  ++stats_.device_write_ops;  // one "device" op per blob, like a simple KV
   return util::Status::ok();
 }
 
@@ -21,6 +22,7 @@ util::Result<std::vector<std::byte>> MemStore::load(ObjectKey key) {
   }
   stats_.bytes_read += it->second.size();
   ++stats_.load_ops;
+  ++stats_.device_read_ops;
   return it->second;
 }
 
@@ -33,6 +35,7 @@ util::Status MemStore::erase(ObjectKey key) {
   stored_bytes_ -= it->second.size();
   blobs_.erase(it);
   ++stats_.erase_ops;
+  ++stats_.device_write_ops;
   return util::Status::ok();
 }
 

@@ -1,0 +1,120 @@
+#include "storage/segment_log.hpp"
+
+#include <charconv>
+#include <cstring>
+
+#include "storage/sealed_blob.hpp"
+#include "util/archive.hpp"
+#include "util/format.hpp"
+
+namespace mrts::storage {
+
+RecordExtent append_record(std::vector<std::byte>& segment, ObjectKey key,
+                           std::uint64_t generation, RecordKind kind,
+                           std::span<const std::byte> payload) {
+  util::ByteWriter body(payload.size() + 32);
+  body.write(key);
+  body.write(generation);
+  body.write(static_cast<std::uint8_t>(kind));
+  body.write<std::uint64_t>(payload.size());
+  body.write_bytes(payload);
+  const std::vector<std::byte> sealed = seal_blob(std::move(body));
+
+  RecordExtent extent{segment.size(), kSegmentRecordHeader + sealed.size()};
+  util::ByteWriter frame(extent.length);
+  frame.write(kSegmentRecordMagic);
+  frame.write(static_cast<std::uint32_t>(sealed.size()));
+  frame.write_bytes(sealed);
+  const std::vector<std::byte> framed = std::move(frame).take();
+  segment.insert(segment.end(), framed.begin(), framed.end());
+  return extent;
+}
+
+util::Result<SegmentRecord> read_record_at(std::span<const std::byte> segment,
+                                           std::uint64_t offset) {
+  if (offset + kSegmentRecordHeader > segment.size()) {
+    return util::Status(util::StatusCode::kCorruption,
+                        "record header past end of segment");
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t sealed_len = 0;
+  std::memcpy(&magic, segment.data() + offset, sizeof(magic));
+  std::memcpy(&sealed_len, segment.data() + offset + sizeof(magic),
+              sizeof(sealed_len));
+  if (magic != kSegmentRecordMagic) {
+    return util::Status(util::StatusCode::kCorruption, "bad record magic");
+  }
+  if (sealed_len > kMaxSegmentRecordBytes ||
+      offset + kSegmentRecordHeader + sealed_len > segment.size()) {
+    return util::Status(util::StatusCode::kCorruption, "truncated record");
+  }
+  const auto sealed = segment.subspan(offset + kSegmentRecordHeader, sealed_len);
+  auto payload = unseal_blob(sealed);
+  if (!payload.is_ok()) return payload.status();
+  try {
+    util::ByteReader in(payload.value());
+    SegmentRecord rec;
+    rec.key = in.read<ObjectKey>();
+    rec.generation = in.read<std::uint64_t>();
+    const auto kind = in.read<std::uint8_t>();
+    if (kind > static_cast<std::uint8_t>(RecordKind::kTombstone)) {
+      return util::Status(util::StatusCode::kCorruption, "bad record kind");
+    }
+    rec.kind = static_cast<RecordKind>(kind);
+    const auto n = in.read<std::uint64_t>();
+    if (n != in.remaining()) {
+      return util::Status(util::StatusCode::kCorruption,
+                          "record payload length mismatch");
+    }
+    const auto view = in.read_bytes(static_cast<std::size_t>(n));
+    rec.payload.assign(view.begin(), view.end());
+    return rec;
+  } catch (const util::ArchiveError&) {
+    return util::Status(util::StatusCode::kCorruption,
+                        "malformed record body");
+  }
+}
+
+SegmentScan scan_segment(
+    std::span<const std::byte> segment,
+    const std::function<void(const RecordExtent&, SegmentRecord&&)>& fn) {
+  SegmentScan scan;
+  std::uint64_t offset = 0;
+  while (offset + kSegmentRecordHeader <= segment.size()) {
+    auto rec = read_record_at(segment, offset);
+    if (!rec.is_ok()) {
+      scan.damaged = true;
+      return scan;
+    }
+    std::uint32_t sealed_len = 0;
+    std::memcpy(&sealed_len, segment.data() + offset + sizeof(std::uint32_t),
+                sizeof(sealed_len));
+    const RecordExtent extent{offset, kSegmentRecordHeader + sealed_len};
+    if (fn) fn(extent, std::move(rec).value());
+    offset += extent.length;
+    ++scan.records;
+    scan.valid_bytes = offset;
+  }
+  // A trailing stub shorter than one header is damage too (torn append).
+  scan.damaged = offset != segment.size();
+  return scan;
+}
+
+std::string segment_file_name(std::uint64_t id) {
+  return util::format("{:016x}.seg", id);
+}
+
+std::optional<std::uint64_t> parse_segment_file_name(std::string_view name) {
+  constexpr std::string_view kSuffix = ".seg";
+  if (name.size() != 16 + kSuffix.size() ||
+      name.substr(16) != kSuffix) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(name.data(), name.data() + 16, id, 16);
+  if (ec != std::errc{} || ptr != name.data() + 16) return std::nullopt;
+  return id;
+}
+
+}  // namespace mrts::storage

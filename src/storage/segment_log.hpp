@@ -1,0 +1,84 @@
+#pragma once
+
+// Segment-log record framing, shared by the LogStore engine, its reopen
+// recovery scan, and the crash-point tests. A segment is a flat append-only
+// byte sequence of framed records:
+//
+//   [u32 magic][u32 sealed_len][ sealed body: payload..CRC32 trailer ]
+//
+// where the sealed body reuses storage/sealed_blob framing over
+// (key u64, generation u64, kind u8, payload_len u64, payload bytes), so a
+// torn append, a truncation, or a bit flip anywhere in a record is detected
+// by the same CRC discipline the spill path already trusts. A sequential
+// scan recovers every intact record up to the first damaged one and stops
+// there — the crash-consistency contract the recovery tests pin.
+//
+// Generations are monotone across one LogStore's lifetime and are the ONLY
+// ordering recovery relies on: a record applies iff its generation exceeds
+// the key's current one. Compaction may therefore rewrite a live record or
+// a still-needed tombstone into any later segment without breaking replay.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/backend.hpp"
+#include "util/status.hpp"
+
+namespace mrts::storage {
+
+/// Leading magic word of every framed record ("SEGL", little-endian).
+inline constexpr std::uint32_t kSegmentRecordMagic = 0x4C474553u;
+/// Framing prelude: magic word + sealed-body length.
+inline constexpr std::size_t kSegmentRecordHeader = 8;
+/// Largest sealed body a scanner accepts; a corrupted length field past
+/// this is damage, not a record.
+inline constexpr std::uint64_t kMaxSegmentRecordBytes = 1ull << 32;
+
+enum class RecordKind : std::uint8_t { kPut = 0, kTombstone = 1 };
+
+struct SegmentRecord {
+  ObjectKey key = 0;
+  std::uint64_t generation = 0;
+  RecordKind kind = RecordKind::kPut;
+  std::vector<std::byte> payload;  // empty for tombstones
+};
+
+/// Placement of one framed record inside its segment.
+struct RecordExtent {
+  std::uint64_t offset = 0;  // byte offset of the magic word
+  std::uint64_t length = 0;  // framed length: header + sealed body
+};
+
+/// Frames one record at the end of `segment`; returns its extent.
+RecordExtent append_record(std::vector<std::byte>& segment, ObjectKey key,
+                           std::uint64_t generation, RecordKind kind,
+                           std::span<const std::byte> payload);
+
+/// Decodes the record framed at `offset`. kCorruption on bad magic, an
+/// implausible or truncated length, a failed seal, or a malformed body.
+[[nodiscard]] util::Result<SegmentRecord> read_record_at(
+    std::span<const std::byte> segment, std::uint64_t offset);
+
+struct SegmentScan {
+  std::uint64_t records = 0;      // intact records visited
+  std::uint64_t valid_bytes = 0;  // prefix length covered by those records
+  bool damaged = false;           // stopped before the end of the buffer
+};
+
+/// Sequentially scans `segment`, invoking fn(extent, record) for each
+/// intact record; stops at the first damaged or truncated one.
+SegmentScan scan_segment(
+    std::span<const std::byte> segment,
+    const std::function<void(const RecordExtent&, SegmentRecord&&)>& fn);
+
+/// "<id as 16 hex digits>.seg" — lexicographic order == numeric order.
+[[nodiscard]] std::string segment_file_name(std::uint64_t id);
+[[nodiscard]] std::optional<std::uint64_t> parse_segment_file_name(
+    std::string_view name);
+
+}  // namespace mrts::storage

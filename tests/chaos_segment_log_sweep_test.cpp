@@ -1,0 +1,208 @@
+// Segment-log engine seed sweep (ctest label "segment_log"): twenty seeds
+// of the hop workload under the deterministic driver and a hard storage
+// fault plan, run twice per seed — once spilling to the log-structured
+// engine (group commit + tick-driven compaction racing the workload's
+// overwrite traffic), once to the blob-per-object FileStore twin. The two
+// engines sit below the same FaultStore/ReplicatedStore seam, so every
+// injected fault and every logical op lands identically: the runs must end
+// digest-equal, with all invariants intact, while the log engine actually
+// compacts and amortizes device writes. A same-seed re-run must replay
+// byte-identically — compaction is driven by virtual ticks, never wall
+// time. Run selectively with `ctest -L segment_log`.
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+
+#include "chaos/chaos.hpp"
+#include "chaos/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace mrts::chaos {
+namespace {
+
+core::ClusterOptions engine_options(core::SpillMedium medium) {
+  core::ClusterOptions options;
+  options.nodes = 4;
+  // Tiny budget against the workload's ballast: heavy spill/reload churn,
+  // so overwritten generations pile up as segment garbage.
+  options.runtime.ooc.memory_budget_bytes = 64u << 10;
+  options.runtime.storage_retry.max_retries = 8;
+  options.runtime.storage_retry.base_delay = std::chrono::microseconds(100);
+  options.runtime.write_behind_max_bytes = 16u << 10;
+  options.spill = medium;
+  options.spill_tag = "seglog-sweep";
+  // Aggressive engine knobs: a handful of 16 KiB spill blobs per segment,
+  // commits every few records, compaction from the first tick that finds a
+  // one-third-dead sealed segment — maintenance genuinely races the
+  // workload instead of waiting for it to finish.
+  options.log_store.group_commit_records = 4;
+  options.log_store.group_commit_bytes = 32u << 10;
+  options.log_store.flush_interval_ticks = 2;
+  options.log_store.segment_target_bytes = 64u << 10;
+  options.log_store.compact_garbage_ratio = 0.35;
+  // Self-healing seam above the engine, exactly like the recovery sweep:
+  // injected corruption/torn writes are absorbed by seal checks, the
+  // mirror, and per-object checkpoints — under EITHER engine.
+  options.replicate_spills = true;
+  options.replication.breaker_failure_threshold = 3;
+  options.replication.breaker_cooldown_ops = 16;
+  options.object_checkpoints = true;
+  options.max_run_time = std::chrono::seconds(120);
+  return options;
+}
+
+ChaosPlan fault_plan(std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.storage.corruption_rate = 0.08;
+  plan.storage.torn_write_rate = 0.04;
+  plan.storage.load_failure_rate = 0.05;
+  plan.net.delay_rate = 0.05;
+  plan.net.max_delay_steps = 4;
+  return plan;
+}
+
+HopWorkloadOptions sweep_workload(std::uint64_t seed) {
+  HopWorkloadOptions wl;
+  wl.objects_per_node = 4;
+  wl.payload_words = 2048;  // 4 x 16 KiB per node against a 64 KiB budget
+  wl.routes = 16;
+  wl.route_length = 6;
+  wl.migrate_every = 3;
+  wl.seed = seed;
+  return wl;
+}
+
+struct SweepOutcome {
+  std::uint64_t digest = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t expected = 0;
+  storage::BackendStats backend;  // summed over nodes (primary view)
+  std::string trace_text;
+  std::uint32_t trace_crc = 0;
+  InvariantReport invariants;
+  bool timed_out = false;
+};
+
+SweepOutcome run_engine(std::uint64_t seed, core::SpillMedium medium) {
+  Harness harness(fault_plan(seed));
+  core::ClusterOptions options = engine_options(medium);
+  harness.instrument(options);
+  core::Cluster cluster(options);
+  HopWorkload workload(cluster, sweep_workload(seed));
+  workload.create_objects();
+  workload.inject();
+  const auto report = cluster.run();
+
+  SweepOutcome out;
+  out.timed_out = report.timed_out;
+  out.executed = workload.executed_hops();
+  out.expected = workload.expected_hops();
+  out.digest = workload.state_digest();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto s =
+        cluster.node(static_cast<net::NodeId>(i)).spill_backend().stats();
+    out.backend.store_ops += s.store_ops;
+    out.backend.device_write_ops += s.device_write_ops;
+    out.backend.group_commits += s.group_commits;
+    out.backend.compactions += s.compactions;
+    out.backend.records_dropped += s.records_dropped;
+  }
+  out.invariants = harness.check(cluster);
+  check_recovery(cluster, out.invariants);
+  out.trace_text = harness.trace().text();
+  out.trace_crc = harness.trace().crc();
+  return out;
+}
+
+class SegmentLogSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    auto& tr = obs::TraceRecorder::global();
+    tr.disable();
+    tr.reset();
+    tr.enable({.ring_capacity = 1u << 16, .clock = obs::TraceClock::kVirtual});
+  }
+  void TearDown() override {
+    auto& tr = obs::TraceRecorder::global();
+    tr.disable();
+    if (HasFailure() && obs::TraceRecorder::compiled_in()) {
+      const std::string path =
+          "seglog_fail_seed" + std::to_string(GetParam()) + ".json";
+      const auto st = obs::write_chrome_trace(path, tr);
+      std::cerr << (st.is_ok() ? "wrote trace artifact " + path
+                               : "trace artifact export failed: " +
+                                     st.to_string())
+                << "\n";
+    }
+    tr.reset();
+  }
+};
+
+TEST_P(SegmentLogSeedSweep, DigestEqualsFileStoreTwinUnderFaults) {
+  const std::uint64_t seed = GetParam();
+  const SweepOutcome file = run_engine(seed, core::SpillMedium::kFile);
+  ASSERT_FALSE(file.timed_out);
+  ASSERT_EQ(file.executed, file.expected);
+  ASSERT_TRUE(file.invariants.ok()) << file.invariants.to_string();
+  EXPECT_EQ(file.backend.compactions, 0u)
+      << "blob-per-object twin has nothing to compact";
+
+  const SweepOutcome log = run_engine(seed, core::SpillMedium::kSegmentLog);
+  ASSERT_FALSE(log.timed_out);
+  EXPECT_EQ(log.executed, log.expected);
+  EXPECT_TRUE(log.invariants.ok())
+      << "seed " << seed << ":\n"
+      << log.invariants.to_string() << "\ntrace tail:\n"
+      << log.trace_text.substr(
+             log.trace_text.size() > 2000 ? log.trace_text.size() - 2000 : 0);
+
+  // Same seed, same faults, different engine: application state must be
+  // byte-identical — the engine swap is invisible above the Backend seam.
+  EXPECT_EQ(log.digest, file.digest) << "seed " << seed;
+
+  // And the log engine must have actually done log-structured work while
+  // the workload ran: commits batching spill stores, compaction reclaiming
+  // overwritten generations, fewer device writes than blob-per-object.
+  EXPECT_GT(log.backend.group_commits, 0u) << "seed " << seed;
+  EXPECT_GT(log.backend.compactions, 0u)
+      << "seed " << seed << ": no compaction raced the workload; the sweep "
+      << "proves nothing — lower compact_garbage_ratio or segment size";
+  EXPECT_GT(log.backend.records_dropped, 0u) << "seed " << seed;
+  EXPECT_LT(log.backend.device_write_ops, file.backend.device_write_ops)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, SegmentLogSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Group commit deadlines and compaction are driven by drain_completions
+// virtual ticks, so a same-seed re-run — compaction, faults, and all — must
+// replay byte-identically.
+TEST(SegmentLogReplay, CompactingFaultedRunReplaysByteIdentical) {
+  auto& tr = obs::TraceRecorder::global();
+  tr.disable();
+  tr.reset();
+  tr.enable({.ring_capacity = 1u << 16, .clock = obs::TraceClock::kVirtual});
+  const SweepOutcome a = run_engine(7, core::SpillMedium::kSegmentLog);
+  tr.disable();
+  tr.reset();
+  tr.enable({.ring_capacity = 1u << 16, .clock = obs::TraceClock::kVirtual});
+  const SweepOutcome b = run_engine(7, core::SpillMedium::kSegmentLog);
+  tr.disable();
+  tr.reset();
+  ASSERT_GT(a.trace_text.size(), 0u);
+  EXPECT_GT(a.backend.compactions, 0u);
+  EXPECT_EQ(a.trace_crc, b.trace_crc);
+  EXPECT_EQ(a.trace_text, b.trace_text);  // byte-identical, not just CRC
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.backend.group_commits, b.backend.group_commits);
+  EXPECT_EQ(a.backend.compactions, b.backend.compactions);
+  EXPECT_EQ(a.backend.records_dropped, b.backend.records_dropped);
+}
+
+}  // namespace
+}  // namespace mrts::chaos

@@ -1,0 +1,455 @@
+// Log-structured spill engine, unit + model-based layer: record framing,
+// the LogStore backend contract, group-commit accounting, compaction
+// (generation overwrite, erase-then-compact tombstone retention), and a
+// randomized store/load/erase/compact interleaving checked move-for-move
+// against a std::unordered_map model — including a reopen (recovery scan)
+// at the end of every random run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "storage/file_store.hpp"
+#include "storage/log_store.hpp"
+#include "storage/segment_log.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::storage {
+namespace {
+namespace fs = std::filesystem;
+
+std::vector<std::byte> random_blob(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng() & 0xFF);
+  return v;
+}
+
+// --- record framing ---------------------------------------------------------
+
+TEST(SegmentRecord, RoundTripsThroughFraming) {
+  std::vector<std::byte> segment;
+  const auto payload = random_blob(300, 7);
+  const RecordExtent a =
+      append_record(segment, 11, 5, RecordKind::kPut, payload);
+  const RecordExtent b = append_record(segment, 12, 6, RecordKind::kTombstone,
+                                       {});
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, a.length);
+  EXPECT_EQ(segment.size(), a.length + b.length);
+
+  auto ra = read_record_at(segment, a.offset);
+  ASSERT_TRUE(ra.is_ok());
+  EXPECT_EQ(ra.value().key, 11u);
+  EXPECT_EQ(ra.value().generation, 5u);
+  EXPECT_EQ(ra.value().kind, RecordKind::kPut);
+  EXPECT_EQ(ra.value().payload, payload);
+
+  auto rb = read_record_at(segment, b.offset);
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(rb.value().kind, RecordKind::kTombstone);
+  EXPECT_TRUE(rb.value().payload.empty());
+}
+
+TEST(SegmentRecord, ScanStopsAtFirstDamage) {
+  std::vector<std::byte> segment;
+  std::vector<RecordExtent> extents;
+  for (int i = 0; i < 5; ++i) {
+    extents.push_back(append_record(segment, 100 + i, i + 1, RecordKind::kPut,
+                                    random_blob(64, i)));
+  }
+  // Pristine scan: every record, no damage.
+  auto scan = scan_segment(segment, nullptr);
+  EXPECT_EQ(scan.records, 5u);
+  EXPECT_EQ(scan.valid_bytes, segment.size());
+  EXPECT_FALSE(scan.damaged);
+
+  // Flip one byte inside record 2's sealed body: records 0-1 survive, the
+  // scan stops at the damage.
+  auto flipped = segment;
+  flipped[extents[2].offset + kSegmentRecordHeader + 5] ^= std::byte{0x10};
+  std::vector<ObjectKey> seen;
+  scan = scan_segment(flipped,
+                      [&](const RecordExtent&, SegmentRecord&& rec) {
+                        seen.push_back(rec.key);
+                      });
+  EXPECT_TRUE(scan.damaged);
+  EXPECT_EQ(scan.records, 2u);
+  EXPECT_EQ(scan.valid_bytes, extents[2].offset);
+  EXPECT_EQ(seen, (std::vector<ObjectKey>{100, 101}));
+
+  // Truncate mid-record 4: a torn tail is damage, earlier records survive.
+  auto torn = segment;
+  torn.resize(extents[4].offset + extents[4].length / 2);
+  scan = scan_segment(torn, nullptr);
+  EXPECT_TRUE(scan.damaged);
+  EXPECT_EQ(scan.records, 4u);
+  EXPECT_EQ(scan.valid_bytes, extents[4].offset);
+}
+
+TEST(SegmentRecord, FileNamesRoundTripAndRejectStrangers) {
+  EXPECT_EQ(segment_file_name(0x2a), "000000000000002a.seg");
+  EXPECT_EQ(parse_segment_file_name("000000000000002a.seg"), 0x2au);
+  EXPECT_EQ(parse_segment_file_name(segment_file_name(~0ull)), ~0ull);
+  EXPECT_FALSE(parse_segment_file_name("2a.seg").has_value());
+  EXPECT_FALSE(parse_segment_file_name("000000000000002a.mob").has_value());
+  EXPECT_FALSE(parse_segment_file_name("zzzzzzzzzzzzzzzz.seg").has_value());
+}
+
+// --- backend contract -------------------------------------------------------
+
+template <typename MakeStore>
+void backend_contract(MakeStore make) {
+  auto store = make();
+  EXPECT_EQ(store->count(), 0u);
+  EXPECT_FALSE(store->contains(1));
+  EXPECT_EQ(store->load(1).status().code(), util::StatusCode::kNotFound);
+
+  const auto b1 = random_blob(1000, 1);
+  ASSERT_TRUE(store->store(7, b1).is_ok());
+  EXPECT_TRUE(store->contains(7));
+  EXPECT_EQ(store->count(), 1u);
+  EXPECT_EQ(store->stored_bytes(), 1000u);
+  auto r = store->load(7);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), b1);
+
+  const auto b2 = random_blob(10, 2);
+  ASSERT_TRUE(store->store(7, b2).is_ok());
+  EXPECT_EQ(store->stored_bytes(), 10u);
+  EXPECT_EQ(store->load(7).value(), b2);
+
+  EXPECT_TRUE(store->erase(7).is_ok());
+  EXPECT_FALSE(store->contains(7));
+  EXPECT_EQ(store->erase(7).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(store->stored_bytes(), 0u);
+
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.store_ops, 2u);
+  EXPECT_EQ(stats.load_ops, 2u);
+  EXPECT_EQ(stats.erase_ops, 1u);
+}
+
+TEST(LogStore, ContractOnFiles) {
+  backend_contract([] {
+    LogStoreOptions o;
+    o.dir = make_temp_spill_dir("seglog");
+    return std::make_unique<LogStore>(o);
+  });
+}
+
+TEST(LogStore, ContractInMemory) {
+  backend_contract([] {
+    LogStoreOptions o;
+    o.in_memory = true;
+    return std::make_unique<LogStore>(o);
+  });
+}
+
+// --- group commit -----------------------------------------------------------
+
+TEST(LogStore, GroupCommitAmortizesDeviceWrites) {
+  LogStoreOptions o;
+  o.dir = make_temp_spill_dir("seglog");
+  o.group_commit_records = 8;
+  o.group_commit_bytes = 1u << 30;      // records threshold only
+  o.segment_target_bytes = 1u << 30;    // never seal
+  LogStore store(o);
+
+  for (ObjectKey k = 1; k <= 24; ++k) {
+    ASSERT_TRUE(store.store(k, random_blob(100, k)).is_ok());
+  }
+  auto stats = store.stats();
+  EXPECT_EQ(stats.store_ops, 24u);
+  EXPECT_EQ(stats.group_commits, 3u);    // 24 records / 8 per commit
+  EXPECT_EQ(stats.device_write_ops, 3u);
+  EXPECT_EQ(store.pending_records(), 0u);
+
+  // Uncommitted records are served straight from the append buffer: no
+  // device read.
+  ASSERT_TRUE(store.store(25, random_blob(100, 25)).is_ok());
+  EXPECT_EQ(store.pending_records(), 1u);
+  const auto before = store.stats().device_read_ops;
+  EXPECT_EQ(store.load(25).value(), random_blob(100, 25));
+  EXPECT_EQ(store.stats().device_read_ops, before);
+
+  // Committed records cost one positioned device read each.
+  EXPECT_EQ(store.load(1).value(), random_blob(100, 1));
+  EXPECT_EQ(store.stats().device_read_ops, before + 1);
+
+  ASSERT_TRUE(store.flush().is_ok());
+  EXPECT_EQ(store.pending_records(), 0u);
+  EXPECT_EQ(store.stats().group_commits, 4u);
+}
+
+TEST(LogStore, TickCommitsAgedBufferAtTheDeadline) {
+  LogStoreOptions o;
+  o.in_memory = true;
+  o.flush_interval_ticks = 4;
+  o.compact_garbage_ratio = 2.0;  // no compaction in this test
+  LogStore store(o);
+
+  store.tick(10);
+  ASSERT_TRUE(store.store(1, random_blob(32, 1)).is_ok());
+  store.tick(12);
+  EXPECT_EQ(store.pending_records(), 1u);  // younger than the deadline
+  store.tick(14);
+  EXPECT_EQ(store.pending_records(), 0u);  // 10 + 4 <= 14: committed
+  EXPECT_EQ(store.stats().group_commits, 1u);
+}
+
+// --- compaction -------------------------------------------------------------
+
+LogStoreOptions small_segments(fs::path dir) {
+  LogStoreOptions o;
+  o.dir = std::move(dir);
+  o.group_commit_records = 4;
+  o.segment_target_bytes = 2048;
+  return o;
+}
+
+TEST(LogStore, CompactionDropsSupersededGenerations) {
+  const fs::path dir = make_temp_spill_dir("seglog");
+  LogStoreOptions o = small_segments(dir);
+  o.retain_on_close = true;
+  std::uint64_t dropped = 0;
+  {
+    LogStore store(o);
+    // Same keys overwritten 8x: most sealed segments are pure garbage.
+    for (int round = 0; round < 8; ++round) {
+      for (ObjectKey k = 1; k <= 16; ++k) {
+        ASSERT_TRUE(
+            store.store(k, random_blob(96, k * 100 + round)).is_ok());
+      }
+    }
+    ASSERT_TRUE(store.flush().is_ok());
+    const std::size_t before = store.segment_count();
+    EXPECT_GT(store.compact(64, 0.5), 0u);
+    EXPECT_LT(store.segment_count(), before);
+    const auto stats = store.stats();
+    EXPECT_GT(stats.compactions, 0u);
+    EXPECT_GT(stats.records_dropped, 0u);
+    dropped = stats.records_dropped;
+    // Every key still serves its newest generation.
+    for (ObjectKey k = 1; k <= 16; ++k) {
+      EXPECT_EQ(store.load(k).value(), random_blob(96, k * 100 + 7));
+    }
+    ASSERT_TRUE(store.flush().is_ok());
+  }
+  // Reopen: the recovery scan over the compacted layout still resolves the
+  // newest generation of every key (generation order, not position).
+  LogStoreOptions reopened = small_segments(dir);
+  LogStore store(reopened);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(store.count(), 16u);
+  for (ObjectKey k = 1; k <= 16; ++k) {
+    EXPECT_EQ(store.load(k).value(), random_blob(96, k * 100 + 7));
+  }
+}
+
+TEST(LogStore, EraseThenCompactNeverResurrects) {
+  const fs::path dir = make_temp_spill_dir("seglog");
+  LogStoreOptions o = small_segments(dir);
+  o.retain_on_close = true;
+  {
+    LogStore store(o);
+    // Old puts land in early segments...
+    for (ObjectKey k = 1; k <= 32; ++k) {
+      ASSERT_TRUE(store.store(k, random_blob(128, k)).is_ok());
+    }
+    // ...then half the keys are erased (tombstones in later segments).
+    for (ObjectKey k = 1; k <= 32; k += 2) {
+      ASSERT_TRUE(store.erase(k).is_ok());
+    }
+    ASSERT_TRUE(store.flush().is_ok());
+    // Compact aggressively, repeatedly: whatever mix of put- and
+    // tombstone-bearing segments gets rewritten, an erased key must stay
+    // erased because a tombstone masking an older put survives compaction.
+    for (int i = 0; i < 8; ++i) store.compact(64, 0.01);
+    ASSERT_TRUE(store.flush().is_ok());
+    for (ObjectKey k = 1; k <= 32; ++k) {
+      if (k % 2 == 1) {
+        EXPECT_FALSE(store.contains(k)) << "resurrected key " << k;
+      } else {
+        EXPECT_EQ(store.load(k).value(), random_blob(128, k));
+      }
+    }
+  }
+  // The acid test: replay the compacted segments from scratch.
+  LogStoreOptions reopened = small_segments(dir);
+  LogStore store(reopened);
+  EXPECT_EQ(store.count(), 16u);
+  for (ObjectKey k = 1; k <= 32; ++k) {
+    if (k % 2 == 1) {
+      EXPECT_FALSE(store.contains(k)) << "reopen resurrected key " << k;
+    } else {
+      EXPECT_EQ(store.load(k).value(), random_blob(128, k));
+    }
+  }
+}
+
+// --- model-based random interleavings ---------------------------------------
+
+// Random store/load/erase/tick/flush/compact sequence, mirrored into a
+// std::unordered_map. The store must agree with the model after every
+// operation batch, and — file mode — after a close/reopen recovery scan.
+void run_model_interleaving(std::uint64_t seed, bool in_memory) {
+  const fs::path dir =
+      in_memory ? fs::path{} : make_temp_spill_dir("seglog-model");
+  LogStoreOptions o;
+  o.dir = dir;
+  o.in_memory = in_memory;
+  o.group_commit_records = 4;
+  o.group_commit_bytes = 1024;
+  o.flush_interval_ticks = 2;
+  o.segment_target_bytes = 1536;
+  o.compact_garbage_ratio = 0.3;
+  o.retain_on_close = true;
+
+  std::unordered_map<ObjectKey, std::vector<std::byte>> model;
+  util::Rng rng(seed);
+  std::uint64_t tick = 0;
+  {
+    LogStore store(o);
+    for (int op = 0; op < 800; ++op) {
+      const ObjectKey key = 1 + rng() % 24;  // small space: many overwrites
+      switch (rng() % 6) {
+        case 0:
+        case 1: {  // store (new or overwrite)
+          auto blob = random_blob(16 + rng() % 200, rng());
+          ASSERT_TRUE(store.store(key, blob).is_ok());
+          model[key] = std::move(blob);
+          break;
+        }
+        case 2: {  // load
+          auto r = store.load(key);
+          const auto it = model.find(key);
+          if (it == model.end()) {
+            EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+          } else {
+            ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+            EXPECT_EQ(r.value(), it->second);
+          }
+          break;
+        }
+        case 3: {  // erase
+          const auto st = store.erase(key);
+          if (model.erase(key) > 0) {
+            EXPECT_TRUE(st.is_ok());
+          } else {
+            EXPECT_EQ(st.code(), util::StatusCode::kNotFound);
+          }
+          break;
+        }
+        case 4:  // virtual tick: deadline flush + background compaction
+          store.tick(++tick);
+          break;
+        case 5:  // explicit maintenance
+          if (rng() % 2 == 0) {
+            ASSERT_TRUE(store.flush().is_ok());
+          } else {
+            store.compact(2, 0.2);
+          }
+          break;
+      }
+      if (op % 100 == 99) {
+        EXPECT_EQ(store.count(), model.size());
+        std::uint64_t bytes = 0;
+        for (const auto& [k, v] : model) bytes += v.size();
+        EXPECT_EQ(store.stored_bytes(), bytes);
+        for (const auto& [k, v] : model) {
+          auto r = store.load(k);
+          ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+          EXPECT_EQ(r.value(), v) << "key " << k;
+        }
+      }
+    }
+    EXPECT_GT(store.stats().compactions, 0u) << "options never compacted";
+    ASSERT_TRUE(store.flush().is_ok());
+  }
+  if (in_memory) return;
+  // Recovery must rebuild the exact surviving state from the segments.
+  LogStoreOptions ropts = o;
+  ropts.retain_on_close = false;
+  LogStore reopened(ropts);
+  EXPECT_EQ(reopened.count(), model.size());
+  EXPECT_EQ(reopened.recovery_stats().damaged_segments, 0u);
+  for (const auto& [k, v] : model) {
+    auto r = reopened.load(k);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(r.value(), v) << "key " << k;
+  }
+  for (ObjectKey k = 1; k <= 24; ++k) {
+    if (!model.contains(k)) {
+      EXPECT_FALSE(reopened.contains(k));
+    }
+  }
+}
+
+class LogStoreModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogStoreModel, AgreesWithMapOnFiles) {
+  run_model_interleaving(GetParam(), /*in_memory=*/false);
+}
+
+TEST_P(LogStoreModel, AgreesWithMapInMemory) {
+  run_model_interleaving(GetParam(), /*in_memory=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogStoreModel,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- golden device-op counters ----------------------------------------------
+
+// Pins the physical-op economics the ISSUE gates on: under an identical
+// keyed workload, blob-per-object FileStore pays 2 device writes per store
+// (payload write + rename) while the log engine pays 1 per group commit.
+// Exact counts, not bounds — a policy regression moves them.
+TEST(LogStore, GoldenDeviceOpCountsVsFileStore) {
+  constexpr std::size_t kStores = 256;
+  constexpr std::size_t kBlob = 1000;
+
+  FileStore file(make_temp_spill_dir("seglog-golden"));
+  LogStoreOptions o;
+  o.dir = make_temp_spill_dir("seglog-golden");
+  o.group_commit_records = 16;
+  o.group_commit_bytes = 1u << 30;
+  o.segment_target_bytes = 1u << 30;  // no seals: commits only
+  LogStore log(o);
+
+  for (ObjectKey k = 1; k <= kStores; ++k) {
+    const auto blob = random_blob(kBlob, k);
+    ASSERT_TRUE(file.store(k, blob).is_ok());
+    ASSERT_TRUE(log.store(k, blob).is_ok());
+  }
+  ASSERT_TRUE(log.flush().is_ok());
+
+  const auto fs = file.stats();
+  const auto ls = log.stats();
+  EXPECT_EQ(fs.device_write_ops, 2 * kStores);      // 512
+  EXPECT_EQ(ls.device_write_ops, kStores / 16);     // 16 group commits
+  EXPECT_EQ(ls.group_commits, kStores / 16);
+  EXPECT_EQ(fs.bytes_written, ls.bytes_written);    // same payload traffic
+
+  // The ISSUE's gate, on the golden numbers: >= 5x fewer backend ops per
+  // spilled byte than blob-per-object.
+  const double file_ops_per_byte =
+      static_cast<double>(fs.device_write_ops) /
+      static_cast<double>(fs.bytes_written);
+  const double log_ops_per_byte =
+      static_cast<double>(ls.device_write_ops) /
+      static_cast<double>(ls.bytes_written);
+  EXPECT_GE(file_ops_per_byte / log_ops_per_byte, 5.0);
+
+  // Loads cost one device read each under both engines once committed.
+  for (ObjectKey k = 1; k <= kStores; ++k) {
+    ASSERT_TRUE(file.load(k).is_ok());
+    ASSERT_TRUE(log.load(k).is_ok());
+  }
+  EXPECT_EQ(file.stats().device_read_ops, kStores);
+  EXPECT_EQ(log.stats().device_read_ops, kStores);
+}
+
+}  // namespace
+}  // namespace mrts::storage
