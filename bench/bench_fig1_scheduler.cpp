@@ -21,15 +21,40 @@ int main() {
   const auto jobs = jobsim::make_synthetic_trace(config);
   const auto schedule = jobsim::schedule_easy_backfill(config.cluster_nodes, jobs);
 
-  Table t({"nodes requested", "jobs", "median wait", "p90 wait", "mean wait"});
+  Table t({"nodes requested", "jobs", "median wait", "p90 wait", "p99 wait",
+           "mean wait"});
   const std::vector<int> buckets{2, 4, 8, 16, 32, 64, 128};
   auto fmt_min = [](double s) { return util::format("{:.1f} min", s / 60.0); };
   for (const auto& b :
        jobsim::wait_statistics(schedule, buckets)) {
     t.row(b.width, b.wait_s.count(), fmt_min(b.median_s()),
-          fmt_min(b.quantile_s(0.9)), fmt_min(b.wait_s.mean()));
+          fmt_min(b.quantile_s(0.9)), fmt_min(b.quantile_s(0.99)),
+          fmt_min(b.wait_s.mean()));
   }
   report.add("queue_wait_vs_width", std::move(t));
+
+  // The open-loop generator shared with bench_service: the class mix and
+  // offered memory load the MeshingService admits against.
+  jobsim::OpenLoopConfig ol;
+  const auto service_jobs = jobsim::make_open_loop_jobs(ol);
+  Table mix({"class", "jobs", "mean width", "mean working set KiB",
+             "mean phases"});
+  for (jobsim::JobClass c : {jobsim::JobClass::kUpdr, jobsim::JobClass::kNupdr,
+                             jobsim::JobClass::kPcdm}) {
+    std::size_t n = 0, ws = 0;
+    double width = 0.0, phases = 0.0;
+    for (const auto& j : service_jobs) {
+      if (j.job_class != c) continue;
+      ++n;
+      ws += j.working_set_bytes;
+      width += j.width;
+      phases += j.phases;
+    }
+    const double dn = std::max<double>(1.0, static_cast<double>(n));
+    mix.row(jobsim::to_string(c), n, width / dn,
+            static_cast<double>(ws) / dn / 1024.0, phases / dn);
+  }
+  report.add("open_loop_class_mix", std::move(mix));
   const double util_pct =
       100.0 * jobsim::utilization(schedule, config.cluster_nodes);
   std::printf("cluster utilization: %.1f%%\n", util_pct);

@@ -1,0 +1,179 @@
+// MeshingService under an oversubscribed open-loop tenant mix: four tenants
+// (one double-weighted) offer a Poisson stream of mixed UPDR/NUPDR/PCDM
+// jobs whose working sets total well past 2x the cluster's committable
+// memory. The service must keep every node inside its physical budget by
+// admission control alone — queueing, fair-share partitioning, and
+// preemption instead of OOM — while no tenant starves.
+//
+// Gates (exit 1 on violation, so CI can fail the job):
+//   - p99 admission-to-first-refinement latency within kP99GateTicks;
+//   - zero sheds and every submitted job completed (adequate queues);
+//   - spot-checked jobs end digest-equal to uninterrupted solo twins, so
+//     preempted-then-resumed work is provably not corrupted.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "jobsim/jobsim.hpp"
+#include "service/meshing_service.hpp"
+
+using namespace mrts;
+using namespace mrts::bench;
+
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kNodeBudget = 96u << 10;
+constexpr std::uint64_t kP99GateTicks = 48;
+
+std::uint64_t quantile(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(rank, v.size() - 1)];
+}
+
+/// Uninterrupted solo twin: the same spec on an idle, amply provisioned
+/// cluster. Phase mutations are placement- and schedule-free, so the busy
+/// run's digest must match even if the job was preempted and resumed.
+std::uint64_t solo_twin_digest(jobsim::ServiceJob job) {
+  core::ClusterOptions co;
+  co.nodes = kNodes;
+  co.runtime.ooc.memory_budget_bytes = 1u << 20;
+  co.spill = core::SpillMedium::kMemory;
+  core::Cluster cluster(co);
+  service::ServiceOptions so;
+  so.tenants = 4;
+  so.preempt_enabled = false;
+  service::MeshingService svc(cluster, so);
+  job.arrival_tick = 0;
+  svc.submit(job);
+  while (svc.tick()) {
+  }
+  return svc.job_digest(job.id);
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report(
+      "service",
+      "MeshingService — multi-tenant admission, fair share, and preemption "
+      "at >=2x memory oversubscription (4 nodes)",
+      "an out-of-core runtime lets a shared cluster admit far more meshing "
+      "work than fits in memory: jobs queue briefly instead of failing, "
+      "and no tenant is starved while memory stays inside budget");
+
+  jobsim::OpenLoopConfig cfg;
+  cfg.horizon_ticks = 32;
+  cfg.arrivals_per_tick = 2.0;
+  cfg.tenants = 4;
+  cfg.max_width = static_cast<int>(kNodes);
+  cfg.min_working_set_bytes = 16u << 10;
+  cfg.max_working_set_bytes = 48u << 10;
+  cfg.seed = 20110516;
+  auto jobs = jobsim::make_open_loop_jobs(cfg);
+  const double oversub =
+      jobsim::offered_oversubscription(jobs, kNodes * kNodeBudget);
+
+  core::ClusterOptions co;
+  co.nodes = kNodes;
+  co.runtime.ooc.memory_budget_bytes = kNodeBudget;
+  co.spill = core::SpillMedium::kMemory;
+  core::Cluster cluster(co);
+
+  service::ServiceOptions so;
+  so.tenants = 4;
+  so.tenant_weights = {2.0, 1.0, 1.0, 1.0};
+  so.max_queue_per_tenant = 0;  // rely on admission, never queue-shed
+  service::MeshingService svc(cluster, so);
+
+  const std::vector<jobsim::ServiceJob> jobs_copy = jobs;
+  svc.run_open_loop(std::move(jobs));
+
+  Table tenants({"tenant", "weight", "submitted", "completed", "preempted",
+                 "shed", "phases run", "peak committed KiB", "share KiB"});
+  for (const auto& w : svc.tenant_windows()) {
+    tenants.row(w.tenant, w.weight, w.submitted, w.completed, w.preempted,
+                w.shed, w.phases_executed,
+                static_cast<double>(w.peak_admitted_bytes) / 1024.0,
+                static_cast<double>(w.share_bytes) / 1024.0);
+  }
+  report.add("per_tenant", std::move(tenants));
+
+  const auto& lat = svc.admission_latencies();
+  const std::uint64_t p50 = quantile(lat, 0.50);
+  const std::uint64_t p90 = quantile(lat, 0.90);
+  const std::uint64_t p99 = quantile(lat, 0.99);
+  Table latency({"admitted jobs", "p50 ticks", "p90 ticks", "p99 ticks",
+                 "max ticks", "p99 gate"});
+  latency.row(lat.size(), p50, p90, p99,
+              lat.empty() ? 0 : *std::max_element(lat.begin(), lat.end()),
+              kP99GateTicks);
+  report.add("admission_latency", std::move(latency));
+
+  Table run({"nodes", "offered oversubscription", "ticks to drain",
+             "completed", "preemptions", "sheds"});
+  run.row(kNodes, oversub, svc.current_tick(), svc.completed_count(),
+          svc.preempted_count(), svc.shed_count());
+  report.add("run_summary", std::move(run));
+
+  report.set_meta("oversubscription", util::format("{:.2f}", oversub));
+  report.set_meta("p99_admission_ticks", util::format("{}", p99));
+  report.set_meta("p99_gate_ticks", util::format("{}", kP99GateTicks));
+  report.set_meta("preemptions", util::format("{}", svc.preempted_count()));
+
+  // Twin-digest spot check: one completed job per tenant against its
+  // uninterrupted solo twin.
+  int twin_checked = 0, twin_failures = 0;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    for (const auto& j : jobs_copy) {
+      if (j.tenant != t || svc.job_digest(j.id) == 0) continue;
+      ++twin_checked;
+      if (svc.job_digest(j.id) != solo_twin_digest(j)) {
+        ++twin_failures;
+        std::printf("FAIL: job %llu (tenant %u) digest differs from its "
+                    "uninterrupted twin\n",
+                    static_cast<unsigned long long>(j.id), t);
+      }
+      break;
+    }
+  }
+  report.set_meta("twin_digest_checked", util::format("{}", twin_checked));
+  report.set_meta("twin_digest_failures", util::format("{}", twin_failures));
+
+  int failures = twin_failures;
+  if (oversub < 2.0) {
+    std::printf("FAIL: offered oversubscription %.2f < 2.0 — the bench is "
+                "not exercising admission control\n",
+                oversub);
+    ++failures;
+  }
+  if (svc.stalled() || !svc.drained()) {
+    std::printf("FAIL: service stalled before draining\n");
+    ++failures;
+  }
+  if (svc.shed_count() != 0 || svc.completed_count() != svc.submitted_count()) {
+    std::printf("FAIL: %llu shed, %llu/%llu completed — work was dropped "
+                "under pressure\n",
+                static_cast<unsigned long long>(svc.shed_count()),
+                static_cast<unsigned long long>(svc.completed_count()),
+                static_cast<unsigned long long>(svc.submitted_count()));
+    ++failures;
+  }
+  if (p99 > kP99GateTicks) {
+    std::printf("FAIL: p99 admission latency %llu ticks exceeds gate %llu\n",
+                static_cast<unsigned long long>(p99),
+                static_cast<unsigned long long>(kP99GateTicks));
+    ++failures;
+  }
+  std::printf("p99 admission latency: %llu ticks (gate %llu), "
+              "oversubscription %.2fx, %llu preemption(s)\n",
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(kP99GateTicks), oversub,
+              static_cast<unsigned long long>(svc.preempted_count()));
+  report.write_json();
+  return failures == 0 ? 0 : 1;
+}

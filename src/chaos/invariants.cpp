@@ -304,4 +304,45 @@ void check_recovery(core::Cluster& cluster, InvariantReport& out) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Multi-tenant service layer
+
+void check_no_starvation(const std::vector<TenantWindow>& tenants,
+                         InvariantReport& out) {
+  for (const TenantWindow& t : tenants) {
+    const std::uint64_t offered = t.submitted - std::min(t.shed, t.submitted);
+    if (offered == 0) continue;
+    if (t.completed == 0) {
+      out.add(util::format(
+          "tenant {} starved: {} job(s) offered (weight {}) but none "
+          "completed",
+          t.tenant, offered, t.weight));
+    }
+    if (t.phases_executed == 0) {
+      out.add(util::format(
+          "tenant {} made no phase progress despite {} offered job(s)",
+          t.tenant, offered));
+    }
+  }
+}
+
+void check_tenant_budgets(const std::vector<TenantWindow>& tenants,
+                          bool expect_drained, InvariantReport& out) {
+  for (const TenantWindow& t : tenants) {
+    if (t.over_share_admissions != 0) {
+      out.add(util::format(
+          "tenant {} admitted past its fair share {} time(s) (share {} "
+          "bytes, peak committed {})",
+          t.tenant, t.over_share_admissions, t.share_bytes,
+          t.peak_admitted_bytes));
+    }
+    if (expect_drained && t.admitted_bytes != 0) {
+      out.add(util::format(
+          "tenant {} still shows {} committed byte(s) after the run "
+          "drained: completion/preemption accounting leaked",
+          t.tenant, t.admitted_bytes));
+    }
+  }
+}
+
 }  // namespace mrts::chaos

@@ -98,4 +98,43 @@ void check_exactly_once(core::Cluster& cluster, InvariantReport& out);
 /// i.e. the reorder buffer restored FIFO before dispatch.
 void check_fifo_restored(core::Cluster& cluster, InvariantReport& out);
 
+// --- multi-tenant service layer -------------------------------------------
+// Plain-data per-tenant window the service layer exports at the end of a
+// run; kept here (not in src/service) so chaos never depends on the service
+// while both sweeps and benches share one checker vocabulary.
+
+struct TenantWindow {
+  std::uint32_t tenant = 0;
+  double weight = 1.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;   // first admissions (resumes not re-counted)
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t preempted = 0;
+  /// Message-handler executions attributed to this tenant's jobs.
+  std::uint64_t phases_executed = 0;
+  /// Committed working-set bytes at export time (0 once drained).
+  std::size_t admitted_bytes = 0;
+  std::size_t peak_admitted_bytes = 0;
+  /// The tenant's weighted max-min share at the last recompute.
+  std::size_t share_bytes = 0;
+  /// Admissions that left the tenant's committed bytes above its share at
+  /// decision time. The fair-share admission gate makes this impossible;
+  /// nonzero means the enforcement path regressed.
+  std::uint64_t over_share_admissions = 0;
+};
+
+/// Cross-tenant starvation: every tenant that offered work the service did
+/// not shed must have completed at least one job and executed at least one
+/// phase by the time the run drains.
+void check_no_starvation(const std::vector<TenantWindow>& tenants,
+                         InvariantReport& out);
+
+/// Fair-share budget enforcement: no tenant was ever admitted past its
+/// share (over_share_admissions == 0 everywhere), and when `expect_drained`
+/// the committed-byte ledgers must have returned to zero (leaks mean
+/// completion/preemption accounting lost bytes).
+void check_tenant_budgets(const std::vector<TenantWindow>& tenants,
+                          bool expect_drained, InvariantReport& out);
+
 }  // namespace mrts::chaos

@@ -56,6 +56,21 @@ class OocLayer {
   void on_spill_erased(std::uint64_t key);
 
   // --- thresholds --------------------------------------------------------
+  /// Re-partitions the layer's memory budget at runtime (the service layer's
+  /// fair-share mechanism). Takes effect immediately: free_bytes(),
+  /// soft_pressure(), and hard_pressure() all answer against the new budget
+  /// from the next call on, and the hard threshold's budget/2 cap deflates
+  /// with it. Shrinking below the current in-core total is legal — the
+  /// runtime must follow up with evictions (Runtime::set_memory_budget
+  /// does). The largest-spilled watermark is independent of the budget and
+  /// is untouched.
+  void set_memory_budget(std::size_t bytes) {
+    options_.memory_budget_bytes = bytes;
+  }
+  [[nodiscard]] std::size_t memory_budget_bytes() const {
+    return options_.memory_budget_bytes;
+  }
+
   /// Free memory remaining under the budget (0 when over).
   [[nodiscard]] std::size_t free_bytes() const;
   /// True when an allocation of `extra` bytes would leave free memory below

@@ -394,6 +394,19 @@ void Runtime::refresh_footprint(MobilePtr ptr) {
   after_handler_accounting(ptr, *e);
 }
 
+void Runtime::set_memory_budget(std::size_t bytes) {
+  ooc_.set_memory_budget(bytes);
+  // A shrink must act now, not at the next allocation: relieve hard
+  // pressure synchronously, then let background (soft) eviction run ahead
+  // within the write-behind budget. Anything still above the soft threshold
+  // afterwards drains through the normal progress_once() path.
+  while (ooc_.hard_pressure(0) && spill_one_victim()) {
+  }
+  while (ooc_.soft_pressure() && write_behind_has_budget() &&
+         spill_one_victim(/*allow_relaxed=*/false)) {
+  }
+}
+
 bool Runtime::is_local(MobilePtr ptr) const {
   const Entry* e = find_entry(ptr);
   return e != nullptr && e->state != Residency::kRemote;

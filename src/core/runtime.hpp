@@ -210,6 +210,24 @@ class Runtime {
   /// check" against the hard swapping threshold).
   void refresh_footprint(MobilePtr ptr);
 
+  /// Re-partitions this node's out-of-core memory budget at runtime (the
+  /// service layer's fair-share hook). Shrinking triggers eviction
+  /// immediately: hard pressure is relieved synchronously, then soft
+  /// (background) pressure issues write-behind spills up to the in-flight
+  /// budget; what remains drains across subsequent progress_once()
+  /// iterations. options().ooc.memory_budget_bytes keeps the configured
+  /// physical capacity — the chaos budget invariant checks peaks against
+  /// that, so dynamic partitions must stay at or below it. Control-thread
+  /// only, like the rest of the OOC API.
+  void set_memory_budget(std::size_t bytes);
+
+  /// The OOC layer's current (possibly re-partitioned) working budget;
+  /// equals options().ooc.memory_budget_bytes until set_memory_budget is
+  /// called.
+  [[nodiscard]] std::size_t memory_budget_bytes() const {
+    return ooc_.memory_budget_bytes();
+  }
+
   [[nodiscard]] bool is_local(MobilePtr ptr) const;
   [[nodiscard]] bool is_in_core(MobilePtr ptr) const;
 

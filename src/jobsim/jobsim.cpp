@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <map>
 
@@ -229,6 +230,65 @@ double WaitByWidth::quantile_s(double q) const {
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
+}
+
+const char* to_string(JobClass c) {
+  switch (c) {
+    case JobClass::kUpdr: return "UPDR";
+    case JobClass::kNupdr: return "NUPDR";
+    case JobClass::kPcdm: return "PCDM";
+  }
+  return "?";
+}
+
+std::vector<ServiceJob> make_open_loop_jobs(const OpenLoopConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<ServiceJob> jobs;
+  // Poisson process in continuous tick-time, floored to the enclosing tick
+  // (the service admits at tick granularity).
+  double t = 0.0;
+  std::uint64_t id = 1;
+  while (true) {
+    t += rng.exponential(1.0 / std::max(config.arrivals_per_tick, 1e-9));
+    if (t >= static_cast<double>(config.horizon_ticks)) break;
+    ServiceJob job;
+    job.id = id++;
+    job.arrival_tick = static_cast<std::uint64_t>(t);
+    job.tenant = static_cast<std::uint32_t>(
+        rng.below(std::max<std::uint32_t>(config.tenants, 1)));
+    const double u = rng.uniform();
+    job.job_class = u < config.p_updr ? JobClass::kUpdr
+                    : u < config.p_updr + config.p_nupdr ? JobClass::kNupdr
+                                                         : JobClass::kPcdm;
+    job.width = 1 + static_cast<int>(
+                        rng.below(std::max<std::uint64_t>(
+                            static_cast<std::uint64_t>(config.max_width), 1)));
+    // Log-uniform working set: heavy traffic is a mix of small jobs and the
+    // occasional memory hog, not a uniform band.
+    const double lo = std::log(
+        static_cast<double>(std::max<std::size_t>(config.min_working_set_bytes, 1)));
+    const double hi = std::log(static_cast<double>(
+        std::max(config.max_working_set_bytes, config.min_working_set_bytes)));
+    job.working_set_bytes =
+        static_cast<std::size_t>(std::exp(rng.uniform(lo, hi)));
+    job.phases = config.min_phases +
+                 static_cast<std::uint32_t>(rng.below(std::max<std::uint32_t>(
+                     config.max_phases - config.min_phases + 1, 1)));
+    std::uint64_t seed_state = config.seed ^ (job.id * 0x9E3779B97F4A7C15ull);
+    job.seed = util::splitmix64(seed_state);  // distinct, reproducible per job
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+double offered_oversubscription(const std::vector<ServiceJob>& jobs,
+                                std::size_t capacity_bytes) {
+  if (capacity_bytes == 0) return 0.0;
+  double total = 0.0;
+  for (const ServiceJob& j : jobs) {
+    total += static_cast<double>(j.working_set_bytes);
+  }
+  return total / static_cast<double>(capacity_bytes);
 }
 
 double utilization(const std::vector<ScheduledJob>& schedule,

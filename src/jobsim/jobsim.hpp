@@ -74,4 +74,64 @@ std::vector<WaitByWidth> wait_statistics(
 double utilization(const std::vector<ScheduledJob>& schedule,
                    int cluster_nodes);
 
+// --- open-loop service traffic (MeshingService / bench_service) -----------
+//
+// The service frontend is driven by an *open-loop* arrival process: jobs
+// arrive on a Poisson clock regardless of how backed up the service is (the
+// heavy-traffic regime the paper's Figure 1 queue comes from), with a class
+// mix over the runtime's three meshing methods and per-class width and
+// working-set distributions. The same generator feeds bench_fig1's class-mix
+// table and bench_service's admission pipeline.
+
+enum class JobClass : std::uint8_t { kUpdr = 0, kNupdr = 1, kPcdm = 2 };
+
+[[nodiscard]] const char* to_string(JobClass c);
+
+/// One meshing job as the service frontend sees it.
+struct ServiceJob {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  JobClass job_class = JobClass::kUpdr;
+  /// Service tick (virtual scheduling round) the job arrives at.
+  std::uint64_t arrival_tick = 0;
+  /// Subdomain objects the job decomposes into (also its node width cap).
+  int width = 1;
+  /// Total in-core footprint of the job's subdomains while refining.
+  std::size_t working_set_bytes = 0;
+  /// Refinement phases until the job completes.
+  std::uint32_t phases = 1;
+  /// Per-job seed: fixes the ballast fill and per-phase mutations, so an
+  /// uninterrupted twin run of the same spec is digest-comparable.
+  std::uint64_t seed = 0;
+};
+
+struct OpenLoopConfig {
+  /// Arrival horizon in service ticks.
+  std::uint64_t horizon_ticks = 64;
+  /// Mean arrivals per tick (open loop: independent of service state).
+  double arrivals_per_tick = 1.0;
+  std::uint32_t tenants = 4;
+  /// Widths are drawn uniformly in [1, max_width].
+  int max_width = 4;
+  /// Working sets are drawn log-uniformly in [min, max].
+  std::size_t min_working_set_bytes = 16u << 10;
+  std::size_t max_working_set_bytes = 64u << 10;
+  /// Phases drawn uniformly in [min_phases, max_phases].
+  std::uint32_t min_phases = 2;
+  std::uint32_t max_phases = 6;
+  /// Class mix: P(UPDR), P(NUPDR); the rest is PCDM.
+  double p_updr = 0.4;
+  double p_nupdr = 0.3;
+  std::uint64_t seed = 20110516;
+};
+
+/// Poisson arrivals of mixed-class jobs over the horizon, sorted by
+/// arrival tick. Deterministic in the seed.
+std::vector<ServiceJob> make_open_loop_jobs(const OpenLoopConfig& config);
+
+/// Sum of working sets of `jobs` divided by `capacity_bytes` — the memory
+/// oversubscription the stream offers a cluster of that in-core capacity.
+double offered_oversubscription(const std::vector<ServiceJob>& jobs,
+                                std::size_t capacity_bytes);
+
 }  // namespace mrts::jobsim

@@ -1,0 +1,70 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+#include "service/fair_share.hpp"
+#include "util/format.hpp"
+
+namespace mrts::service {
+
+std::size_t per_node_slice_bytes(std::size_t working_set_bytes, int width) {
+  const auto w = static_cast<std::size_t>(std::max(width, 1));
+  return (working_set_bytes + w - 1) / w;
+}
+
+AdmissionDecision FairShareAdmission::decide(const JobRequest& job,
+                                             const AdmissionState& state) {
+  const std::size_t slice = per_node_slice_bytes(job.working_set_bytes,
+                                                 job.width);
+  const std::size_t nodes = state.node_headroom_bytes.size();
+
+  // Permanently infeasible requests are shed up front: parking them would
+  // block the tenant's FIFO head forever (admission is head-of-line only).
+  std::size_t max_capacity = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    // Headroom underestimates capacity on loaded nodes, but an *empty*
+    // cluster has headroom == capacity, so the max over nodes is a lower
+    // bound that equals capacity once drained; use the conservative test
+    // only against the whole-cluster figure.
+    max_capacity = std::max(max_capacity, state.node_headroom_bytes[n]);
+  }
+  if (static_cast<std::size_t>(std::max(job.width, 1)) > nodes ||
+      job.working_set_bytes > state.capacity_bytes) {
+    return {AdmissionAction::kShed,
+            util::format("infeasible: width {} / working set {} vs {} nodes "
+                         "capacity {}",
+                         job.width, job.working_set_bytes, nodes,
+                         state.capacity_bytes)};
+  }
+
+  // Placement feasibility: `width` nodes must each hold one slice right now.
+  std::size_t placeable = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (state.node_headroom_bytes[n] >= slice) ++placeable;
+  }
+  const bool fits_nodes = placeable >= static_cast<std::size_t>(job.width);
+
+  // Fair-share feasibility: with this job added to its tenant's demand, the
+  // weighted max-min split must still satisfy that tenant in full.
+  std::vector<std::size_t> demand = state.tenant_admitted_bytes;
+  if (job.tenant >= demand.size()) demand.resize(job.tenant + 1, 0);
+  demand[job.tenant] += job.working_set_bytes;
+  const auto shares = weighted_max_min_shares(state.capacity_bytes, demand,
+                                              state.tenant_weights);
+  const bool fits_share = shares[job.tenant] >= demand[job.tenant];
+
+  if (fits_nodes && fits_share) {
+    return {AdmissionAction::kAdmit, "fits placement and fair share"};
+  }
+  if (state.tenant_queue_depth >= state.max_queue_per_tenant &&
+      state.max_queue_per_tenant > 0) {
+    return {AdmissionAction::kShed,
+            util::format("tenant {} queue full ({})", job.tenant,
+                         state.tenant_queue_depth)};
+  }
+  return {AdmissionAction::kQueue,
+          fits_share ? "no placement: waiting for node headroom"
+                     : "over fair share: waiting for tenant budget"};
+}
+
+}  // namespace mrts::service

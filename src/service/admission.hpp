@@ -1,0 +1,89 @@
+#pragma once
+
+// Pluggable admission control for the MeshingService. Every job the
+// frontend submits passes through an AdmissionController, which sees a
+// plain-data snapshot of the service's memory ledger and answers admit /
+// queue / shed. The controller never causes an OOM by construction: a job
+// is admitted only when its per-node slice fits the committable headroom of
+// enough nodes AND the owning tenant's total stays inside its weighted
+// max-min share of the cluster capacity. Anything else waits in its
+// tenant's bounded queue; when that queue is full the job is shed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrts::service {
+
+/// What the frontend asks to run (a projection of jobsim::ServiceJob).
+struct JobRequest {
+  std::uint32_t tenant = 0;
+  /// Nodes the job decomposes over (already clamped to the cluster size).
+  int width = 1;
+  /// Total in-core footprint across its objects.
+  std::size_t working_set_bytes = 0;
+  /// True when this is a preempted job re-entering from the queue head; the
+  /// default controller treats it like any other request (its bytes were
+  /// released at preemption), but policies may prioritize it.
+  bool resuming = false;
+};
+
+/// Snapshot of the service ledger an admission decision is made against.
+/// All byte figures refer to *committed working sets*, not instantaneous
+/// in-core residency (the OOC layer may have spilled part of a committed
+/// set; commitments are what admission must keep inside capacity).
+struct AdmissionState {
+  /// Sum over nodes of committable capacity (physical budget scaled by the
+  /// service's commit fraction).
+  std::size_t capacity_bytes = 0;
+  /// Committable headroom per node: capacity_n - committed_n.
+  std::vector<std::size_t> node_headroom_bytes;
+  /// Current committed bytes per tenant.
+  std::vector<std::size_t> tenant_admitted_bytes;
+  std::vector<double> tenant_weights;
+  /// Depth of the requesting tenant's queue (excluding this request).
+  std::size_t tenant_queue_depth = 0;
+  std::size_t max_queue_per_tenant = 0;
+};
+
+enum class AdmissionAction : std::uint8_t { kAdmit, kQueue, kShed };
+
+[[nodiscard]] constexpr const char* to_string(AdmissionAction a) {
+  switch (a) {
+    case AdmissionAction::kAdmit: return "admit";
+    case AdmissionAction::kQueue: return "queue";
+    case AdmissionAction::kShed: return "shed";
+  }
+  return "?";
+}
+
+struct AdmissionDecision {
+  AdmissionAction action = AdmissionAction::kQueue;
+  std::string reason;
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+  [[nodiscard]] virtual AdmissionDecision decide(
+      const JobRequest& job, const AdmissionState& state) = 0;
+};
+
+/// The default policy (see file comment): fair-share + placement
+/// feasibility gate admission; bounded queues gate shedding. A job that can
+/// never fit — wider than the cluster or with a per-node slice above every
+/// node's capacity — is shed immediately regardless of queue depth, since
+/// queueing it would wedge the tenant's FIFO head forever.
+class FairShareAdmission final : public AdmissionController {
+ public:
+  [[nodiscard]] AdmissionDecision decide(const JobRequest& job,
+                                         const AdmissionState& state) override;
+};
+
+/// Per-node working-set slice of a job: its objects split the working set
+/// evenly over `width` nodes.
+[[nodiscard]] std::size_t per_node_slice_bytes(std::size_t working_set_bytes,
+                                               int width);
+
+}  // namespace mrts::service

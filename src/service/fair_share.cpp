@@ -1,0 +1,72 @@
+#include "service/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrts::service {
+
+std::vector<std::size_t> weighted_max_min_shares(
+    std::size_t capacity_bytes, const std::vector<std::size_t>& demand_bytes,
+    const std::vector<double>& weights) {
+  const std::size_t n = demand_bytes.size();
+  std::vector<std::size_t> share(n, 0);
+  if (n == 0 || capacity_bytes == 0) return share;
+
+  auto weight_of = [&](std::size_t i) {
+    return i < weights.size() && weights[i] > 0.0 ? weights[i] : 1.0;
+  };
+
+  std::vector<bool> fixed(n, false);
+  std::size_t remaining = capacity_bytes;
+  // Water-filling: each pass satisfies every tenant whose demand fits under
+  // its weight-proportional slice of the remaining capacity, then re-divides
+  // what they left on the table. Terminates in <= n passes (every pass fixes
+  // at least one tenant or ends the loop).
+  while (remaining > 0) {
+    double active_weight = 0.0;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!fixed[i] && demand_bytes[i] > 0) {
+        active_weight += weight_of(i);
+        ++active;
+      }
+    }
+    if (active == 0) break;
+    bool any_satisfied = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i] || demand_bytes[i] == 0) continue;
+      const double slice =
+          static_cast<double>(remaining) * weight_of(i) / active_weight;
+      if (static_cast<double>(demand_bytes[i]) <= slice) {
+        share[i] = demand_bytes[i];
+        remaining -= share[i];
+        fixed[i] = true;
+        any_satisfied = true;
+      }
+    }
+    if (any_satisfied) continue;
+    // Every remaining demand exceeds its slice: hand out the proportional
+    // floors, then spread the integer remainder one byte at a time by index
+    // so the split is deterministic.
+    std::size_t handed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i] || demand_bytes[i] == 0) continue;
+      const auto floor_share = static_cast<std::size_t>(
+          static_cast<double>(remaining) * weight_of(i) / active_weight);
+      share[i] = std::min(demand_bytes[i], floor_share);
+      handed += share[i];
+    }
+    std::size_t leftover = remaining - handed;
+    for (std::size_t i = 0; i < n && leftover > 0; ++i) {
+      if (fixed[i] || demand_bytes[i] == 0) continue;
+      if (share[i] < demand_bytes[i]) {
+        ++share[i];
+        --leftover;
+      }
+    }
+    break;
+  }
+  return share;
+}
+
+}  // namespace mrts::service

@@ -1,0 +1,28 @@
+#pragma once
+
+// Weighted max-min fair sharing (water-filling) over a byte capacity. The
+// MeshingService partitions the cluster's committable memory among active
+// tenants with it: capacity is divided in proportion to tenant weights, a
+// tenant whose demand falls below its proportional share keeps only its
+// demand, and the surplus is re-divided among the still-unsatisfied tenants
+// until none can be raised further.
+//
+// Properties (the service unit tests pin them):
+//   - share[i] <= demand[i] for every tenant;
+//   - sum(shares) <= capacity, with equality iff sum(demands) >= capacity;
+//   - satisfied tenants (share == demand) never envy an unsatisfied one's
+//     weight-normalized share;
+//   - deterministic: ties and integer remainders resolve by tenant index.
+
+#include <cstddef>
+#include <vector>
+
+namespace mrts::service {
+
+/// Returns the per-tenant byte shares. `weights` must be positive and the
+/// same length as `demand_bytes` (a shorter/empty vector is padded with 1.0).
+std::vector<std::size_t> weighted_max_min_shares(
+    std::size_t capacity_bytes, const std::vector<std::size_t>& demand_bytes,
+    const std::vector<double>& weights);
+
+}  // namespace mrts::service

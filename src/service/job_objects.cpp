@@ -1,0 +1,60 @@
+#include "service/job_objects.hpp"
+
+namespace mrts::service {
+
+void ServiceJobObject::serialize(util::ByteWriter& out) const {
+  out.write(job_id);
+  out.write(index);
+  out.write_vector(ballast);
+  out.write(acc);
+  out.write(phase_hits);
+}
+
+void ServiceJobObject::deserialize(util::ByteReader& in) {
+  job_id = in.read<std::uint64_t>();
+  index = in.read<std::uint32_t>();
+  ballast = in.read_vector<std::uint64_t>();
+  acc = in.read<std::uint64_t>();
+  phase_hits = in.read<std::uint64_t>();
+}
+
+std::size_t ServiceJobObject::footprint_bytes() const {
+  return sizeof(ServiceJobObject) + ballast.size() * sizeof(std::uint64_t);
+}
+
+void fill_ballast(ServiceJobObject& obj, std::uint64_t job_seed,
+                  std::size_t words) {
+  std::uint64_t fill = job_seed ^ (0x9E3779B97F4A7C15ull * (obj.index + 1));
+  obj.ballast.resize(words);
+  for (auto& w : obj.ballast) w = util::splitmix64(fill);
+}
+
+std::uint64_t phase_value(std::uint64_t job_seed, std::uint32_t phase) {
+  std::uint64_t s = job_seed + phase;
+  return util::splitmix64(s) | 1u;  // nonzero
+}
+
+void apply_phase_hit(ServiceJobObject& obj, std::uint64_t value) {
+  obj.acc += value ^ (0x9E3779B97F4A7C15ull * (obj.index + 1));
+  if (!obj.ballast.empty()) {
+    std::uint64_t s = value + obj.index;
+    obj.ballast[value % obj.ballast.size()] ^= util::splitmix64(s);
+  }
+  ++obj.phase_hits;
+}
+
+std::uint64_t object_digest(const ServiceJobObject& obj) {
+  std::uint64_t s = obj.index;
+  std::uint64_t h = util::splitmix64(s);
+  s = obj.acc;
+  h ^= util::splitmix64(s) * 3;
+  s = obj.phase_hits;
+  h ^= util::splitmix64(s) * 7;
+  std::uint64_t fold = 0;
+  for (std::uint64_t w : obj.ballast) fold ^= w;
+  s = fold;
+  h ^= util::splitmix64(s) * 11;
+  return h;
+}
+
+}  // namespace mrts::service

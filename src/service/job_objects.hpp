@@ -1,0 +1,49 @@
+#pragma once
+
+// The mobile-object side of a service job. An admitted job materializes as
+// `width` ServiceJobObject instances, one per placement node, each carrying
+// an even slice of the job's working set as ballast. Every refinement phase
+// mutates the objects through message handlers with values that are a pure
+// function of (job seed, phase, object index) — never of placement, tick,
+// or arrival order — so a job that is preempted (checkpointed, destroyed,
+// and later resumed on different nodes) finishes with state byte-equal to
+// an uninterrupted twin run of the same spec. object_digest() is what the
+// twin comparison and the chaos sweeps compare.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mobile_object.hpp"
+#include "util/rng.hpp"
+
+namespace mrts::service {
+
+class ServiceJobObject final : public core::MobileObject {
+ public:
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+  std::uint64_t job_id = 0;
+  std::uint32_t index = 0;  // position within the job's object list
+  std::vector<std::uint64_t> ballast;
+  std::uint64_t acc = 0;
+  std::uint64_t phase_hits = 0;
+};
+
+/// Deterministic ballast fill for object `index` of a job.
+void fill_ballast(ServiceJobObject& obj, std::uint64_t job_seed,
+                  std::size_t words);
+
+/// The per-phase mutation value all of a job's objects see in `phase`.
+[[nodiscard]] std::uint64_t phase_value(std::uint64_t job_seed,
+                                        std::uint32_t phase);
+
+/// One phase hit: accumulate and scramble a ballast word. Pure in
+/// (object state, value) — the handler body and the twin-digest proof.
+void apply_phase_hit(ServiceJobObject& obj, std::uint64_t value);
+
+/// Order-independent digest of one object (XOR-combinable across a job).
+[[nodiscard]] std::uint64_t object_digest(const ServiceJobObject& obj);
+
+}  // namespace mrts::service

@@ -99,6 +99,49 @@ TEST(OocLayer, SoftPressureAtHalfBudget) {
   EXPECT_TRUE(ooc.soft_pressure());  // free 400 < 500
 }
 
+// --- runtime budget re-partitioning (service fair-share hook) -------------
+
+TEST(OocLayer, SetMemoryBudgetRetargetsThresholdsImmediately) {
+  OocLayer ooc(small_options());
+  ooc.on_install(1, 400);
+  EXPECT_FALSE(ooc.soft_pressure());  // free 600 >= 500
+  ooc.set_memory_budget(600);
+  EXPECT_EQ(ooc.memory_budget_bytes(), 600u);
+  // New budget answers at once: free 200 < soft 300.
+  EXPECT_TRUE(ooc.soft_pressure());
+  EXPECT_EQ(ooc.free_bytes(), 200u);
+  ooc.set_memory_budget(2000);
+  EXPECT_FALSE(ooc.soft_pressure());  // free 1600 >= 1000
+}
+
+TEST(OocLayer, ShrinkBelowResidencySaturatesFreeBytes) {
+  OocLayer ooc(small_options());
+  ooc.on_install(1, 800);
+  ooc.set_memory_budget(300);
+  EXPECT_EQ(ooc.free_bytes(), 0u);
+  EXPECT_TRUE(ooc.hard_pressure(1));
+  EXPECT_TRUE(ooc.soft_pressure());
+}
+
+TEST(OocLayer, HardThresholdCapFollowsTheShrunkBudget) {
+  // Regression for the PR 4 watermark logic under dynamic budgets: the
+  // hard threshold is min(2 x largest_spilled, budget / 2), so a shrink
+  // must deflate the cap while the largest-spilled watermark itself is
+  // untouched — and erasing the largest blob must still recompute it.
+  OocLayer ooc(small_options());
+  ooc.on_spilled(1, 400);          // threshold min(800, 500) = 500
+  ooc.set_memory_budget(400);      // threshold now min(800, 200) = 200
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 400u);
+  EXPECT_FALSE(ooc.hard_pressure(100));  // free 400 - 100 >= 200
+  EXPECT_TRUE(ooc.hard_pressure(300));   // free 400 - 300 < 200
+  ooc.on_spilled(2, 60);
+  ooc.on_spill_erased(1);          // largest gone: watermark deflates
+  EXPECT_EQ(ooc.largest_spilled_bytes(), 60u);
+  // Threshold now min(120, 200) = 120.
+  EXPECT_FALSE(ooc.hard_pressure(250));  // free 400 - 250 >= 120
+  EXPECT_TRUE(ooc.hard_pressure(350));   // free 400 - 350 < 120
+}
+
 TEST(OocLayer, VictimPrefersLowestPriorityThenScheme) {
   OocLayer ooc(small_options());
   ooc.on_install(1, 100);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
+#include <set>
 
 #include "jobsim/jobsim.hpp"
 
@@ -144,6 +146,52 @@ TEST(Figure1Shape, WaitGrowsWithRequestedWidth) {
   EXPECT_GT(stats[2].median_s(), 2 * 3600.0);
   EXPECT_LT(stats[0].median_s(), stats[1].median_s());
   EXPECT_LT(stats[1].median_s(), stats[2].median_s());
+}
+
+TEST(OpenLoop, GeneratorIsDeterministicSortedAndMixed) {
+  OpenLoopConfig config;
+  config.horizon_ticks = 256;
+  config.arrivals_per_tick = 2.0;
+  const auto a = make_open_loop_jobs(config);
+  const auto b = make_open_loop_jobs(config);
+  ASSERT_GT(a.size(), 100u);
+  ASSERT_EQ(a.size(), b.size());
+  std::array<std::size_t, 3> classes{};
+  std::array<bool, 4> tenants{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].working_set_bytes, b[i].working_set_bytes);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_tick, a[i - 1].arrival_tick);
+    }
+    EXPECT_LT(a[i].arrival_tick, config.horizon_ticks);
+    EXPECT_GE(a[i].width, 1);
+    EXPECT_LE(a[i].width, config.max_width);
+    EXPECT_GE(a[i].working_set_bytes, config.min_working_set_bytes);
+    EXPECT_LE(a[i].working_set_bytes, config.max_working_set_bytes);
+    EXPECT_GE(a[i].phases, config.min_phases);
+    EXPECT_LE(a[i].phases, config.max_phases);
+    classes[static_cast<std::size_t>(a[i].job_class)]++;
+    tenants[a[i].tenant] = true;
+  }
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_GT(classes[c], 0u) << "class " << c << " never drawn";
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    EXPECT_TRUE(tenants[t]) << "tenant " << t << " never drawn";
+  }
+  // Distinct per-job seeds (the preemption twin comparisons rely on them).
+  std::set<std::uint64_t> seeds;
+  for (const auto& j : a) seeds.insert(j.seed);
+  EXPECT_EQ(seeds.size(), a.size());
+}
+
+TEST(OpenLoop, OversubscriptionMeasuresOfferedBytes) {
+  std::vector<ServiceJob> jobs(4);
+  for (auto& j : jobs) j.working_set_bytes = 256;
+  EXPECT_DOUBLE_EQ(offered_oversubscription(jobs, 512), 2.0);
+  EXPECT_DOUBLE_EQ(offered_oversubscription(jobs, 0), 0.0);
 }
 
 TEST(Scheduler, BackfillBeatsFcfsOnAverageWait) {
