@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/cluster.hpp"
+#include "core/membership.hpp"
 
 using namespace mrts;
 using namespace mrts::bench;
@@ -77,6 +78,77 @@ Outcome run_imbalanced(bool balanced, int objects, int rounds) {
   return out;
 }
 
+// --- node-join-mid-run (elastic membership + work stealing) ---------------
+// The same pathological imbalance under the deterministic driver, but the
+// fourth node is absent at t=0 and joins at sweep `join_step`; the
+// MembershipManager's work-stealing monitor is the only spreading mechanism
+// (the classic balancer stays off). Makespan is det_steps — wall-clock-free
+// and reproducible in CI — and a small per-sweep message budget keeps the
+// queue standing long enough for the steal monitor to act.
+
+struct JoinOutcome {
+  std::uint64_t det_steps;
+  std::uint64_t steals_committed;
+  std::uint64_t steals_aborted;
+  std::size_t joiner_objects;
+  std::uint64_t total_done;
+};
+
+JoinOutcome run_join(bool join, std::uint64_t join_step, int objects,
+                     int rounds) {
+  ClusterOptions options;
+  options.nodes = 4;
+  options.spill = SpillMedium::kMemory;
+  options.deterministic = true;
+  options.runtime.max_messages_per_turn = 4;
+  MembershipOptions mo;
+  mo.work_stealing = true;
+  mo.steal_check_interval = 2;
+  mo.steal_min_queue = 4;
+  // Node 3 is "not there yet": killed (empty) before any work exists. The
+  // join is its rejoin; the static run never brings it back.
+  mo.events = {{.step = 1,
+                .kind = MembershipEventSpec::Kind::kKill,
+                .node = 3}};
+  if (join) {
+    mo.events.push_back({.step = join_step,
+                         .kind = MembershipEventSpec::Kind::kRejoin,
+                         .node = 3});
+  }
+  MembershipManager mgr(std::move(mo));
+  mgr.instrument(options);
+  Cluster cluster(options);
+  mgr.attach(cluster);
+  const TypeId type = cluster.registry().register_type<Work>("work");
+  const HandlerId h = cluster.registry().register_handler(
+      type, [](Runtime&, MobileObject& obj, MobilePtr, NodeId,
+               util::ByteReader&) { ++static_cast<Work&>(obj).done; });
+  std::vector<MobilePtr> ptrs;
+  for (int i = 0; i < objects; ++i) {
+    ptrs.push_back(cluster.node(0).create<Work>(type).first);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (MobilePtr p : ptrs) {
+      cluster.node(0).send(p, h, std::vector<std::byte>{});
+    }
+  }
+  const auto report = cluster.run();
+  JoinOutcome out;
+  out.det_steps = report.det_steps;
+  out.steals_committed = mgr.stats().steals_committed;
+  out.steals_aborted = mgr.stats().steals_aborted;
+  out.joiner_objects = cluster.node(3).local_objects();
+  out.total_done = 0;
+  for (MobilePtr p : ptrs) {
+    for (std::size_t n = 0; n < cluster.size(); ++n) {
+      if (auto* obj = cluster.node(static_cast<NodeId>(n)).peek(p)) {
+        out.total_done += static_cast<Work*>(obj)->done;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -97,5 +169,38 @@ int main() {
           r.hosting_nodes);
   }
   report.add("balancing", std::move(t));
+
+  // Elastic membership: a node joins mid-run and steals its share. The
+  // static row never brings node 3 up; the join rows rejoin it at
+  // escalating sweep numbers. Joining earlier must commit more steals and
+  // shorten the makespan toward the static floor.
+  constexpr int kObjects = 24;
+  constexpr int kRounds = 32;
+  const std::uint64_t join_step = 8;
+  Table j({"scenario", "objects", "rounds", "makespan (det steps)",
+           "post-join steps", "steals committed", "steals aborted",
+           "joiner objects", "done"});
+  const JoinOutcome stat = run_join(false, 0, kObjects, kRounds);
+  j.row("static (3 nodes)", kObjects, kRounds, stat.det_steps, 0,
+        stat.steals_committed, stat.steals_aborted, stat.joiner_objects,
+        stat.total_done);
+  JoinOutcome at_t{};
+  for (std::uint64_t js : {join_step, join_step * 4}) {
+    const JoinOutcome r = run_join(true, js, kObjects, kRounds);
+    if (js == join_step) at_t = r;
+    j.row("join at sweep " + std::to_string(js), kObjects, kRounds,
+          r.det_steps, r.det_steps > js ? r.det_steps - js : 0,
+          r.steals_committed, r.steals_aborted, r.joiner_objects,
+          r.total_done);
+  }
+  report.add("node_join_mid_run", std::move(j));
+  report.set_meta("join_step", std::to_string(join_step));
+  report.set_meta("join_steals_committed",
+                  std::to_string(at_t.steals_committed));
+  report.set_meta("join_makespan_steps", std::to_string(at_t.det_steps));
+  report.set_meta("static_makespan_steps", std::to_string(stat.det_steps));
+  report.set_meta("join_work_executed", std::to_string(at_t.total_done));
+  report.set_meta("expected_work",
+                  std::to_string(std::uint64_t(kObjects) * kRounds));
   return 0;
 }

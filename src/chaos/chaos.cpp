@@ -15,6 +15,7 @@ constexpr std::uint64_t kNetDomain = 0x6e6574ull;           // "net"
 constexpr std::uint64_t kStorageDomain = 0x7374726full;     // "stor"
 constexpr std::uint64_t kPauseDomain = 0x7061757365ull;     // "pause"
 constexpr std::uint64_t kBlackoutDomain = 0x626c61636bull;  // "black"
+constexpr std::uint64_t kMembershipDomain = 0x6d656d62ull;  // "memb"
 
 std::uint64_t derive(std::uint64_t seed, std::uint64_t domain) {
   std::uint64_t s = seed ^ domain;
@@ -25,6 +26,58 @@ std::uint64_t derive(std::uint64_t seed, std::uint64_t domain) {
 
 Harness::Harness(ChaosPlan plan) : plan_(std::move(plan)) {
   pauses_ = plan_.pauses;
+}
+
+std::vector<core::MembershipEventSpec> derive_membership_schedule(
+    const MembershipFaultPlan& plan, std::uint64_t seed, std::size_t nodes) {
+  std::vector<core::MembershipEventSpec> events = plan.events;
+  const std::size_t wanted = plan.random_kills + plan.random_drains;
+  if (nodes > 1 && wanted > 0) {
+    util::Rng rng(derive(seed, kMembershipDomain));
+    // Victims without replacement, never node 0: the workload drivers anchor
+    // their roots and result objects there.
+    std::vector<net::NodeId> victims;
+    victims.reserve(nodes - 1);
+    for (std::size_t i = 1; i < nodes; ++i) {
+      victims.push_back(static_cast<net::NodeId>(i));
+    }
+    for (std::size_t i = victims.size(); i > 1; --i) {
+      std::swap(victims[i - 1], victims[rng.below(i)]);
+    }
+    const std::uint64_t horizon =
+        std::max<std::uint64_t>(plan.event_horizon_steps, 1);
+    std::size_t vi = 0;
+    for (std::size_t k = 0; k < plan.random_drains && vi < victims.size();
+         ++k) {
+      events.push_back(
+          core::MembershipEventSpec{.step = 1 + rng.below(horizon),
+                              .kind = core::MembershipEventSpec::Kind::kDrain,
+                              .node = victims[vi++]});
+    }
+    for (std::size_t k = 0; k < plan.random_kills && vi < victims.size();
+         ++k) {
+      const net::NodeId node = victims[vi++];
+      const std::uint64_t at = 1 + rng.below(horizon);
+      events.push_back(core::MembershipEventSpec{
+          .step = at, .kind = core::MembershipEventSpec::Kind::kKill, .node = node});
+      const std::uint64_t lo = std::min(plan.rejoin_delay_min,
+                                        plan.rejoin_delay_max);
+      const std::uint64_t hi = std::max(plan.rejoin_delay_min,
+                                        plan.rejoin_delay_max);
+      // Every kill is paired with a rejoin: the run must end at full
+      // strength (minus drained nodes) so parked traffic always drains.
+      events.push_back(
+          core::MembershipEventSpec{.step = at + lo + rng.below(hi - lo + 1),
+                              .kind = core::MembershipEventSpec::Kind::kRejoin,
+                              .node = node});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const core::MembershipEventSpec& a,
+                      const core::MembershipEventSpec& b) {
+                     return a.step < b.step;
+                   });
+  return events;
 }
 
 bool Harness::storage_plan_active(const storage::FaultPlan& plan) {

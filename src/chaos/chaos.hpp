@@ -21,6 +21,7 @@
 #include "chaos/event_trace.hpp"
 #include "chaos/invariants.hpp"
 #include "core/cluster.hpp"
+#include "core/membership.hpp"
 #include "simnet/fabric.hpp"
 #include "storage/fault_store.hpp"
 
@@ -64,6 +65,45 @@ struct ChaosPlan {
   /// (reloads may legally overshoot while queues drain).
   std::size_t budget_overshoot_bytes = 1u << 20;
 };
+
+/// Membership fault schedule for an elastic-cluster chaos run. Feed the
+/// derived event list into core::MembershipOptions and chain the manager
+/// over the harness:
+///
+///   auto events = derive_membership_schedule(plan.membership, plan.seed, N);
+///   core::MembershipManager mgr({.events = events, ...});
+///   harness.instrument(opts);   // harness becomes the step observer...
+///   mgr.instrument(opts);       // ...and the manager wraps it
+///   core::Cluster cluster(opts);
+///   mgr.attach(cluster);
+struct MembershipFaultPlan {
+  /// Explicit transitions, merged with the derived ones.
+  std::vector<core::MembershipEventSpec> events;
+  /// Derive this many fail-stop crashes, each paired with a rejoin.
+  std::size_t random_kills = 0;
+  /// Derive this many planned drains (victims distinct from the kills').
+  std::size_t random_drains = 0;
+  /// Derived events begin within [1, event_horizon_steps].
+  std::uint64_t event_horizon_steps = 256;
+  /// A derived rejoin fires this many steps after its kill.
+  std::uint64_t rejoin_delay_min = 16;
+  std::uint64_t rejoin_delay_max = 96;
+  /// Forwarded to MembershipOptions::work_stealing by sweeps.
+  bool work_stealing = false;
+
+  [[nodiscard]] bool any() const {
+    return !events.empty() || random_kills > 0 || random_drains > 0;
+  }
+};
+
+/// Materializes a membership schedule from the plan and the master chaos
+/// seed (domain-separated from every other chaos stream). Victims are drawn
+/// without replacement and node 0 is never touched — the workload drivers
+/// anchor roots and result objects there. Every derived kill is paired with
+/// a later rejoin, so the run always ends on a full-strength live set minus
+/// the drained nodes.
+[[nodiscard]] std::vector<core::MembershipEventSpec> derive_membership_schedule(
+    const MembershipFaultPlan& plan, std::uint64_t seed, std::size_t nodes);
 
 class Harness final : public core::StepObserver, public net::FabricObserver {
  public:

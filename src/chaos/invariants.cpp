@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/membership.hpp"
 #include "simnet/reliable.hpp"
 #include "util/format.hpp"
 
@@ -108,22 +109,45 @@ void TraceChecker::finish(InvariantReport& out) const {
 // --------------------------------------------------------------------------
 // Directory layer
 
+namespace {
+
+// Mirror of Runtime::reroute_if_departed: a hop aimed at a departed node is
+// re-aimed at the home node (the drain handoff seeded it), or at the first
+// accepting survivor when home itself is the departed node or the sender.
+net::NodeId model_reroute(const core::MembershipView* view, net::NodeId cur,
+                          net::NodeId next, core::MobilePtr ptr) {
+  if (view == nullptr || !view->node_departed(next)) return next;
+  const net::NodeId home = ptr.home_node();
+  if (home != next && home != cur && view->node_up(home)) return home;
+  const net::NodeId fb = view->fallback_node(cur);
+  return fb != cur ? fb : next;
+}
+
+}  // namespace
+
 void check_directory_convergence(core::Cluster& cluster,
                                  InvariantReport& out) {
   const std::size_t n = cluster.size();
+  const core::MembershipView* view = cluster.membership_view();
   // ptr.id -> hosting nodes / cached remote locations per node.
   std::unordered_map<std::uint64_t, std::vector<net::NodeId>> hosts;
   std::unordered_map<std::uint64_t,
                      std::unordered_map<net::NodeId, net::NodeId>>
       remotes;
+  std::unordered_map<std::uint64_t, std::string> entry_dump;
   for (std::size_t i = 0; i < n; ++i) {
     const auto node = static_cast<net::NodeId>(i);
-    cluster.node(node).for_each_directory_entry(
-        [&](core::MobilePtr ptr, bool is_local, net::NodeId last_known) {
+    cluster.node(node).for_each_directory_entry_ex(
+        [&](core::MobilePtr ptr, bool is_local, net::NodeId last_known,
+            std::uint64_t epoch) {
           if (is_local) {
             hosts[ptr.id].push_back(node);
+            entry_dump[ptr.id] +=
+                util::format(" {}:local e{}", node, epoch);
           } else {
             remotes[ptr.id][node] = last_known;
+            entry_dump[ptr.id] +=
+                util::format(" {}:at{} e{}", node, last_known, epoch);
           }
         });
   }
@@ -143,7 +167,8 @@ void check_directory_convergence(core::Cluster& cluster,
       // (home also forgot it or only caches it) from "lost": the home node
       // is the routing fallback of last resort, so a home that still
       // points somewhere while no host exists is a broken directory.
-      if (cached.contains(ptr.home_node())) {
+      if (cached.contains(ptr.home_node()) &&
+          (view == nullptr || view->node_up(ptr.home_node()))) {
         out.add(util::format("{} has no host but its home still routes to "
                              "node {}",
                              to_string(ptr), cached.at(ptr.home_node())));
@@ -152,27 +177,38 @@ void check_directory_convergence(core::Cluster& cluster,
     }
     const net::NodeId host = hit->second.front();
     for (const auto& [node, last_known] : cached) {
-      net::NodeId cur = last_known;
+      // A down node's retained directory is dead state: it never polls
+      // again (drained) or was wiped and re-seeded (crashed), so no route
+      // can start from its cache.
+      if (view != nullptr && !view->node_up(node)) continue;
+      net::NodeId cur = node;
+      net::NodeId cur_hint = last_known;
+      std::string walk = util::format("{}", node);
       std::size_t hops = 0;
       bool converged = false;
-      while (hops <= n) {
-        if (std::find(hit->second.begin(), hit->second.end(), cur) !=
+      // Reroutes can bounce a chase through the fallback survivor before it
+      // converges, so allow a couple of laps over the cluster.
+      while (hops <= 2 * n + 2) {
+        const net::NodeId next = model_reroute(view, cur, cur_hint, ptr);
+        if (next == cur) break;  // self-loop, cannot converge
+        walk += util::format("->{}", next);
+        if (std::find(hit->second.begin(), hit->second.end(), next) !=
             hit->second.end()) {
           converged = true;
           break;
         }
         const auto& chain = remotes.at(id);
-        const auto next_it = chain.find(cur);
-        const net::NodeId next =
+        const auto next_it = chain.find(next);
+        cur_hint =
             next_it != chain.end() ? next_it->second : ptr.home_node();
-        if (next == cur) break;  // self-loop, cannot converge
         cur = next;
         ++hops;
       }
       if (!converged) {
         out.add(util::format(
-            "{} cached at node {} does not reach host {} (chain cycles)",
-            to_string(ptr), node, host));
+            "{} cached at node {} does not reach host {} (chain {}; "
+            "entries:{})",
+            to_string(ptr), node, host, walk, entry_dump[id]));
       }
     }
   }
@@ -204,6 +240,50 @@ void check_queue_accounting(core::Cluster& cluster, InvariantReport& out) {
           "node {} reports {} queued message(s) at quiescence: a drop path "
           "leaked queued_messages_ accounting",
           i, queued));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Elastic membership
+
+void check_membership(core::Cluster& cluster,
+                      const core::MembershipManager& manager,
+                      InvariantReport& out) {
+  if (!manager.all_events_fired()) {
+    out.add("membership: scheduled transition events did not all fire "
+            "(run quiesced early?)");
+  }
+  if (manager.pending_steals() != 0) {
+    out.add(util::format(
+        "membership: {} steal claim(s) still unresolved at quiescence",
+        manager.pending_steals()));
+  }
+  if (manager.stats().objects_lost != 0) {
+    out.add(util::format(
+        "membership: {} object(s) lost across kill/rebuild — crash export "
+        "found no intact replica or checkpoint copy",
+        manager.stats().objects_lost));
+  }
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    auto& rt = cluster.node(node);
+    if (rt.stolen_entries() != 0) {
+      out.add(util::format(
+          "node {} has {} entr(ies) still frozen by a steal claim", i,
+          rt.stolen_entries()));
+    }
+    const core::MembershipState state = manager.state(node);
+    if (state == core::MembershipState::kDraining) {
+      out.add(util::format("node {} is still Draining at quiescence", i));
+    }
+    if (state == core::MembershipState::kDown) {
+      std::size_t hosted = 0;
+      rt.for_each_local_object([&](core::MobilePtr) { ++hosted; });
+      if (hosted != 0) {
+        out.add(util::format("down node {} still hosts {} object(s)", i,
+                             hosted));
+      }
     }
   }
 }

@@ -25,6 +25,10 @@
 #include "core/cluster.hpp"
 #include "simnet/fabric.hpp"
 
+namespace mrts::core {
+class MembershipManager;
+}  // namespace mrts::core
+
 namespace mrts::chaos {
 
 struct InvariantReport {
@@ -92,6 +96,14 @@ void check_queue_accounting(core::Cluster& cluster, InvariantReport& out);
 /// sent it. Requires reliable_net.enabled; a cluster without the link is a
 /// violation (the caller asked for a guarantee nothing provides).
 void check_exactly_once(core::Cluster& cluster, InvariantReport& out);
+
+/// Elastic membership: at quiescence every scheduled transition fired, no
+/// speculation window is still open (no pending claims, no frozen entries),
+/// no node is stuck Draining, drained/down nodes host nothing, and — the
+/// no-silent-loss headline — the manager recorded zero lost objects.
+void check_membership(core::Cluster& cluster,
+                      const core::MembershipManager& manager,
+                      InvariantReport& out);
 
 /// Reliable-net: handlers observed strictly gap-free, in-order sequences on
 /// every flow (ReliableLink::dispatch_order_violations is zero everywhere),

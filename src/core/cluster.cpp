@@ -175,17 +175,26 @@ void Cluster::maybe_advise_balance() {
   std::size_t hi = 0, lo = 0;
   std::uint64_t hi_load = 0,
                 lo_load = std::numeric_limits<std::uint64_t>::max();
+  bool found_lo = false;
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    // Down nodes report zero queued work and would always win the lo slot,
+    // turning shed advice into a black hole; draining nodes must not
+    // receive new placements either.
+    if (membership_ != nullptr && !membership_->node_up(id)) continue;
     const std::uint64_t load = runtimes_[i]->queued_messages();
     if (load > hi_load) {
       hi_load = load;
       hi = i;
     }
-    if (load < lo_load) {
+    if ((membership_ == nullptr || membership_->node_accepting(id)) &&
+        load < lo_load) {
       lo_load = load;
       lo = i;
+      found_lo = true;
     }
   }
+  if (!found_lo) return;
   if (hi != lo &&
       hi_load > options_.balance.imbalance_factor *
                         static_cast<double>(lo_load) +
@@ -306,7 +315,9 @@ RunReport Cluster::run_deterministic() {
     // (a paused node with pending work keeps its idle flag false, so a
     // pause can never be mistaken for termination).
     const bool quiet = !did && all_idle() && fabric_->all_delivered() &&
-                       fabric_->held_messages() == 0;
+                       fabric_->held_messages() == 0 &&
+                       (options_.step_observer == nullptr ||
+                        options_.step_observer->quiescent());
     quiet_sweeps = quiet ? quiet_sweeps + 1 : 0;
   }
   running_.store(false, std::memory_order_release);

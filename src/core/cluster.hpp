@@ -45,6 +45,11 @@ class StepObserver {
   }
   /// Called after the sweep numbered `step` completes.
   virtual void on_step(std::uint64_t /*step*/) {}
+  /// Return false to veto quiescence: the driver keeps sweeping even when
+  /// every node looks idle. The membership manager uses this so a run
+  /// cannot terminate between a scheduled kill and its paired rejoin (the
+  /// killed node's parked traffic only drains once it is back Up).
+  [[nodiscard]] virtual bool quiescent() const { return true; }
 };
 
 enum class SpillMedium {
@@ -135,6 +140,14 @@ class Cluster {
     return remote_pool_.get();
   }
 
+  /// Installs a membership view consulted by the load-balance monitor so
+  /// shed advice never targets (or victimizes) a draining/down node. The
+  /// MembershipManager installs itself here and on every Runtime.
+  void set_membership_view(const MembershipView* view) { membership_ = view; }
+  [[nodiscard]] const MembershipView* membership_view() const {
+    return membership_;
+  }
+
   /// Runs the parallel phase until global quiescence. May be called
   /// multiple times (multi-phase applications); counters accumulate, the
   /// returned breakdown covers this call only.
@@ -166,6 +179,8 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<storage::RemoteMemoryPool> remote_pool_;
   std::vector<std::unique_ptr<Runtime>> runtimes_;
+  /// Membership view for balance-advice gating; not owned, may be null.
+  const MembershipView* membership_ = nullptr;
   /// True while run()/run_deterministic() is driving node progress.
   std::atomic<bool> running_{false};
 };

@@ -17,7 +17,12 @@
 
 namespace mrts::core {
 
-enum class FailureOp : std::uint8_t { kLoad = 0, kStore, kCheckpoint };
+enum class FailureOp : std::uint8_t {
+  kLoad = 0,
+  kStore,
+  kCheckpoint,
+  kMigrate,  // membership-refused migration (target draining or down)
+};
 
 enum class FailureResolution : std::uint8_t {
   kRetried = 0,          // a re-issued load produced the correct blob
@@ -25,6 +30,7 @@ enum class FailureResolution : std::uint8_t {
   kCheckpointRecovered,  // restored from the per-object checkpoint copy
   kReinstalled,          // failed store; the payload was put back in core
   kPoisoned,             // unrecoverable; the object is quarantined
+  kRefused,              // operation rejected up front; object unharmed
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureOp op) {
@@ -32,6 +38,7 @@ enum class FailureResolution : std::uint8_t {
     case FailureOp::kLoad: return "load";
     case FailureOp::kStore: return "store";
     case FailureOp::kCheckpoint: return "checkpoint";
+    case FailureOp::kMigrate: return "migrate";
   }
   return "unknown";
 }
@@ -43,6 +50,7 @@ enum class FailureResolution : std::uint8_t {
     case FailureResolution::kCheckpointRecovered: return "checkpoint_recovered";
     case FailureResolution::kReinstalled: return "reinstalled";
     case FailureResolution::kPoisoned: return "poisoned";
+    case FailureResolution::kRefused: return "refused";
   }
   return "unknown";
 }

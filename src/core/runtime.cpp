@@ -164,6 +164,10 @@ void Runtime::destroy(MobilePtr ptr) {
   if (e.running) {
     throw std::logic_error("mrts: destroy() on an object running a handler");
   }
+  if (e.stolen) {
+    throw std::logic_error(
+        "mrts: destroy() during a steal speculation window");
+  }
   if (e.state == Residency::kInCore) {
     e.obj->on_unregister(*this);
     ooc_.on_remove(ptr.id);
@@ -211,9 +215,10 @@ void Runtime::route_remote(MobilePtr dst, HandlerId handler, NodeId origin,
                            std::vector<NodeId> route,
                            std::vector<std::byte> payload) {
   Entry* e = find_entry(dst);
-  const NodeId next =
+  const NodeId next = reroute_if_departed(
       (e != nullptr && e->state == Residency::kRemote) ? e->last_known
-                                                       : dst.home_node();
+                                                       : dst.home_node(),
+      dst);
   util::ByteWriter w(payload.size() + 64);
   w.write(dst.id);
   w.write(handler);
@@ -246,7 +251,10 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
   // this message using a stale location learns the current one.
   if (options_.lazy_location_updates && route.size() > 1) {
     for (NodeId n : route) {
-      if (n == node_) continue;
+      // Down peers never poll: an update frame would park in their inbox
+      // (crash) or rot forever (departed). The membership handoff seeds
+      // them with fresher knowledge when they matter again.
+      if (n == node_ || !peer_up(n)) continue;
       util::ByteWriter w(24);
       w.write(dst.id);
       w.write(node_);
@@ -287,6 +295,19 @@ void Runtime::enqueue_local(Entry& e, MobilePtr ptr, QueuedMessage msg) {
     // Quarantined object: its state is lost, messages to it are dropped and
     // counted (the application sees kPoisoned via object_health()).
     counters_.poisoned_messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (e.stolen) {
+    // Speculation window: the claim-time image of this object is pending a
+    // steal decision. The arrival is a conflicting mutation — park it on the
+    // (detached-from) queue and flag the conflict; the decision step rolls
+    // the object back and re-splices the claimed messages ahead of this one.
+    e.steal_conflict = true;
+    obs::TraceRecorder& tr = obs::TraceRecorder::global();
+    if (tr.enabled()) msg.enq_ts = tr.now();
+    e.queue.push_back(std::move(msg));
+    queued_messages_.fetch_add(1, std::memory_order_acq_rel);
+    bump_activity();
     return;
   }
   if (e.state == Residency::kInCore) {
@@ -348,6 +369,7 @@ void Runtime::lock_in_core(MobilePtr ptr) {
   if (e.state == Residency::kRemote) {
     throw std::logic_error("mrts: lock_in_core() on a remote object");
   }
+  if (e.stolen) e.steal_conflict = true;  // conflicting mutation: claim aborts
   ++e.lock_count;
   if (e.poisoned) return;  // nothing loadable; health says kPoisoned
   if (e.state == Residency::kOnDisk || e.state == Residency::kStoring) {
@@ -432,8 +454,18 @@ void Runtime::migrate(MobilePtr ptr, NodeId dst) {
     throw std::logic_error("mrts: migrate() on a remote object");
   }
   if (dst == node_) return;
-  if (e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
-      e.collect_for == 0) {
+  if (!peer_accepting(dst)) {
+    // Draining/Down targets refuse new placements. Refused, recorded, done —
+    // never a hang: the object simply stays put.
+    refuse_migration(ptr, dst);
+    return;
+  }
+  if (e.stolen) {
+    // Conflicting mutation during a speculation window: flag the conflict
+    // (the claim will abort) and keep the intent pending until then.
+    e.steal_conflict = true;
+  } else if (e.state == Residency::kInCore && !e.running &&
+             e.lock_count == 0 && e.collect_for == 0) {
     do_migrate(ptr, e, dst);
     return;
   }
@@ -462,8 +494,8 @@ void Runtime::migrate(MobilePtr ptr, NodeId dst) {
   bump_activity();
 }
 
-void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
-  assert(e.state == Residency::kInCore && !e.running && e.lock_count == 0);
+std::vector<std::byte> Runtime::make_install_frame(MobilePtr ptr, Entry& e) {
+  assert(e.state == Residency::kInCore && e.obj != nullptr);
   util::ByteWriter w(e.footprint + 256);
   w.write(ptr.id);
   w.write(e.type);
@@ -484,6 +516,12 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
     e.obj->serialize(body);
     w.write_vector(seal_blob(std::move(body)));
   }
+  return w.take();
+}
+
+void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
+  assert(e.state == Residency::kInCore && !e.running && e.lock_count == 0);
+  auto frame = make_install_frame(ptr, e);
   e.obj.reset();
   ooc_.on_remove(ptr.id);
   if (e.blob_bytes > 0) {
@@ -502,7 +540,7 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
   obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.out",
                                        static_cast<std::uint16_t>(node_), dst);
-  net_send(dst, am_install_id_, w.take());
+  net_send(dst, am_install_id_, std::move(frame));
 }
 
 void Runtime::am_install(NodeId src, util::ByteReader& in) {
@@ -580,14 +618,16 @@ void Runtime::am_migrate_request(NodeId /*src*/, util::ByteReader& in) {
     util::ByteWriter w(16);
     w.write(ptr.id);
     w.write(requester);
-    net_send(ptr.home_node(), am_migrate_request_id_, w.take());
+    net_send(reroute_if_departed(ptr.home_node(), ptr),
+             am_migrate_request_id_, w.take());
     return;
   }
   if (e->state == Residency::kRemote) {
     util::ByteWriter w(16);
     w.write(ptr.id);
     w.write(requester);
-    net_send(e->last_known, am_migrate_request_id_, w.take());
+    net_send(reroute_if_departed(e->last_known, ptr),
+             am_migrate_request_id_, w.take());
     return;
   }
   if (requester == node_) return;  // it came home in the meantime
@@ -602,6 +642,20 @@ bool Runtime::advance_pending_migrations() {
   for (auto& [ptr, dst] : pending) {
     Entry* e = find_entry(ptr);
     if (e == nullptr) continue;  // destroyed while pending
+    if (e->stolen) {
+      // Frozen by a steal claim; the conflict flag is already set (migrate()
+      // set it) so the claim will abort — retry after the decision.
+      pending_migrations_.emplace_back(ptr, dst);
+      continue;
+    }
+    if (!peer_accepting(dst)) {
+      // The target left (or started draining) while the migration was
+      // pending: refuse now instead of retrying forever.
+      if (e->lock_count > 0) --e->lock_count;  // release the pending pin
+      refuse_migration(ptr, dst);
+      did = true;
+      continue;
+    }
     if (e->state == Residency::kRemote) {
       // Should not normally happen (the pending pin prevents a concurrent
       // move), but chase it for robustness.
@@ -651,9 +705,11 @@ void Runtime::send_multicast(std::vector<MobilePtr> targets,
     return;
   }
   // Route the whole request to the owner of the first target.
-  const NodeId next = (head != nullptr && head->state == Residency::kRemote)
-                          ? head->last_known
-                          : targets[0].home_node();
+  const NodeId next = reroute_if_departed(
+      (head != nullptr && head->state == Residency::kRemote)
+          ? head->last_known
+          : targets[0].home_node(),
+      targets[0]);
   util::ByteWriter w(payload.size() + 32 * targets.size());
   w.write<std::uint64_t>(targets.size());
   for (MobilePtr t : targets) w.write(t.id);
@@ -679,8 +735,9 @@ void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
   Entry* head = targets.empty() ? nullptr : find_entry(targets[0]);
   if (head == nullptr || head->state == Residency::kRemote) {
     // Keep chasing the first target.
-    const NodeId next = (head != nullptr) ? head->last_known
-                                          : targets[0].home_node();
+    const NodeId next = reroute_if_departed(
+        (head != nullptr) ? head->last_known : targets[0].home_node(),
+        targets[0]);
     util::ByteWriter w(payload.size() + 32 * targets.size());
     w.write<std::uint64_t>(targets.size());
     for (MobilePtr t : targets) w.write(t.id);
@@ -726,12 +783,19 @@ bool Runtime::advance_multicasts() {
         dropped = true;
         break;
       }
+      if (e != nullptr && e->stolen) {
+        // Frozen by a steal claim: collecting it is a conflicting mutation.
+        // Abort the claim; collection resumes once the rollback lands.
+        e->steal_conflict = true;
+        all_ready = false;
+        continue;
+      }
       if (e == nullptr || e->state == Residency::kRemote) {
         all_ready = false;
         if (!op.requested[t]) {
           op.requested[t] = true;
-          const NodeId next = (e != nullptr) ? e->last_known
-                                             : ptr.home_node();
+          const NodeId next = reroute_if_departed(
+              (e != nullptr) ? e->last_known : ptr.home_node(), ptr);
           util::ByteWriter w(16);
           w.write(ptr.id);
           w.write(node_);
@@ -821,12 +885,12 @@ bool Runtime::advance_multicasts() {
 
 bool Runtime::evictable(const Entry& e) const {
   return e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
-         e.collect_for == 0 && e.queue.empty() && !e.load_wanted;
+         e.collect_for == 0 && !e.stolen && e.queue.empty() && !e.load_wanted;
 }
 
 bool Runtime::evictable_relaxed(const Entry& e) const {
   return e.state == Residency::kInCore && !e.running && e.lock_count == 0 &&
-         e.collect_for == 0;
+         e.collect_for == 0 && !e.stolen;
 }
 
 bool Runtime::spill_one_victim(bool allow_relaxed) {
@@ -1304,7 +1368,7 @@ bool Runtime::apply_shed_advice() {
   const auto count = shed_count_.exchange(0, std::memory_order_acq_rel);
   if (count == 0) return false;
   const NodeId target = shed_target_.load(std::memory_order_acquire);
-  if (target == node_) return false;
+  if (target == node_ || !peer_accepting(target)) return false;
   // Shed in-core objects with queued work: the queue travels with the
   // object, so the receiver picks the work up directly.
   std::uint32_t shed = 0;
@@ -1312,7 +1376,7 @@ bool Runtime::apply_shed_advice() {
   for (const auto& [ptr, e] : directory_) {
     if (shed + victims.size() >= count) break;
     if (e.state != Residency::kInCore || e.queue.empty() || e.running ||
-        e.lock_count != 0 || e.collect_for != 0) {
+        e.lock_count != 0 || e.collect_for != 0 || e.stolen) {
       continue;
     }
     victims.push_back(ptr);
@@ -1363,7 +1427,11 @@ bool Runtime::progress_once() {
     if (!pending) {
       for (const auto& [ptr, e] : directory_) {
         if (e.state == Residency::kRemote) continue;
-        if (!e.queue.empty() || e.load_wanted) {
+        // A frozen steal ticket is pending work: the entry's queue is
+        // detached into the claim frame, so without this the node could go
+        // idle — and the driver quiesce — before the decision step resolves
+        // the claim.
+        if (!e.queue.empty() || e.load_wanted || e.stolen) {
           pending = true;
           break;
         }
@@ -1386,6 +1454,11 @@ util::Status Runtime::checkpoint_to(util::ByteWriter& out) {
       return util::Status(util::StatusCode::kInvalidArgument,
                           "checkpoint_to called with I/O in flight (not a "
                           "phase boundary)");
+    }
+    if (e.stolen) {
+      return util::Status(util::StatusCode::kInvalidArgument,
+                          "checkpoint_to called with a steal speculation in "
+                          "flight (not a phase boundary)");
     }
   }
   out.write(next_seq_);
@@ -1533,6 +1606,293 @@ void Runtime::note_remote_location(MobilePtr ptr, NodeId where) {
   e.state = Residency::kRemote;
   e.last_known = where;
   e.epoch = 0;  // weakest knowledge: any real location update supersedes it
+}
+
+void Runtime::note_remote_location(MobilePtr ptr, NodeId where,
+                                   std::uint64_t epoch) {
+  if (where == node_) return;
+  auto [it, inserted] = directory_.try_emplace(ptr, Entry{});
+  Entry& e = it->second;
+  if (!inserted && e.state != Residency::kRemote) return;  // we host it
+  if (!inserted && epoch <= e.epoch) return;  // not strictly fresher
+  e.state = Residency::kRemote;
+  e.last_known = where;
+  e.epoch = epoch;
+}
+
+// --------------------------------------------------------------------------
+// Elastic membership: routing guards, work stealing, crash export/rebuild
+
+bool Runtime::hosts(MobilePtr ptr) const {
+  const Entry* e = find_entry(ptr);
+  return e != nullptr && e->state != Residency::kRemote;
+}
+
+NodeId Runtime::reroute_if_departed(NodeId next, MobilePtr dst) const {
+  if (membership_ == nullptr || !membership_->node_departed(next)) return next;
+  // The hop names a node that drained away and will never poll again: the
+  // frame would rot in its inbox. Re-aim at the home node — the drain's
+  // handoff seeded it with the post-migration location — unless home IS the
+  // departed node (or us, whose own entry is the stale one): then any
+  // accepting node forwards via its seeded entry.
+  const NodeId home = dst.home_node();
+  if (home != next && home != node_ && membership_->node_up(home)) {
+    return home;
+  }
+  const NodeId fb = membership_->fallback_node(node_);
+  return fb != node_ ? fb : next;
+}
+
+void Runtime::refuse_migration(MobilePtr ptr, NodeId dst) {
+  counters_.migrations_refused.fetch_add(1, std::memory_order_relaxed);
+  ledger_.add(FailureRecord{
+      ptr, node_, FailureOp::kMigrate, FailureResolution::kRefused,
+      util::StatusCode::kUnavailable,
+      "migrate target node " + std::to_string(dst) + " is not accepting "
+      "(draining or down)",
+      0});
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.refused",
+                                       static_cast<std::uint16_t>(node_), dst);
+  MRTS_LOG_WARN("node {}: refused migrate of {} to non-accepting node {}",
+                node_, to_string(ptr), dst);
+}
+
+bool Runtime::steal_claim(MobilePtr ptr, std::vector<std::byte>& frame) {
+  Entry* e = find_entry(ptr);
+  if (e == nullptr || e->state != Residency::kInCore || e->obj == nullptr ||
+      e->running || e->lock_count != 0 || e->collect_for != 0 ||
+      e->poisoned || e->stolen || e->queue.empty()) {
+    return false;
+  }
+  // The frame is simultaneously the payload a commit ships to the thief
+  // (install-wire format, epoch + 1) and the checkpoint image an abort
+  // restores from. The entry keeps its current epoch until the decision.
+  frame = make_install_frame(ptr, *e);
+  e->obj.reset();
+  ooc_.on_remove(ptr.id);
+  if (e->blob_bytes > 0) {
+    // Like a migration: no stale spill copy may outlive the (speculative)
+    // move. An abort reinstalls in core with no blob identity, which only
+    // costs a future elision.
+    store_.erase(ptr.id);
+    ooc_.on_spill_erased(ptr.id);
+    e->blob_bytes = 0;
+    e->blob_crc = 0;
+    e->stored_gen = 0;
+  }
+  sub_queued(e->queue.size());
+  e->queue.clear();
+  e->in_ready_list = false;
+  e->stolen = true;
+  e->steal_conflict = false;
+  counters_.steals_claimed.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "steal.claim",
+                                       static_cast<std::uint16_t>(node_),
+                                       ptr.id);
+  bump_activity();
+  return true;
+}
+
+bool Runtime::steal_resolve(MobilePtr ptr, NodeId thief,
+                            std::vector<std::byte> frame, bool force_abort) {
+  Entry* e = find_entry(ptr);
+  if (e == nullptr || !e->stolen) {
+    throw std::logic_error("mrts: steal_resolve() without a pending claim");
+  }
+  const bool conflict = force_abort || e->steal_conflict ||
+                        e->lock_count > 0 || !peer_accepting(thief);
+  if (!conflict) {
+    e->state = Residency::kRemote;
+    e->last_known = thief;
+    e->epoch += 1;  // matches the epoch inside the claim frame
+    e->stolen = false;
+    e->steal_conflict = false;
+    e->in_ready_list = false;
+    counters_.steals_committed.fetch_add(1, std::memory_order_relaxed);
+    counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceRecorder::global().instant(obs::Cat::kOther, "steal.commit",
+                                         static_cast<std::uint16_t>(node_),
+                                         thief);
+    net_send(thief, am_install_id_, std::move(frame));
+    bump_activity();
+    return true;
+  }
+  // Rollback: restore the object from the claim-time image and re-splice
+  // the claimed messages AHEAD of anything that parked during the window,
+  // preserving the pre-claim local FIFO order. The handler never ran at the
+  // thief (execution only happens after a commit), so this is exactly-once.
+  util::ByteReader in(frame);
+  const MobilePtr check{in.read<std::uint64_t>()};
+  assert(check == ptr);
+  (void)check;
+  const auto type = in.read<TypeId>();
+  in.read<std::uint64_t>();  // claim epoch: unused, the entry kept its own
+  const auto priority = in.read<std::int32_t>();
+  const auto queue_len = in.read<std::uint64_t>();
+  std::deque<QueuedMessage> claimed;
+  for (std::uint64_t i = 0; i < queue_len; ++i) {
+    QueuedMessage msg;
+    msg.handler = in.read<HandlerId>();
+    msg.src = in.read<NodeId>();
+    msg.payload = in.read_vector<std::byte>();
+    claimed.push_back(std::move(msg));
+  }
+  auto blob = in.read_vector<std::byte>();
+  auto payload = unseal_blob(blob);
+  if (!payload.is_ok()) {
+    // The image never left this process; a bad seal is a broken claim path,
+    // not a recoverable storage fault.
+    throw std::runtime_error("mrts: steal rollback image for " +
+                             to_string(ptr) +
+                             " rejected: " + payload.status().to_string());
+  }
+  auto obj = registry_.create(type);
+  {
+    obs::ChargedSpan span(obs::Cat::kComp, "steal.rollback",
+                          static_cast<std::uint16_t>(node_),
+                          &counters_.comp_time);
+    util::ByteReader body(payload.value());
+    obj->deserialize(body);
+  }
+  const std::size_t fp = obj->footprint_bytes();
+  while (ooc_.hard_pressure(fp) && spill_one_victim()) {
+  }
+  e->obj = std::move(obj);
+  e->type = type;
+  e->priority = priority;
+  e->footprint = fp;
+  for (auto it = claimed.rbegin(); it != claimed.rend(); ++it) {
+    e->queue.push_front(std::move(*it));
+  }
+  queued_messages_.fetch_add(queue_len, std::memory_order_acq_rel);
+  e->stolen = false;
+  e->steal_conflict = false;
+  ooc_.on_install(ptr.id, fp);
+  e->obj->on_register(*this, ptr);
+  counters_.steals_aborted.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "steal.abort",
+                                       static_cast<std::uint16_t>(node_),
+                                       ptr.id);
+  if (!e->queue.empty()) push_ready(*e, ptr);
+  bump_activity();
+  return false;
+}
+
+std::size_t Runtime::stolen_entries() const {
+  std::size_t n = 0;
+  for (const auto& [ptr, e] : directory_) {
+    if (e.stolen) ++n;
+  }
+  return n;
+}
+
+std::vector<Runtime::RecoveredObject> Runtime::crash_export() {
+  // Settle in-flight I/O first so every entry is kInCore or kOnDisk (a
+  // drained completion can trigger recovery spills, hence the loop).
+  store_.drain();
+  while (drain_completions()) store_.drain();
+  std::vector<RecoveredObject> out;
+  for (auto& [ptr, e] : directory_) {
+    if (e.state == Residency::kRemote) continue;
+    assert(!e.stolen && "steals must be force-resolved before crash_export");
+    RecoveredObject rec;
+    rec.ptr = ptr;
+    rec.epoch = e.epoch + 1;
+    if (e.poisoned) {
+      rec.lost = true;  // was already lost before the crash
+      out.push_back(std::move(rec));
+      continue;
+    }
+    if (e.state == Residency::kInCore && e.obj != nullptr) {
+      rec.frame = make_install_frame(ptr, e);
+      // make_install_frame unregistered the object; the wipe discards it.
+      out.push_back(std::move(rec));
+      continue;
+    }
+    // Spilled: the replica scan. The blob survives the crash on the
+    // replicated spill store (and the checkpoint side-store as the second
+    // rung); read it back through the same verification a reload uses.
+    std::vector<std::byte> blob;
+    if (auto loaded = store_.load_sync(ptr.id);
+        loaded.is_ok() && blob_matches(e, loaded.value())) {
+      blob = std::move(loaded).value();
+    } else if (options_.recovery.checkpoint_store != nullptr) {
+      if (auto cp = options_.recovery.checkpoint_store->load(ptr.id);
+          cp.is_ok() && blob_matches(e, cp.value())) {
+        blob = std::move(cp).value();
+      }
+    }
+    if (blob.empty()) {
+      rec.lost = true;
+      out.push_back(std::move(rec));
+      continue;
+    }
+    util::ByteWriter w(blob.size() + 256);
+    w.write(ptr.id);
+    w.write(e.type);
+    w.write<std::uint64_t>(e.epoch + 1);
+    w.write(static_cast<std::int32_t>(e.priority));
+    w.write<std::uint64_t>(e.queue.size());
+    for (const auto& msg : e.queue) {
+      w.write(msg.handler);
+      w.write(msg.src);
+      w.write_vector(msg.payload);
+    }
+    w.write_vector(blob);
+    rec.frame = w.take();
+    out.push_back(std::move(rec));
+  }
+  // Deterministic rebuild order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const RecoveredObject& a, const RecoveredObject& b) {
+              return a.ptr.id < b.ptr.id;
+            });
+  return out;
+}
+
+void Runtime::crash_wipe() {
+  store_.drain();
+  while (drain_completions()) store_.drain();
+  for (auto& [ptr, e] : directory_) {
+    if (e.state == Residency::kRemote) continue;
+    assert(!e.stolen && "steals must be force-resolved before crash_wipe");
+    if (e.obj != nullptr) {
+      // crash_export may already have unregistered it via
+      // make_install_frame; on_unregister is idempotent for our objects but
+      // the ooc bookkeeping must go exactly once.
+      e.obj.reset();
+      ooc_.on_remove(ptr.id);
+    }
+    if (e.state == Residency::kOnDisk || e.state == Residency::kStoring ||
+        e.blob_bytes > 0) {
+      store_.erase(ptr.id);
+      ooc_.on_spill_erased(ptr.id);
+    }
+    if (options_.recovery.checkpoint_store != nullptr) {
+      options_.recovery.checkpoint_store->erase(ptr.id);
+    }
+    sub_queued(e.queue.size());
+  }
+  directory_.clear();
+  ready_.clear();
+  load_queue_.clear();
+  multicasts_.clear();
+  pending_migrations_.clear();
+  shed_count_.store(0, std::memory_order_release);
+  obs::TraceRecorder::global().instant(obs::Cat::kOther, "membership.wipe",
+                                       static_cast<std::uint16_t>(node_), 0);
+  // A fresh empty member has nothing runnable. The reliable link, parked
+  // inbox frames, and next_seq_ deliberately survive: the link's session
+  // state is modeled as living in the replicated control log, its rx dedup
+  // absorbs post-rejoin retransmit duplicates, and the fabric's in-flight
+  // balance tracks the parked frames until the node rejoins and polls them.
+  idle_.store(true, std::memory_order_release);
+}
+
+void Runtime::install_recovered(NodeId from, std::span<const std::byte> frame) {
+  util::ByteReader in(frame);
+  am_install(from, in);
+  counters_.objects_rebuilt.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mrts::core

@@ -37,6 +37,30 @@ class Counter;
 
 namespace mrts::core {
 
+/// Liveness oracle for elastic membership, implemented by
+/// core::MembershipManager and installed on every runtime (and the cluster
+/// balancer) via set_membership_view. Absent (nullptr) means static
+/// membership: every node is permanently up and accepting.
+class MembershipView {
+ public:
+  virtual ~MembershipView() = default;
+  /// The node is running (Up or Draining): it polls its inbox and makes
+  /// progress. Down nodes do neither.
+  [[nodiscard]] virtual bool node_up(NodeId node) const = 0;
+  /// The node accepts new placements, migrations, and stolen work (Up and
+  /// not Draining).
+  [[nodiscard]] virtual bool node_accepting(NodeId node) const = 0;
+  /// The node left permanently (planned drain reached Down): it will never
+  /// poll its inbox again, so stale routes naming it must be re-aimed. A
+  /// crashed node that will rejoin is down but NOT departed — frames sent to
+  /// it park in its inbox (the fabric's in-flight balance keeps the run from
+  /// quiescing over them) and drain when it rejoins.
+  [[nodiscard]] virtual bool node_departed(NodeId node) const = 0;
+  /// Some accepting node other than `exclude`, or `exclude` itself when no
+  /// such node exists.
+  [[nodiscard]] virtual NodeId fallback_node(NodeId exclude) const = 0;
+};
+
 struct RuntimeOptions {
   OocOptions ooc;
   tasking::PoolBackend pool_backend = tasking::PoolBackend::kWorkStealing;
@@ -336,6 +360,90 @@ class Runtime {
   /// Used after restore so home nodes relearn migrated objects' locations.
   void note_remote_location(MobilePtr ptr, NodeId where);
 
+  /// Epoch-versioned seed (the membership handoff path): applies only when
+  /// strictly fresher than what this node already knows, exactly like an
+  /// am_location_update — stale handoffs can never regress the directory.
+  void note_remote_location(MobilePtr ptr, NodeId where, std::uint64_t epoch);
+
+  // --- elastic membership (core/membership.hpp) ----------------------------
+
+  /// Installs the liveness oracle consulted by routing, lazy location
+  /// updates, and migrate(). nullptr restores static membership.
+  void set_membership_view(const MembershipView* view) { membership_ = view; }
+  [[nodiscard]] const MembershipView* membership_view() const {
+    return membership_;
+  }
+
+  /// True when this node hosts the object (any residency except kRemote).
+  [[nodiscard]] bool hosts(MobilePtr ptr) const;
+
+  /// Work stealing, claim half. If the object is stealable (in-core, idle,
+  /// unlocked, unpoisoned, not collected, with queued work), detaches it —
+  /// object state plus message queue — into an install-wire frame written to
+  /// `frame` and freezes the entry (Entry::stolen). The frame doubles as the
+  /// speculation checkpoint: commit ships it to the thief over the existing
+  /// install path, abort deserializes it back. Returns false (and leaves the
+  /// entry untouched) when the object is not stealable.
+  [[nodiscard]] bool steal_claim(MobilePtr ptr, std::vector<std::byte>& frame);
+
+  /// Work stealing, decision half, called at the end of the speculation
+  /// window. Commits (entry flips to kRemote at `thief`, epoch bumped, frame
+  /// shipped via the install channel) unless a conflicting mutation landed
+  /// during the window — an arrival, lock, multicast collect, or migrate on
+  /// the frozen entry, or the thief no longer accepting — in which case the
+  /// claim rolls back: the object is restored from the frame and the claimed
+  /// messages are re-spliced ahead of window arrivals, preserving local
+  /// FIFO. `force_abort` rolls back unconditionally (membership teardown).
+  /// Returns true on commit, false on rollback.
+  bool steal_resolve(MobilePtr ptr, NodeId thief, std::vector<std::byte> frame,
+                     bool force_abort = false);
+
+  /// Entries currently frozen by an unresolved steal claim.
+  [[nodiscard]] std::size_t stolen_entries() const;
+
+  /// One object exported by crash_export(): the install-wire frame that
+  /// reinstalls it (queue included) on a survivor, or lost=true when no
+  /// intact copy of its state could be found on any rung.
+  struct RecoveredObject {
+    MobilePtr ptr;
+    std::uint64_t epoch = 0;
+    std::vector<std::byte> frame;
+    bool lost = false;
+  };
+
+  /// Fail-stop crash, export half: drains in-flight I/O, then serializes
+  /// every hosted object into an install frame — in-core objects directly,
+  /// spilled ones via a replica scan (load back through the replicated
+  /// storage stack, falling back to the checkpoint side-store). Sorted by
+  /// object id for deterministic replay. Driver-side only: the membership
+  /// manager calls this between deterministic sweeps.
+  [[nodiscard]] std::vector<RecoveredObject> crash_export();
+
+  /// Fail-stop crash, state-loss half: erases the directory, queues, spill
+  /// and checkpoint blobs — the node becomes a fresh empty member. The
+  /// reliable link, parked inbox frames, and monotone message sequence
+  /// survive (the link's session state is modeled as living in the
+  /// replicated control log), so retransmit/dedup keep exactly-once across
+  /// the crash and parked traffic drains when the node rejoins.
+  void crash_wipe();
+
+  /// Installs one crash_export frame on this node (the rebuild target),
+  /// exactly as if it had arrived on the install channel from `from`.
+  void install_recovered(NodeId from, std::span<const std::byte> frame);
+
+  /// True when no fabric frames are parked in this node's inbox.
+  [[nodiscard]] bool inbox_empty() const { return endpoint_.inbox_empty(); }
+
+  /// for_each_directory_entry plus the entry's epoch — the membership
+  /// handoff/rebuild scans need the version to seed strictly-fresher
+  /// updates.
+  template <typename Fn>
+  void for_each_directory_entry_ex(Fn&& fn) const {
+    for (const auto& [ptr, e] : directory_) {
+      fn(ptr, e.state != Residency::kRemote, e.last_known, e.epoch);
+    }
+  }
+
   /// Invokes fn(ptr) for every object hosted on this node.
   template <typename Fn>
   void for_each_local_object(Fn&& fn) const {
@@ -419,6 +527,12 @@ class Runtime {
     /// entry claiming a CRC for bytes that never landed.
     std::uint64_t stored_gen = 0;
     std::uint64_t collect_for = 0;  // nonzero: reserved by a multicast op
+    /// Work-stealing speculation window: steal_claim() detached the object
+    /// and its queue into a claim frame (the rollback image); the entry is
+    /// frozen until steal_resolve() commits or aborts. Arrivals during the
+    /// window park on the queue and set steal_conflict.
+    bool stolen = false;
+    bool steal_conflict = false;
   };
 
   struct Completion {
@@ -490,6 +604,27 @@ class Runtime {
   bool advance_pending_migrations();
   bool apply_shed_advice();
   void do_migrate(MobilePtr ptr, Entry& e, NodeId dst);
+  /// Serializes `e` (which must hold an in-core object) into the
+  /// install-wire frame am_install consumes, carrying epoch `e.epoch + 1`.
+  /// Shared by migration, steal claims, and crash export.
+  [[nodiscard]] std::vector<std::byte> make_install_frame(MobilePtr ptr,
+                                                          Entry& e);
+  /// Membership guard: true when `n` is up / accepting under the installed
+  /// view (vacuously true without one).
+  [[nodiscard]] bool peer_up(NodeId n) const {
+    return membership_ == nullptr || membership_->node_up(n);
+  }
+  [[nodiscard]] bool peer_accepting(NodeId n) const {
+    return membership_ == nullptr || membership_->node_accepting(n);
+  }
+  /// Re-aims a next-hop that names a departed node (see
+  /// MembershipView::node_departed): prefer the object's home if it is a
+  /// live third party, else any accepting node. Returns `next` unchanged
+  /// under static membership or when the hop is not departed.
+  [[nodiscard]] NodeId reroute_if_departed(NodeId next, MobilePtr dst) const;
+  /// Records a refused migration (non-accepting target): ledger record,
+  /// counter, trace instant. The object stays put.
+  void refuse_migration(MobilePtr ptr, NodeId dst);
   /// Records a unit of created work. Also clears the idle flag immediately:
   /// work can be created while the control thread is deep inside a long
   /// message handler (e.g. an AM delivery during poll()), and the
@@ -529,6 +664,7 @@ class Runtime {
   net::Endpoint& endpoint_;
   const ObjectTypeRegistry& registry_;
   RuntimeOptions options_;
+  const MembershipView* membership_ = nullptr;
   NodeCounters counters_;
   FailureLedger ledger_;
   obs::Counter* ooc_hits_;    // registry-owned; message target was in-core

@@ -87,7 +87,9 @@ AdmissionState MeshingService::ledger_snapshot(std::uint32_t /*tenant*/) const {
   AdmissionState s;
   s.node_headroom_bytes.reserve(cluster_.size());
   for (std::size_t n = 0; n < cluster_.size(); ++n) {
-    const std::size_t cap = node_capacity_bytes(static_cast<net::NodeId>(n));
+    const auto id = static_cast<net::NodeId>(n);
+    // Draining/down nodes contribute no committable capacity.
+    const std::size_t cap = node_placeable(id) ? node_capacity_bytes(id) : 0;
     s.capacity_bytes += cap;
     s.node_headroom_bytes.push_back(cap > committed_[n] ? cap - committed_[n]
                                                         : 0);
@@ -141,9 +143,11 @@ bool MeshingService::try_admit(QueuedJob& qj) {
   // by node id so placement is deterministic.
   std::vector<net::NodeId> candidates;
   for (std::size_t n = 0; n < cluster_.size(); ++n) {
-    const std::size_t cap = node_capacity_bytes(static_cast<net::NodeId>(n));
+    const auto id = static_cast<net::NodeId>(n);
+    if (!node_placeable(id)) continue;
+    const std::size_t cap = node_capacity_bytes(id);
     if (cap >= committed_[n] && cap - committed_[n] >= slice) {
-      candidates.push_back(static_cast<net::NodeId>(n));
+      candidates.push_back(id);
     }
   }
   if (candidates.size() < static_cast<std::size_t>(spec.width)) return false;
@@ -424,9 +428,13 @@ void MeshingService::maybe_preempt() {
 }
 
 void MeshingService::recompute_shares() {
+  // Fair shares are carved out of the live, accepting node set only: a
+  // drained or crashed node's capacity is not promisable.
   std::size_t capacity = 0;
   for (std::size_t n = 0; n < cluster_.size(); ++n) {
-    capacity += node_capacity_bytes(static_cast<net::NodeId>(n));
+    const auto id = static_cast<net::NodeId>(n);
+    if (!node_placeable(id)) continue;
+    capacity += node_capacity_bytes(id);
   }
   shares_ = weighted_max_min_shares(capacity, tenant_bytes_,
                                     options_.tenant_weights);
@@ -437,7 +445,9 @@ void MeshingService::recompute_shares() {
 
 void MeshingService::repartition_budgets() {
   for (std::size_t n = 0; n < cluster_.size(); ++n) {
-    auto& rt = cluster_.node(static_cast<net::NodeId>(n));
+    const auto id = static_cast<net::NodeId>(n);
+    if (!node_live(id)) continue;  // a down node's budget is moot
+    auto& rt = cluster_.node(id);
     const std::size_t physical = rt.options().ooc.memory_budget_bytes;
     auto working = static_cast<std::size_t>(
         options_.budget_headroom * static_cast<double>(committed_[n]));
@@ -453,13 +463,99 @@ void MeshingService::repartition_budgets() {
 
 bool MeshingService::tick() {
   ++tick_;
+  reclaim_dead_placements();
   admit_from_queues();
   post_phases();
   cluster_.run();
+  // Membership events inside the run may have killed a home node; repair
+  // placements BEFORE finish_phases locks/destroys through stale homes.
+  reclaim_dead_placements();
   finish_phases();
   maybe_preempt();
   admit_rotor_ = (admit_rotor_ + 1) % options_.tenants;
   return !drained();
+}
+
+void MeshingService::reclaim_dead_placements() {
+  if (membership_ == nullptr || running_.empty()) return;
+  bool changed = false;
+  for (std::size_t j = 0; j < running_.size();) {
+    RunningJob& rj = running_[j];
+    bool any_dead = false;
+    for (net::NodeId h : rj.homes) {
+      if (!node_live(h)) {
+        any_dead = true;
+        break;
+      }
+    }
+    if (!any_dead) {
+      ++j;
+      continue;
+    }
+    // A home died. The crash-rebuild path (MembershipManager::do_kill) may
+    // have reinstalled the objects on survivors — find each one's current
+    // host among the live nodes.
+    std::vector<net::NodeId> fresh(rj.objects.size(), 0);
+    bool all_found = true;
+    for (std::size_t i = 0; i < rj.objects.size() && all_found; ++i) {
+      bool found = false;
+      for (std::size_t n = 0; n < cluster_.size() && !found; ++n) {
+        const auto id = static_cast<net::NodeId>(n);
+        if (!node_live(id)) continue;
+        if (cluster_.node(id).hosts(rj.objects[i])) {
+          fresh[i] = id;
+          found = true;
+        }
+      }
+      all_found = found;
+    }
+    if (all_found) {
+      // Rebind: the job keeps its progress; only the committed slices move
+      // from the dead home's ledger row to the hosting survivor's.
+      for (std::size_t i = 0; i < rj.objects.size(); ++i) {
+        const net::NodeId old_home = rj.homes[i];
+        committed_[old_home] -= std::min(committed_[old_home], rj.slice_bytes);
+        committed_[fresh[i]] += rj.slice_bytes;
+      }
+      rj.homes = fresh;
+      ++rebound_jobs_;
+      changed = true;
+      ++j;
+      continue;
+    }
+    // Some object's state went down with the node for good: release the
+    // job's budget, destroy the surviving copies, and requeue it from
+    // scratch at its tenant's head — never hang on a dead placement.
+    for (std::size_t i = 0; i < rj.objects.size(); ++i) {
+      for (std::size_t n = 0; n < cluster_.size(); ++n) {
+        const auto id = static_cast<net::NodeId>(n);
+        if (!node_live(id)) continue;
+        if (cluster_.node(id).hosts(rj.objects[i])) {
+          cluster_.node(id).destroy(rj.objects[i]);
+          break;
+        }
+      }
+      committed_[rj.homes[i]] -=
+          std::min(committed_[rj.homes[i]], rj.slice_bytes);
+    }
+    const auto t = rj.spec.tenant;
+    tenant_bytes_[t] -= std::min(tenant_bytes_[t], rj.spec.working_set_bytes);
+    windows_[t].admitted_bytes -=
+        std::min(windows_[t].admitted_bytes, rj.spec.working_set_bytes);
+    QueuedJob qj;
+    qj.spec = rj.spec;
+    qj.enqueue_tick = tick_;
+    qj.latency_recorded = true;  // latency counted the first admission
+    qj.phases_done = 0;          // state lost: the job restarts
+    queues_[t].push_front(std::move(qj));
+    ++requeued_dead_jobs_;
+    changed = true;
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  if (changed) {
+    recompute_shares();
+    repartition_budgets();
+  }
 }
 
 bool MeshingService::drained() const {

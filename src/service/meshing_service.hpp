@@ -79,6 +79,13 @@ class MeshingService {
   MeshingService(core::Cluster& cluster, ServiceOptions options,
                  std::unique_ptr<AdmissionController> admission = nullptr);
 
+  /// Installs the liveness oracle (core::MembershipManager) the service
+  /// consults at tick boundaries: placement and fair shares are computed
+  /// over accepting nodes only, and jobs whose homes died are rebound to
+  /// the rebuilt copies (or requeued fresh) instead of hanging. nullptr
+  /// restores static membership.
+  void set_membership(const core::MembershipView* view) { membership_ = view; }
+
   /// Submits one job at the current tick: admit now, queue, or shed.
   void submit(const jobsim::ServiceJob& job);
 
@@ -110,6 +117,13 @@ class MeshingService {
   [[nodiscard]] std::uint64_t shed_count() const { return shed_; }
   [[nodiscard]] std::uint64_t preempted_count() const { return preempted_; }
   [[nodiscard]] std::uint64_t completed_count() const { return completed_; }
+  /// Jobs whose placement was repaired after a home node died: rebound to
+  /// the crash-rebuilt object copies, or requeued from scratch when an
+  /// object's state could not be found on any live node.
+  [[nodiscard]] std::uint64_t rebound_jobs() const { return rebound_jobs_; }
+  [[nodiscard]] std::uint64_t requeued_dead_jobs() const {
+    return requeued_dead_jobs_;
+  }
 
   /// Phase-handler executions the posted phases must produce / did produce;
   /// equal at drain iff the stack below lost and duplicated nothing.
@@ -168,12 +182,22 @@ class MeshingService {
   void recompute_shares();
   void repartition_budgets();
   void record_shed(std::uint32_t tenant);
+  /// Repairs running jobs with a dead home node (see set_membership). Runs
+  /// at every tick boundary where the cluster is quiescent.
+  void reclaim_dead_placements();
+  [[nodiscard]] bool node_live(net::NodeId node) const {
+    return membership_ == nullptr || membership_->node_up(node);
+  }
+  [[nodiscard]] bool node_placeable(net::NodeId node) const {
+    return membership_ == nullptr || membership_->node_accepting(node);
+  }
   /// Locks the job's objects in core and quiesces the pending loads.
   void ensure_in_core(const RunningJob& job);
 
   core::Cluster& cluster_;
   ServiceOptions options_;
   std::unique_ptr<AdmissionController> admission_;
+  const core::MembershipView* membership_ = nullptr;  // not owned
   core::TypeId type_ = 0;
   core::HandlerId phase_handler_ = 0;
 
@@ -192,6 +216,8 @@ class MeshingService {
   std::uint64_t shed_ = 0;
   std::uint64_t preempted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t rebound_jobs_ = 0;
+  std::uint64_t requeued_dead_jobs_ = 0;
   std::uint64_t expected_hits_ = 0;
   std::atomic<std::uint64_t> executed_hits_{0};
   /// Handler-side per-tenant progress (handlers may run on node threads).

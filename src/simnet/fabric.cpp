@@ -95,6 +95,16 @@ std::size_t Fabric::held_messages() const {
   return held_.size();
 }
 
+std::size_t Fabric::in_flight_involving(NodeId node) const {
+  std::size_t n = 0;
+  for (const auto& ep : endpoints_) n += ep->inbox_involving(node);
+  std::lock_guard lock(chaos_mutex_);
+  for (const Held& h : held_) {
+    if (h.dst == node || h.msg.src == node) ++n;
+  }
+  return n;
+}
+
 bool Fabric::drop_window_active() const {
   const NetFaultPlan& plan = chaos_plan_;
   if (plan.drop_handler_windows.empty()) return true;  // legacy: forever
@@ -285,6 +295,16 @@ std::size_t Endpoint::poll() {
 bool Endpoint::inbox_empty() const {
   std::lock_guard lock(mutex_);
   return inbox_.empty();
+}
+
+std::size_t Endpoint::inbox_involving(NodeId peer) const {
+  std::lock_guard lock(mutex_);
+  if (peer == id_) return inbox_.size();
+  std::size_t n = 0;
+  for (const Incoming& msg : inbox_) {
+    if (msg.src == peer) ++n;
+  }
+  return n;
 }
 
 }  // namespace mrts::net

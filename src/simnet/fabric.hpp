@@ -159,6 +159,10 @@ class Endpoint {
   /// True when the inbox holds no messages (due or in flight).
   [[nodiscard]] bool inbox_empty() const;
 
+  /// Inbox copies touching `peer`: all of them when this endpoint IS the
+  /// peer (they are addressed to it), otherwise the ones sent by it.
+  [[nodiscard]] std::size_t inbox_involving(NodeId peer) const;
+
   [[nodiscard]] NodeId id() const { return id_; }
 
   /// Charges send/deliver busy time to `acc` (may be null to disable).
@@ -242,6 +246,14 @@ class Fabric {
 
   /// Delayed messages currently parked (sent but not yet deliverable).
   [[nodiscard]] std::size_t held_messages() const;
+
+  /// Message copies anywhere in the fabric — parked by a delay fault or
+  /// sitting undelivered in an inbox — that were sent by or are addressed
+  /// to `node`. A planned drain may only complete when this is zero:
+  /// a duplicated or delayed copy that escapes the reliable layer's ack
+  /// accounting would otherwise land in the departed node's inbox after it
+  /// stopped polling and veto termination forever.
+  [[nodiscard]] std::size_t in_flight_involving(NodeId node) const;
 
  private:
   friend class Endpoint;

@@ -120,6 +120,13 @@ class ReliableLink {
   [[nodiscard]] bool has_unacked() const;
   /// Frames parked in reorder buffers (must be zero at quiescence).
   [[nodiscard]] std::size_t rx_buffered() const;
+  /// Frames still unacked toward one specific peer. The membership drain
+  /// gate uses this to keep a node Draining until every byte other nodes
+  /// owe it (and it owes them) has been acknowledged.
+  [[nodiscard]] std::uint64_t unacked_to(NodeId peer) const {
+    const auto it = tx_.find(peer);
+    return it == tx_.end() ? 0 : it->second.unacked.size();
+  }
 
   // --- introspection -------------------------------------------------------
 
