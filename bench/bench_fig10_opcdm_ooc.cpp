@@ -2,6 +2,7 @@
 // near-linear time growth under swapping.
 
 #include "bench_common.hpp"
+#include "bench_msgrate.hpp"
 
 using namespace mrts;
 using namespace mrts::bench;
@@ -13,22 +14,29 @@ int main() {
       "4 MB per node, file-backed spill)",
       "time grows almost linearly with problem size despite heavy swapping");
 
-  Table t({"elements (10^3)", "time (s)", "us/element", "spills", "loads",
-           "spilled MB"});
-  for (std::size_t target : {40000, 80000, 160000, 320000}) {
-    const auto problem = uniform_problem(target);
-    // Overdecomposition scales with the problem (paper §II.C): subdomain
-    // size stays roughly constant, so the working set always fits.
-    const int strips = std::clamp<int>(static_cast<int>(target / 10000), 16, 64);
-    pumg::OpcdmOocConfig config{
-        .cluster = ooc_cluster(4, 4096, core::SpillMedium::kFile),
-        .strips = strips};
-    const auto ooc = pumg::run_opcdm_ooc(problem, config);
-    t.row(ooc.mesh.elements / 1000, ooc.report.total_seconds,
-          1e6 * ooc.report.total_seconds /
-              static_cast<double>(ooc.mesh.elements),
-          ooc.objects_spilled, ooc.objects_loaded, ooc.bytes_spilled >> 20);
+  if (!msgrate_only()) {
+    Table t({"elements (10^3)", "time (s)", "us/element", "spills", "loads",
+             "spilled MB"});
+    for (std::size_t target : {40000, 80000, 160000, 320000}) {
+      const auto problem = uniform_problem(target);
+      // Overdecomposition scales with the problem (paper §II.C): subdomain
+      // size stays roughly constant, so the working set always fits.
+      const int strips =
+          std::clamp<int>(static_cast<int>(target / 10000), 16, 64);
+      pumg::OpcdmOocConfig config{
+          .cluster = ooc_cluster(4, 4096, core::SpillMedium::kFile),
+          .strips = strips};
+      const auto ooc = pumg::run_opcdm_ooc(problem, config);
+      t.row(ooc.mesh.elements / 1000, ooc.report.total_seconds,
+            1e6 * ooc.report.total_seconds /
+                static_cast<double>(ooc.mesh.elements),
+            ooc.objects_spilled, ooc.objects_loaded, ooc.bytes_spilled >> 20);
+    }
+    report.add("scaling", std::move(t));
   }
-  report.add("scaling", std::move(t));
+
+  // The AM hot path behind those numbers: useful messages per wire DATA
+  // frame at 2% and 10% loss, with and without small-message aggregation.
+  add_msgrate_section(report);
   return 0;
 }

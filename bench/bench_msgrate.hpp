@@ -1,0 +1,134 @@
+#pragma once
+
+// Shared message-rate section for the paper-table benches: the AM hot path
+// under sustained frame loss, batched vs unbatched. The paper's motivating
+// observation is that parallel mesh generation emits "many tiny
+// asynchronous split messages"; small-message aggregation amortizes one
+// sequence number, one ack, and one retransmit timer over a whole batch,
+// so the useful-work rate per wire DATA transmission — delivered AMs per
+// DATA frame, counting retransmissions — must rise well above the
+// one-frame-per-AM baseline, and nowhere more than on a lossy fabric where
+// every frame is a retransmission candidate.
+//
+// Setting MRTS_BENCH_MSGRATE_ONLY=1 skips the (slow) mesh tables in the
+// harness that includes this header and emits only this section — the CI
+// aggregation gate runs the benches in that mode.
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "chaos/chaos.hpp"
+#include "chaos/workload.hpp"
+#include "core/runtime.hpp"
+
+namespace mrts::bench {
+
+struct MsgRateOutcome {
+  std::uint64_t ams = 0;          // application AMs accepted by the links
+  std::uint64_t data_frames = 0;  // DATA transmissions, retransmits included
+  std::uint64_t retransmits = 0;
+  std::uint64_t det_steps = 0;
+  double ams_per_frame = 0.0;     // the message-rate metric
+  bool timed_out = false;
+};
+
+/// One seeded hop-routing run over the reliable layer at `loss_rate` frame
+/// loss. `batch_records` = 1 is the unbatched baseline (every AM is its own
+/// DATA frame); > 1 enables aggregation. Both configurations execute the
+/// same seeded workload, so the ratio of their per-frame rates isolates
+/// what aggregation buys.
+inline MsgRateOutcome run_msgrate(double loss_rate, std::size_t batch_records,
+                                  std::uint64_t seed = 42) {
+  chaos::ChaosPlan plan;
+  plan.seed = seed;
+  plan.net.drop_rate = loss_rate;
+  chaos::Harness harness(plan);
+
+  core::ClusterOptions options;
+  options.nodes = 4;
+  options.runtime.ooc.memory_budget_bytes = 256u << 10;
+  options.runtime.reliable_net.enabled = true;
+  options.runtime.reliable_net.batch_max_records = batch_records;
+  options.spill = core::SpillMedium::kMemory;
+  options.max_run_time = std::chrono::seconds(120);
+  harness.instrument(options);
+  core::Cluster cluster(options);
+
+  chaos::HopWorkloadOptions wl;
+  wl.payload_words = 256;
+  wl.routes = 256;
+  wl.route_length = 8;
+  wl.migrate_every = 4;
+  wl.seed = seed;
+  chaos::HopWorkload workload(cluster, wl);
+  workload.create_objects();
+  workload.inject();
+
+  const auto report = cluster.run();
+  MsgRateOutcome out;
+  out.timed_out = report.timed_out;
+  out.det_steps = report.det_steps;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto* link =
+        cluster.node(static_cast<net::NodeId>(i)).reliable_link();
+    if (link == nullptr) continue;
+    out.ams += link->ams_sent();
+    // batches() counts first transmissions (one per frame even when
+    // batch_records == 1); adding retransmits gives total wire DATA cost.
+    out.data_frames += link->batches() + link->retransmits();
+    out.retransmits += link->retransmits();
+  }
+  if (out.data_frames > 0) {
+    out.ams_per_frame = static_cast<double>(out.ams) /
+                        static_cast<double>(out.data_frames);
+  }
+  return out;
+}
+
+[[nodiscard]] inline bool msgrate_only() {
+  return std::getenv("MRTS_BENCH_MSGRATE_ONLY") != nullptr;
+}
+
+/// Runs the loss sweep at 2% and 10%, prints the table, and stamps the
+/// metadata keys the CI aggregation gate reads:
+///   msgrate_speedup_min      worst-case batched/unbatched per-frame ratio
+///   msgrate_unbatched_worst  lowest unbatched AMs/frame over the sweep
+///   msgrate_batched_worst    lowest batched AMs/frame over the sweep
+inline void add_msgrate_section(BenchReport& report) {
+  Table table({"config", "loss", "AMs", "DATA frames", "retransmits",
+               "det steps", "AMs/frame"});
+  double speedup_min = 0.0;
+  double unbatched_worst = 0.0;
+  double batched_worst = 0.0;
+  bool first = true;
+  for (const double loss : {0.02, 0.10}) {
+    const MsgRateOutcome un = run_msgrate(loss, /*batch_records=*/1);
+    const MsgRateOutcome ba = run_msgrate(loss, /*batch_records=*/8);
+    table.row("unbatched", util::format("{:.0f}%", 100.0 * loss), un.ams,
+              un.data_frames, un.retransmits, un.det_steps,
+              util::format("{:.2f}", un.ams_per_frame));
+    table.row("batched(8)", util::format("{:.0f}%", 100.0 * loss), ba.ams,
+              ba.data_frames, ba.retransmits, ba.det_steps,
+              util::format("{:.2f}", ba.ams_per_frame));
+    const double ratio = un.ams_per_frame > 0.0
+                             ? ba.ams_per_frame / un.ams_per_frame
+                             : 0.0;
+    if (first || ratio < speedup_min) speedup_min = ratio;
+    if (first || un.ams_per_frame < unbatched_worst) {
+      unbatched_worst = un.ams_per_frame;
+    }
+    if (first || ba.ams_per_frame < batched_worst) {
+      batched_worst = ba.ams_per_frame;
+    }
+    first = false;
+  }
+  report.add("message rate under loss (batched vs unbatched)",
+             std::move(table));
+  report.set_meta("msgrate_speedup_min", util::format("{:.2f}", speedup_min));
+  report.set_meta("msgrate_unbatched_worst",
+                  util::format("{:.2f}", unbatched_worst));
+  report.set_meta("msgrate_batched_worst",
+                  util::format("{:.2f}", batched_worst));
+}
+
+}  // namespace mrts::bench

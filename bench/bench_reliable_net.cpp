@@ -28,9 +28,12 @@ struct Outcome {
   std::uint64_t hops = 0;
   std::uint64_t wire_messages = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t ams_sent = 0;
 };
 
-Outcome run_config(bool reliable, std::size_t routes) {
+Outcome run_config(bool reliable, std::size_t routes,
+                   std::size_t batch_records = 1) {
   // Deterministic driver with no fault plan: both configurations execute
   // the same seeded schedule, so the det_steps delta isolates the protocol.
   chaos::ChaosPlan plan;
@@ -41,6 +44,7 @@ Outcome run_config(bool reliable, std::size_t routes) {
   options.nodes = 4;
   options.runtime.ooc.memory_budget_bytes = 256u << 10;
   options.runtime.reliable_net.enabled = reliable;
+  options.runtime.reliable_net.batch_max_records = batch_records;
   options.spill = core::SpillMedium::kMemory;
   harness.instrument(options);
   core::Cluster cluster(options);
@@ -64,7 +68,11 @@ Outcome run_config(bool reliable, std::size_t routes) {
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     const auto* link =
         cluster.node(static_cast<net::NodeId>(i)).reliable_link();
-    if (link != nullptr) out.retransmits += link->retransmits();
+    if (link != nullptr) {
+      out.retransmits += link->retransmits();
+      out.batches += link->batches();
+      out.ams_sent += link->ams_sent();
+    }
   }
   return out;
 }
@@ -79,6 +87,9 @@ int main() {
 
   double overhead_pct = 0.0;
   double wall_overhead_pct = 0.0;
+  double batched_overhead_pct = 0.0;
+  double wire_reduction_pct = 0.0;
+  double batch_fill = 0.0;
   std::uint64_t total_retransmits = 0;
   // Sizes large enough that the protocol's fixed quiescence tail (one extra
   // sweep while the final acks drain) does not dominate the percentage: at
@@ -89,12 +100,17 @@ int main() {
                  "wire messages", "retransmits", "step overhead"});
     const Outcome raw = run_config(/*reliable=*/false, routes);
     const Outcome rel = run_config(/*reliable=*/true, routes);
-    const double pct =
-        raw.det_steps > 0
-            ? 100.0 * (static_cast<double>(rel.det_steps) -
-                       static_cast<double>(raw.det_steps)) /
-                  static_cast<double>(raw.det_steps)
-            : 0.0;
+    const Outcome bat = run_config(/*reliable=*/true, routes,
+                                   /*batch_records=*/8);
+    const auto step_pct = [&](const Outcome& o) {
+      return raw.det_steps > 0
+                 ? 100.0 * (static_cast<double>(o.det_steps) -
+                            static_cast<double>(raw.det_steps)) /
+                       static_cast<double>(raw.det_steps)
+                 : 0.0;
+    };
+    const double pct = step_pct(rel);
+    const double bat_pct = step_pct(bat);
     const double wall_pct =
         raw.seconds > 0 ? 100.0 * (rel.seconds - raw.seconds) / raw.seconds
                         : 0.0;
@@ -103,15 +119,34 @@ int main() {
     table.row("reliable", routes, rel.det_steps, rel.seconds, rel.hops,
               rel.wire_messages, rel.retransmits,
               util::format("{:.2f}%", pct));
+    table.row("batched(8)", routes, bat.det_steps, bat.seconds, bat.hops,
+              bat.wire_messages, bat.retransmits,
+              util::format("{:.2f}%", bat_pct));
     report.add(util::format("routes={}", routes), std::move(table));
     // The gate takes the worst case over the sweep sizes.
     overhead_pct = std::max(overhead_pct, pct);
     wall_overhead_pct = std::max(wall_overhead_pct, wall_pct);
-    total_retransmits += rel.retransmits;
+    batched_overhead_pct = std::max(batched_overhead_pct, bat_pct);
+    // Aggregation's wire economy at zero loss: DATA frames saved relative
+    // to one-frame-per-AM, and the mean records-per-frame behind it.
+    if (bat.ams_sent > 0 && bat.batches > 0) {
+      wire_reduction_pct = std::max(
+          wire_reduction_pct, 100.0 * (1.0 - static_cast<double>(bat.batches) /
+                                                 static_cast<double>(
+                                                     bat.ams_sent)));
+      batch_fill = std::max(batch_fill, static_cast<double>(bat.ams_sent) /
+                                            static_cast<double>(bat.batches));
+    }
+    total_retransmits += rel.retransmits + bat.retransmits;
   }
   report.set_meta("overhead_pct", util::format("{:.2f}", overhead_pct));
   report.set_meta("wall_overhead_pct",
                   util::format("{:.2f}", wall_overhead_pct));
+  report.set_meta("batched_overhead_pct",
+                  util::format("{:.2f}", batched_overhead_pct));
+  report.set_meta("batch_wire_reduction_pct",
+                  util::format("{:.2f}", wire_reduction_pct));
+  report.set_meta("batch_fill", util::format("{:.2f}", batch_fill));
   report.set_meta("retransmits_at_zero_loss",
                   util::format("{}", total_retransmits));
   return 0;

@@ -2,6 +2,7 @@
 // across problem sizes.
 
 #include "bench_common.hpp"
+#include "bench_msgrate.hpp"
 
 using namespace mrts;
 using namespace mrts::bench;
@@ -14,31 +15,38 @@ int main() {
       "roughly constant per-PE speed as size grows; OOC variant continues "
       "past the in-core memory wall");
 
-  Table t({"elements (10^3)", "PCDM speed (4 PE)", "OPCDM speed (4 nodes)"});
-  const std::size_t pes = 4;
-  auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, pes);
-  for (std::size_t target : {20000, 40000, 80000, 160000, 320000}) {
-    const auto problem = uniform_problem(target);
-    std::string incore_speed = "n/a";
-    if (target <= 160000) {
-      const auto incore = pumg::run_pcdm(problem, {.strips = 8}, *pool);
-      incore_speed = util::format(
-          "{:.0f}", static_cast<double>(incore.elements) /
-                        (incore.wall_seconds * static_cast<double>(pes)) /
-                        1000.0);
+  if (!msgrate_only()) {
+    Table t({"elements (10^3)", "PCDM speed (4 PE)", "OPCDM speed (4 nodes)"});
+    const std::size_t pes = 4;
+    auto pool = tasking::make_pool(tasking::PoolBackend::kWorkStealing, pes);
+    for (std::size_t target : {20000, 40000, 80000, 160000, 320000}) {
+      const auto problem = uniform_problem(target);
+      std::string incore_speed = "n/a";
+      if (target <= 160000) {
+        const auto incore = pumg::run_pcdm(problem, {.strips = 8}, *pool);
+        incore_speed = util::format(
+            "{:.0f}", static_cast<double>(incore.elements) /
+                          (incore.wall_seconds * static_cast<double>(pes)) /
+                          1000.0);
+      }
+      // Overdecomposition scales with the problem (paper §II.C).
+      const int strips =
+          std::clamp<int>(static_cast<int>(target / 10000), 16, 64);
+      pumg::OpcdmOocConfig config{
+          .cluster = ooc_cluster(pes, 4096, core::SpillMedium::kFile),
+          .strips = strips};
+      const auto ooc = pumg::run_opcdm_ooc(problem, config);
+      const double ooc_speed =
+          static_cast<double>(ooc.mesh.elements) /
+          (ooc.report.total_seconds * static_cast<double>(pes)) / 1000.0;
+      t.row(ooc.mesh.elements / 1000, incore_speed,
+            util::format("{:.0f}", ooc_speed));
     }
-    // Overdecomposition scales with the problem (paper §II.C).
-    const int strips = std::clamp<int>(static_cast<int>(target / 10000), 16, 64);
-    pumg::OpcdmOocConfig config{
-        .cluster = ooc_cluster(pes, 4096, core::SpillMedium::kFile),
-        .strips = strips};
-    const auto ooc = pumg::run_opcdm_ooc(problem, config);
-    const double ooc_speed =
-        static_cast<double>(ooc.mesh.elements) /
-        (ooc.report.total_seconds * static_cast<double>(pes)) / 1000.0;
-    t.row(ooc.mesh.elements / 1000, incore_speed,
-          util::format("{:.0f}", ooc_speed));
+    report.add("speed", std::move(t));
   }
-  report.add("speed", std::move(t));
+
+  // The AM hot path behind the speed numbers: useful messages per wire DATA
+  // frame at 2% and 10% loss, with and without small-message aggregation.
+  add_msgrate_section(report);
   return 0;
 }

@@ -308,12 +308,25 @@ void check_exactly_once(core::Cluster& cluster, InvariantReport& out) {
             "node {} still has {} unacked frame(s) to node {} at quiescence",
             i, tx.unacked, tx.peer));
       }
-      // The receiver of this flow must have dispatched exactly what we sent.
+      if (tx.open_records != 0) {
+        out.add(util::format(
+            "node {} still holds {} AM(s) in an open (unflushed) batch to "
+            "node {} at quiescence",
+            i, tx.open_records, tx.peer));
+      }
+      // The receiver of this flow must have dispatched exactly what we
+      // sent, at both granularities: whole frames (batches) and the inner
+      // AMs they carry. A partially-dispatched batch would balance at frame
+      // level and break at AM level.
       const net::ReliableLink* peer = cluster.node(tx.peer).reliable_link();
       std::uint64_t dispatched = 0;
+      std::uint64_t ams_dispatched = 0;
       if (peer != nullptr) {
         for (const auto& rx : peer->rx_flows()) {
-          if (rx.peer == node) dispatched = rx.dispatched;
+          if (rx.peer == node) {
+            dispatched = rx.dispatched;
+            ams_dispatched = rx.ams_dispatched;
+          }
         }
       }
       if (dispatched != tx.sent) {
@@ -321,6 +334,12 @@ void check_exactly_once(core::Cluster& cluster, InvariantReport& out) {
             "flow {}->{}: {} frame(s) sent but {} dispatched (exactly-once "
             "broken)",
             i, tx.peer, tx.sent, dispatched));
+      }
+      if (ams_dispatched != tx.ams_sent) {
+        out.add(util::format(
+            "flow {}->{}: {} inner AM(s) sent but {} dispatched "
+            "(batch exactly-once broken)",
+            i, tx.peer, tx.ams_sent, ams_dispatched));
       }
     }
     for (const auto& rx : link->rx_flows()) {

@@ -22,6 +22,7 @@ using storage::seal_blob;
 using storage::sealed_blob_valid;
 using storage::sealed_crc;
 using storage::unseal_blob;
+using storage::write_sealed;
 
 Runtime::Runtime(NodeId node, net::Endpoint& endpoint,
                  const ObjectTypeRegistry& registry,
@@ -219,13 +220,14 @@ void Runtime::route_remote(MobilePtr dst, HandlerId handler, NodeId origin,
       (e != nullptr && e->state == Residency::kRemote) ? e->last_known
                                                        : dst.home_node(),
       dst);
-  util::ByteWriter w(payload.size() + 64);
-  w.write(dst.id);
-  w.write(handler);
-  w.write(origin);
-  w.write_vector(route);
-  w.write_vector(payload);
-  net_send(next, am_deliver_id_, w.take());
+  net_send_with(next, am_deliver_id_, payload.size() + 64,
+                [&](util::ByteWriter& w) {
+                  w.write(dst.id);
+                  w.write(handler);
+                  w.write(origin);
+                  w.write_vector(route);
+                  w.write_vector(payload);
+                });
 }
 
 void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
@@ -255,11 +257,11 @@ void Runtime::am_deliver(NodeId /*src*/, util::ByteReader& in) {
       // (crash) or rot forever (departed). The membership handoff seeds
       // them with fresher knowledge when they matter again.
       if (n == node_ || !peer_up(n)) continue;
-      util::ByteWriter w(24);
-      w.write(dst.id);
-      w.write(node_);
-      w.write<std::uint64_t>(e->epoch);
-      net_send(n, am_location_update_id_, w.take());
+      net_send_with(n, am_location_update_id_, 24, [&](util::ByteWriter& w) {
+        w.write(dst.id);
+        w.write(node_);
+        w.write<std::uint64_t>(e->epoch);
+      });
       counters_.location_updates.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -495,8 +497,14 @@ void Runtime::migrate(MobilePtr ptr, NodeId dst) {
 }
 
 std::vector<std::byte> Runtime::make_install_frame(MobilePtr ptr, Entry& e) {
-  assert(e.state == Residency::kInCore && e.obj != nullptr);
   util::ByteWriter w(e.footprint + 256);
+  write_install_frame(w, ptr, e);
+  return w.take();
+}
+
+void Runtime::write_install_frame(util::ByteWriter& w, MobilePtr ptr,
+                                  Entry& e) {
+  assert(e.state == Residency::kInCore && e.obj != nullptr);
   w.write(ptr.id);
   w.write(e.type);
   w.write<std::uint64_t>(e.epoch + 1);
@@ -512,16 +520,19 @@ std::vector<std::byte> Runtime::make_install_frame(MobilePtr ptr, Entry& e) {
                           static_cast<std::uint16_t>(node_),
                           &counters_.comp_time);
     e.obj->on_unregister(*this);
-    util::ByteWriter body(e.footprint + 64);
-    e.obj->serialize(body);
-    w.write_vector(seal_blob(std::move(body)));
+    // Seal-in-place: the object serializes at its final offset in the frame
+    // and the CRC trailer is computed over the written span — the blob is
+    // never staged in a separate vector.
+    write_sealed(w, [&](util::ByteWriter& body) { e.obj->serialize(body); });
   }
-  return w.take();
 }
 
 void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   assert(e.state == Residency::kInCore && !e.running && e.lock_count == 0);
-  auto frame = make_install_frame(ptr, e);
+  // Serializes synchronously into the outgoing frame (the reliable link's
+  // open batch, or the raw wire vector) before the entry mutations below.
+  net_send_with(dst, am_install_id_, e.footprint + 256,
+                [&](util::ByteWriter& w) { write_install_frame(w, ptr, e); });
   e.obj.reset();
   ooc_.on_remove(ptr.id);
   if (e.blob_bytes > 0) {
@@ -540,7 +551,6 @@ void Runtime::do_migrate(MobilePtr ptr, Entry& e, NodeId dst) {
   counters_.migrations_out.fetch_add(1, std::memory_order_relaxed);
   obs::TraceRecorder::global().instant(obs::Cat::kOther, "migrate.out",
                                        static_cast<std::uint16_t>(node_), dst);
-  net_send(dst, am_install_id_, std::move(frame));
 }
 
 void Runtime::am_install(NodeId src, util::ByteReader& in) {
@@ -615,19 +625,19 @@ void Runtime::am_migrate_request(NodeId /*src*/, util::ByteReader& in) {
       return;
     }
     // Chase via the home node.
-    util::ByteWriter w(16);
-    w.write(ptr.id);
-    w.write(requester);
-    net_send(reroute_if_departed(ptr.home_node(), ptr),
-             am_migrate_request_id_, w.take());
+    net_send_with(reroute_if_departed(ptr.home_node(), ptr),
+                  am_migrate_request_id_, 16, [&](util::ByteWriter& w) {
+                    w.write(ptr.id);
+                    w.write(requester);
+                  });
     return;
   }
   if (e->state == Residency::kRemote) {
-    util::ByteWriter w(16);
-    w.write(ptr.id);
-    w.write(requester);
-    net_send(reroute_if_departed(e->last_known, ptr),
-             am_migrate_request_id_, w.take());
+    net_send_with(reroute_if_departed(e->last_known, ptr),
+                  am_migrate_request_id_, 16, [&](util::ByteWriter& w) {
+                    w.write(ptr.id);
+                    w.write(requester);
+                  });
     return;
   }
   if (requester == node_) return;  // it came home in the meantime
@@ -660,10 +670,11 @@ bool Runtime::advance_pending_migrations() {
       // Should not normally happen (the pending pin prevents a concurrent
       // move), but chase it for robustness.
       if (e->last_known != dst) {
-        util::ByteWriter w(16);
-        w.write(ptr.id);
-        w.write(dst);
-        net_send(e->last_known, am_migrate_request_id_, w.take());
+        net_send_with(e->last_known, am_migrate_request_id_, 16,
+                      [&](util::ByteWriter& w) {
+                        w.write(ptr.id);
+                        w.write(dst);
+                      });
       }
       did = true;
       continue;
@@ -710,14 +721,15 @@ void Runtime::send_multicast(std::vector<MobilePtr> targets,
           ? head->last_known
           : targets[0].home_node(),
       targets[0]);
-  util::ByteWriter w(payload.size() + 32 * targets.size());
-  w.write<std::uint64_t>(targets.size());
-  for (MobilePtr t : targets) w.write(t.id);
-  w.write(deliver_count);
-  w.write(handler);
-  w.write(node_);
-  w.write_vector(payload);
-  net_send(next, am_multicast_id_, w.take());
+  net_send_with(next, am_multicast_id_, payload.size() + 32 * targets.size(),
+                [&](util::ByteWriter& w) {
+                  w.write<std::uint64_t>(targets.size());
+                  for (MobilePtr t : targets) w.write(t.id);
+                  w.write(deliver_count);
+                  w.write(handler);
+                  w.write(node_);
+                  w.write_vector(payload);
+                });
 }
 
 void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
@@ -738,14 +750,16 @@ void Runtime::am_multicast(NodeId /*src*/, util::ByteReader& in) {
     const NodeId next = reroute_if_departed(
         (head != nullptr) ? head->last_known : targets[0].home_node(),
         targets[0]);
-    util::ByteWriter w(payload.size() + 32 * targets.size());
-    w.write<std::uint64_t>(targets.size());
-    for (MobilePtr t : targets) w.write(t.id);
-    w.write(deliver_count);
-    w.write(handler);
-    w.write(origin);
-    w.write_vector(payload);
-    net_send(next, am_multicast_id_, w.take());
+    net_send_with(next, am_multicast_id_,
+                  payload.size() + 32 * targets.size(),
+                  [&](util::ByteWriter& w) {
+                    w.write<std::uint64_t>(targets.size());
+                    for (MobilePtr t : targets) w.write(t.id);
+                    w.write(deliver_count);
+                    w.write(handler);
+                    w.write(origin);
+                    w.write_vector(payload);
+                  });
     return;
   }
   multicasts_.push_back(MulticastOp{
@@ -796,10 +810,11 @@ bool Runtime::advance_multicasts() {
           op.requested[t] = true;
           const NodeId next = reroute_if_departed(
               (e != nullptr) ? e->last_known : ptr.home_node(), ptr);
-          util::ByteWriter w(16);
-          w.write(ptr.id);
-          w.write(node_);
-          net_send(next, am_migrate_request_id_, w.take());
+          net_send_with(next, am_migrate_request_id_, 16,
+                        [&](util::ByteWriter& w) {
+                          w.write(ptr.id);
+                          w.write(node_);
+                        });
           did = true;
         }
         continue;
@@ -1408,6 +1423,10 @@ bool Runtime::progress_once() {
     did = true;
   }
   did |= run_ready_object();
+  // End-of-sweep batch flush: AMs generated anywhere in this iteration
+  // coalesce per destination but never wait out a sweep boundary, so
+  // aggregation costs no det-step latency on the deterministic driver.
+  if (reliable_ != nullptr) did |= reliable_->flush();
 
   if (did) {
     idle_.store(false, std::memory_order_release);

@@ -556,6 +556,21 @@ class Runtime {
   /// five kAm* runtime channels.
   void net_send(NodeId dst, net::AmHandlerId channel,
                 std::vector<std::byte> payload);
+  /// Zero-copy variant of net_send: `fn(ByteWriter&)` serializes the AM
+  /// directly into the reliable link's open batch frame (or, on the raw
+  /// path, into the vector the fabric takes ownership of) — no intermediate
+  /// per-message staging buffer. All five kAm* channels route through here.
+  template <typename Fn>
+  void net_send_with(NodeId dst, net::AmHandlerId channel,
+                     std::size_t size_hint, Fn&& fn) {
+    if (reliable_ != nullptr) {
+      reliable_->send_with(dst, channel, size_hint, std::forward<Fn>(fn));
+      return;
+    }
+    util::ByteWriter w(size_hint);
+    fn(w);
+    endpoint_.send(dst, channel, w.take());
+  }
   /// ReliableLink dispatch target: hands a dispatched frame's payload to the
   /// handler registered for its inner channel.
   void dispatch_reliable(NodeId src, net::AmHandlerId channel,
@@ -609,6 +624,11 @@ class Runtime {
   /// Shared by migration, steal claims, and crash export.
   [[nodiscard]] std::vector<std::byte> make_install_frame(MobilePtr ptr,
                                                           Entry& e);
+  /// Body of make_install_frame, writing into a caller-provided writer so
+  /// the migration path can serialize straight into the reliable link's
+  /// batch frame (zero-copy) while steal claims and crash export keep
+  /// their owned-vector form.
+  void write_install_frame(util::ByteWriter& w, MobilePtr ptr, Entry& e);
   /// Membership guard: true when `n` is up / accepting under the installed
   /// view (vacuously true without one).
   [[nodiscard]] bool peer_up(NodeId n) const {

@@ -7,10 +7,19 @@
 
 namespace mrts::net {
 
-// Wire format. DATA: channel (AmHandlerId), seq (u64), payload vector.
+// Wire format. DATA: seq (u64), record count (u32), then `count` records of
+// [inner channel (AmHandlerId), payload length (u64), payload bytes]. The
+// open batch IS the wire frame under construction — the header is written as
+// a placeholder when the batch opens and patched at flush, so retransmission
+// is a plain re-send of the retained bytes.
 // ACK: cumulative sequence (u64) — "I have dispatched everything <= cum".
 // Acks are unreliable by design: a lost ack merely provokes a retransmit
 // whose duplicate the receiver suppresses and re-acks.
+
+namespace {
+constexpr std::size_t kFrameHeaderBytes =
+    sizeof(std::uint64_t) + sizeof(std::uint32_t);
+}  // namespace
 
 ReliableLink::ReliableLink(Endpoint& endpoint, ReliableOptions options,
                            Dispatch dispatch)
@@ -24,8 +33,14 @@ ReliableLink::ReliableLink(Endpoint& endpoint, ReliableOptions options,
           &obs::MetricsRegistry::global().counter("net.reorder_buffered")),
       m_reorder_evicted_(
           &obs::MetricsRegistry::global().counter("net.reorder_evicted")),
-      m_ack_rtt_(&obs::MetricsRegistry::global().histogram("net.ack_rtt_us")) {
+      m_batches_(&obs::MetricsRegistry::global().counter("net.batches")),
+      m_zero_copy_(&obs::MetricsRegistry::global().counter(
+          "net.bytes_saved_zero_copy")),
+      m_ack_rtt_(&obs::MetricsRegistry::global().histogram("net.ack_rtt_us")),
+      m_batch_fill_(
+          &obs::MetricsRegistry::global().histogram("net.batch_fill")) {
   assert(dispatch_ != nullptr);
+  assert(options_.batch_max_records >= 1);
   data_id_ = endpoint_.register_handler(
       [this](NodeId src, util::ByteReader& in) { on_data(src, in); });
   ack_id_ = endpoint_.register_handler(
@@ -34,26 +49,76 @@ ReliableLink::ReliableLink(Endpoint& endpoint, ReliableOptions options,
 
 void ReliableLink::send(NodeId dst, AmHandlerId channel,
                         std::vector<std::byte> payload) {
+  TxFlow& flow = begin_record(dst, channel, payload.size());
+  util::ByteWriter w(flow.open_batch);
+  w.write_vector(payload);
+  end_record(dst, flow, payload.size(), /*zero_copy=*/false);
+}
+
+ReliableLink::TxFlow& ReliableLink::begin_record(NodeId dst,
+                                                 AmHandlerId channel,
+                                                 std::size_t size_hint) {
   TxFlow& flow = tx_[dst];
+  util::ByteWriter w(flow.open_batch);
+  if (flow.open_records == 0) {
+    flow.opened_tick = tick_;
+    flow.open_batch.reserve(kFrameHeaderBytes + size_hint + 16);
+    w.write<std::uint64_t>(0);  // seq — patched at flush
+    w.write<std::uint32_t>(0);  // record count — patched at flush
+  }
+  w.write(channel);
+  return flow;
+}
+
+void ReliableLink::end_record(NodeId dst, TxFlow& flow,
+                              std::size_t body_bytes, bool zero_copy) {
+  ++flow.open_records;
+  ++flow.ams_sent;
+  ++ams_sent_;
+  if (zero_copy) {
+    zero_copy_bytes_ += body_bytes;
+    m_zero_copy_->inc(body_bytes);
+  }
+  if (flow.open_records >= options_.batch_max_records ||
+      flow.open_batch.size() - kFrameHeaderBytes >= options_.batch_max_bytes) {
+    flush_flow(dst, flow);
+  }
+}
+
+bool ReliableLink::flush_flow(NodeId dst, TxFlow& flow) {
+  if (flow.open_records == 0) return false;
   const std::uint64_t seq = flow.next_seq++;
   Pending frame{
-      .channel = channel,
-      .payload = std::move(payload),
+      .payload = std::move(flow.open_batch),
+      .records = flow.open_records,
       .attempt = 1,
       .sent_tick = tick_,
       .retx_tick = tick_ + retx_delay_ticks(dst, seq, 1),
   };
-  transmit(dst, seq, frame);
+  flow.open_batch = {};
+  flow.open_records = 0;
+  util::ByteWriter w(frame.payload);
+  w.patch<std::uint64_t>(0, seq);
+  w.patch<std::uint32_t>(sizeof(std::uint64_t), frame.records);
+  ++batches_;
+  m_batches_->inc();
+  m_batch_fill_->observe(frame.records);
+  transmit(dst, frame);
   flow.unacked.emplace(seq, std::move(frame));
+  return true;
 }
 
-void ReliableLink::transmit(NodeId dst, std::uint64_t seq,
-                            const Pending& frame) {
-  util::ByteWriter w(frame.payload.size() + 24);
-  w.write(frame.channel);
-  w.write(seq);
-  w.write_vector(frame.payload);
-  endpoint_.send(dst, data_id_, w.take());
+bool ReliableLink::flush() {
+  bool did = false;
+  for (auto& [dst, flow] : tx_) did |= flush_flow(dst, flow);
+  return did;
+}
+
+void ReliableLink::transmit(NodeId dst, const Pending& frame) {
+  // One copy per transmission: the wire takes ownership of its bytes while
+  // the Pending retains the frame for retransmit.
+  auto bytes = frame.payload;
+  endpoint_.send(dst, data_id_, std::move(bytes));
 }
 
 void ReliableLink::send_ack(NodeId dst, std::uint64_t cum) {
@@ -82,11 +147,26 @@ bool ReliableLink::on_tick() {
   ++tick_;
   bool did = false;
   for (auto& [dst, flow] : tx_) {
+    // Age-out: a batch parked past the flush horizon goes out now. A flow
+    // with an overdue frame also flushes first (the retransmit boundary) so
+    // fresh AMs ride the same recovery cycle instead of aging further.
+    if (flow.open_records > 0 &&
+        tick_ - flow.opened_tick >= options_.batch_flush_ticks) {
+      did |= flush_flow(dst, flow);
+    }
+    if (flow.open_records > 0) {
+      for (const auto& [seq, frame] : flow.unacked) {
+        if (frame.retx_tick <= tick_) {
+          did |= flush_flow(dst, flow);
+          break;
+        }
+      }
+    }
     for (auto& [seq, frame] : flow.unacked) {
       if (frame.retx_tick > tick_) continue;
       ++frame.attempt;
       frame.retx_tick = tick_ + retx_delay_ticks(dst, seq, frame.attempt);
-      transmit(dst, seq, frame);
+      transmit(dst, frame);
       ++retransmits_;
       m_retransmits_->inc();
       did = true;
@@ -96,14 +176,14 @@ bool ReliableLink::on_tick() {
 }
 
 void ReliableLink::on_data(NodeId src, util::ByteReader& in) {
-  const auto channel = in.read<AmHandlerId>();
   const auto seq = in.read<std::uint64_t>();
-  const auto payload = in.read_vector<std::byte>();
+  const auto records = in.read<std::uint32_t>();
   RxFlow& flow = rx_[src];
 
   if (seq < flow.next_expected || flow.buffer.contains(seq)) {
     // Duplicate (retransmit of something already dispatched or parked):
-    // absorb it and re-ack so the sender stops resending.
+    // absorb it and re-ack so the sender stops resending. Whole-frame dedup:
+    // none of the batch's inner AMs is dispatched again.
     ++flow.dup_suppressed;
     ++dups_suppressed_;
     m_dups_suppressed_->inc();
@@ -113,7 +193,9 @@ void ReliableLink::on_data(NodeId src, util::ByteReader& in) {
   if (seq >= flow.next_expected + options_.reorder_window) {
     // Beyond the reorder buffer: refuse without acking. The cumulative ack
     // leaves it unacked at the sender, whose retransmit will find the
-    // window advanced once the gap frames arrive.
+    // window advanced once the gap frames arrive. Nothing of the batch is
+    // dispatched — eviction is atomic at frame granularity, so every inner
+    // AM returns via the same retransmission.
     ++flow.evicted;
     m_reorder_evicted_->inc();
     send_ack(src, flow.next_expected - 1);
@@ -121,34 +203,43 @@ void ReliableLink::on_data(NodeId src, util::ByteReader& in) {
   }
   if (seq != flow.next_expected) {
     // Ahead of the gap: park until the missing frame arrives.
+    const auto payload = in.read_bytes(in.remaining());
     flow.buffer.emplace(
-        seq, BufferedFrame{channel, {payload.begin(), payload.end()}});
+        seq, BufferedFrame{records, {payload.begin(), payload.end()}});
     m_reorder_buffered_->inc();
     send_ack(src, flow.next_expected - 1);
     return;
   }
-  // In order: dispatch, then flush everything the gap was holding back.
-  dispatch_frame(src, flow, seq, channel, payload);
+  // In order: dispatch straight from the arrival buffer (no copy), then
+  // flush everything the gap was holding back.
+  dispatch_frame(src, flow, seq, records, in.read_bytes(in.remaining()));
   while (true) {
     auto it = flow.buffer.find(flow.next_expected);
     if (it == flow.buffer.end()) break;
     BufferedFrame frame = std::move(it->second);
     flow.buffer.erase(it);
-    dispatch_frame(src, flow, flow.next_expected, frame.channel,
+    dispatch_frame(src, flow, flow.next_expected, frame.records,
                    frame.payload);
   }
   send_ack(src, flow.next_expected - 1);
 }
 
 void ReliableLink::dispatch_frame(NodeId src, RxFlow& flow, std::uint64_t seq,
-                                  AmHandlerId channel,
+                                  std::uint32_t records,
                                   std::span<const std::byte> payload) {
   if (seq != flow.last_dispatched + 1) ++order_violations_;
   flow.last_dispatched = seq;
   flow.next_expected = seq + 1;
   ++flow.dispatched;
-  util::ByteReader reader(payload);
-  dispatch_(src, channel, reader);
+  util::ByteReader in(payload);
+  for (std::uint32_t r = 0; r < records; ++r) {
+    const auto channel = in.read<AmHandlerId>();
+    // Zero-copy: the handler reads a window into the frame, not a copy.
+    const auto body = in.read_byte_span();
+    util::ByteReader reader(body);
+    dispatch_(src, channel, reader);
+    ++flow.ams_dispatched;
+  }
 }
 
 void ReliableLink::on_ack(NodeId src, util::ByteReader& in) {
@@ -159,18 +250,24 @@ void ReliableLink::on_ack(NodeId src, util::ByteReader& in) {
   flow.cum_acked = std::max(flow.cum_acked, cum);
   auto& unacked = flow.unacked;
   for (auto f = unacked.begin(); f != unacked.end() && f->first <= cum;) {
-    // RTT from the FIRST transmission: a retransmitted frame's sample
+    // RTT from the FIRST transmission (sent_tick is set once, at flush, and
+    // never touched by retransmission): a retransmitted frame's sample
     // includes the backoff it waited, which is exactly the latency the
-    // application observed.
+    // application observed. One cumulative ack retiring N frames records N
+    // samples — one per frame, each erased here so no later (stale or
+    // duplicate) ack can sample it again.
     m_ack_rtt_->observe((tick_ - f->second.sent_tick) *
                         options_.tick_quantum_us);
     f = unacked.erase(f);
   }
+  // Empty pipe: nothing in flight toward this peer, so holding the open
+  // batch buys no aggregation — the ack boundary flushes it.
+  if (flow.unacked.empty() && flow.open_records > 0) flush_flow(src, flow);
 }
 
 bool ReliableLink::has_unacked() const {
   for (const auto& [dst, flow] : tx_) {
-    if (!flow.unacked.empty()) return true;
+    if (!flow.unacked.empty() || flow.open_records > 0) return true;
   }
   return false;
 }
@@ -190,6 +287,8 @@ std::vector<ReliableTxFlow> ReliableLink::tx_flows() const {
         .sent = flow.next_seq - 1,
         .acked = flow.cum_acked,
         .unacked = flow.unacked.size(),
+        .ams_sent = flow.ams_sent,
+        .open_records = flow.open_records,
     });
   }
   return out;
@@ -205,6 +304,7 @@ std::vector<ReliableRxFlow> ReliableLink::rx_flows() const {
         .dup_suppressed = flow.dup_suppressed,
         .evicted = flow.evicted,
         .buffered = flow.buffer.size(),
+        .ams_dispatched = flow.ams_dispatched,
     });
   }
   return out;

@@ -53,6 +53,16 @@ class StorageBackend {
   /// Writes (or atomically overwrites) the blob stored under `key`.
   virtual util::Status store(ObjectKey key, std::span<const std::byte> bytes) = 0;
 
+  /// Move-aware store: a backend that keeps whole blobs (MemStore) adopts
+  /// the buffer outright instead of copying it; the default forwards to the
+  /// span overload and leaves `bytes` untouched. Contract for overriders:
+  /// `bytes` may be consumed ONLY on success — on any failure it must still
+  /// hold the payload, because the retry loop and the ObjectStore failure
+  /// hand-back path (the object's only serialized copy) both reuse it.
+  virtual util::Status store(ObjectKey key, std::vector<std::byte>&& bytes) {
+    return store(key, std::span<const std::byte>(bytes));
+  }
+
   /// Reads the full blob stored under `key`.
   virtual util::Result<std::vector<std::byte>> load(ObjectKey key) = 0;
 

@@ -19,6 +19,12 @@ util::Status LatencyStore::store(ObjectKey key,
   return inner_->store(key, bytes);
 }
 
+util::Status LatencyStore::store(ObjectKey key,
+                                 std::vector<std::byte>&& bytes) {
+  std::this_thread::sleep_for(model_.cost(bytes.size()));
+  return inner_->store(key, std::move(bytes));
+}
+
 util::Result<std::vector<std::byte>> LatencyStore::load(ObjectKey key) {
   auto result = inner_->load(key);
   if (result.is_ok()) {

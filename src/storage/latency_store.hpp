@@ -28,6 +28,7 @@ class LatencyStore final : public StorageBackend {
       : inner_(std::move(inner)), model_(model) {}
 
   util::Status store(ObjectKey key, std::span<const std::byte> bytes) override;
+  util::Status store(ObjectKey key, std::vector<std::byte>&& bytes) override;
   util::Result<std::vector<std::byte>> load(ObjectKey key) override;
   util::Status erase(ObjectKey key) override { return inner_->erase(key); }
   bool contains(ObjectKey key) const override { return inner_->contains(key); }

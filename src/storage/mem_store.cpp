@@ -14,6 +14,20 @@ util::Status MemStore::store(ObjectKey key, std::span<const std::byte> bytes) {
   return util::Status::ok();
 }
 
+util::Status MemStore::store(ObjectKey key, std::vector<std::byte>&& bytes) {
+  // Zero-copy variant: the blob buffer (serialized and sealed in place by
+  // the spill path) becomes the stored slot directly.
+  std::lock_guard lock(mutex_);
+  auto& slot = blobs_[key];
+  stored_bytes_ -= slot.size();
+  stats_.bytes_written += bytes.size();
+  slot = std::move(bytes);
+  stored_bytes_ += slot.size();
+  ++stats_.store_ops;
+  ++stats_.device_write_ops;
+  return util::Status::ok();
+}
+
 util::Result<std::vector<std::byte>> MemStore::load(ObjectKey key) {
   std::lock_guard lock(mutex_);
   auto it = blobs_.find(key);

@@ -14,6 +14,7 @@ namespace mrts::storage {
 class MemStore final : public StorageBackend {
  public:
   util::Status store(ObjectKey key, std::span<const std::byte> bytes) override;
+  util::Status store(ObjectKey key, std::vector<std::byte>&& bytes) override;
   util::Result<std::vector<std::byte>> load(ObjectKey key) override;
   util::Status erase(ObjectKey key) override;
   bool contains(ObjectKey key) const override;

@@ -182,8 +182,12 @@ void ObjectStore::execute(Request& req) {
   if (req.is_store) {
     // Captured up front: the payload may be moved out below on failure.
     const std::size_t payload_bytes = req.bytes.size();
-    const util::Status status =
-        run_retrying(req.key, [&] { return backend_->store(req.key, req.bytes); });
+    // Move-aware store: a backend that can adopt the buffer does so on
+    // success only — per the StorageBackend contract a failed attempt
+    // leaves req.bytes intact, which both the retry loop here and the
+    // failure hand-back below rely on.
+    const util::Status status = run_retrying(
+        req.key, [&] { return backend_->store(req.key, std::move(req.bytes)); });
     span.close();
     if (req.store_done) {
       // Failed stores hand the payload back: the caller holds the object's

@@ -16,12 +16,30 @@
 #include <vector>
 
 #include "util/archive.hpp"
+#include "util/crc32.hpp"
 #include "util/status.hpp"
 
 namespace mrts::storage {
 
 /// Takes the writer's bytes and appends the payload CRC32 trailer.
 [[nodiscard]] std::vector<std::byte> seal_blob(util::ByteWriter&& w);
+
+/// Zero-copy seal-in-place: writes a length-prefixed sealed blob (the exact
+/// bytes `w.write_vector(seal_blob(std::move(body)))` would produce) into
+/// `w` by serializing the payload via `fn(ByteWriter&)` directly at its
+/// final position, computing the CRC over the written span, and patching
+/// the length prefix — no intermediate payload vector, no blob copy.
+template <typename Fn>
+void write_sealed(util::ByteWriter& w, Fn&& fn) {
+  const std::size_t len_at = w.write_placeholder<std::uint64_t>();
+  const std::size_t body_at = w.size();
+  fn(w);
+  const std::size_t body_len = w.size() - body_at;
+  const std::uint32_t crc = util::crc32(w.bytes().subspan(body_at, body_len));
+  w.write(crc);
+  w.patch<std::uint64_t>(len_at,
+                         static_cast<std::uint64_t>(body_len + sizeof(crc)));
+}
 
 /// The trailing CRC32 of a sealed blob (0 for blobs too short to carry
 /// one). Two sealed blobs with equal seal CRCs carry identical payloads

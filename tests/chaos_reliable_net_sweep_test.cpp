@@ -78,16 +78,24 @@ struct SweepOutcome {
   std::uint64_t expected = 0;
   std::uint64_t injected_faults = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t ams_sent = 0;
   std::string trace_text;
   std::uint32_t trace_crc = 0;
   InvariantReport invariants;
   bool timed_out = false;
 };
 
-SweepOutcome run_sweep_config(std::uint64_t seed, bool with_faults) {
+SweepOutcome run_sweep_config(std::uint64_t seed, bool with_faults,
+                              bool batched = false) {
   ChaosPlan plan = with_faults ? lossy_fault_plan(seed) : ChaosPlan{.seed = seed};
   Harness harness(plan);
   core::ClusterOptions options = reliable_options();
+  if (batched) {
+    // Aggregation on: up to eight AMs per DATA frame, flushed at the end of
+    // every control-loop sweep (and by age-out/ack/retransmit boundaries).
+    options.runtime.reliable_net.batch_max_records = 8;
+  }
   harness.instrument(options);
   core::Cluster cluster(options);
   HopWorkload workload(cluster, sweep_workload(seed));
@@ -109,7 +117,11 @@ SweepOutcome run_sweep_config(std::uint64_t seed, bool with_faults) {
                         count_substr(out.trace_text, "] net delay ");
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     const auto* link = cluster.node(static_cast<net::NodeId>(i)).reliable_link();
-    if (link != nullptr) out.retransmits += link->retransmits();
+    if (link != nullptr) {
+      out.retransmits += link->retransmits();
+      out.batches += link->batches();
+      out.ams_sent += link->ams_sent();
+    }
   }
   return out;
 }
@@ -165,6 +177,24 @@ TEST_P(ReliableNetSeedSweep, LossyFabricYieldsByteIdenticalResults) {
   // twin: every dropped frame was retransmitted, every duplicate
   // suppressed, every reorder straightened out before dispatch.
   EXPECT_EQ(faulted.digest, clean.digest) << "seed " << seed;
+
+  // Aggregation twin: same seed, same fault schedule, batch_max_records = 8.
+  // The wire cadence changes completely — fewer, larger DATA frames, one
+  // seq/ack/retransmit-timer per batch — but the application history must
+  // not: digest-equal to the fault-free run, zero invariant violations, and
+  // the inner-AM exactly-once ledger (ams_sent == ams_dispatched, checked
+  // inside check_exactly_once) holds across drops of whole batches.
+  const SweepOutcome batched =
+      run_sweep_config(seed, /*with_faults=*/true, /*batched=*/true);
+  ASSERT_FALSE(batched.timed_out);
+  EXPECT_EQ(batched.executed, batched.expected);
+  EXPECT_TRUE(batched.invariants.ok())
+      << "batched seed " << seed << ":\n"
+      << batched.invariants.to_string();
+  EXPECT_EQ(batched.digest, clean.digest) << "batched seed " << seed;
+  // Aggregation must actually engage: strictly fewer frames than AMs.
+  EXPECT_GT(batched.batches, 0u);
+  EXPECT_LT(batched.batches, batched.ams_sent) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(TwentySeeds, ReliableNetSeedSweep,
@@ -179,6 +209,25 @@ TEST(ReliableNetReplay, LossyRunReplaysByteIdentical) {
   ASSERT_GT(a.trace_text.size(), 0u);
   EXPECT_GT(a.injected_faults, 0u);
   EXPECT_GT(a.retransmits, 0u);
+  EXPECT_EQ(a.trace_crc, b.trace_crc);
+  EXPECT_EQ(a.trace_text, b.trace_text);  // byte-identical, not just CRC
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// Same bar with aggregation on: the batch flush schedule (thresholds,
+// age-out, end-of-sweep flush, retransmit boundaries) is pure virtual-time
+// state, so a batched lossy run replays byte for byte too — same frames,
+// same fills, same retransmit schedule.
+TEST(ReliableNetReplay, BatchedLossyRunReplaysByteIdentical) {
+  const SweepOutcome a =
+      run_sweep_config(5, /*with_faults=*/true, /*batched=*/true);
+  const SweepOutcome b =
+      run_sweep_config(5, /*with_faults=*/true, /*batched=*/true);
+  ASSERT_GT(a.trace_text.size(), 0u);
+  EXPECT_GT(a.injected_faults, 0u);
+  EXPECT_GT(a.batches, 0u);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.ams_sent, b.ams_sent);
   EXPECT_EQ(a.trace_crc, b.trace_crc);
   EXPECT_EQ(a.trace_text, b.trace_text);  // byte-identical, not just CRC
   EXPECT_EQ(a.digest, b.digest);

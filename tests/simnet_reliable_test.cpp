@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/reliable.hpp"
 #include "util/archive.hpp"
@@ -178,6 +179,217 @@ TEST(ReliableLink, FlowSnapshotsBalanceAtQuiescence) {
     }
     for (const auto& rx : net.links[n]->rx_flows()) {
       EXPECT_EQ(rx.dispatched, 50u);
+      EXPECT_EQ(rx.buffered, 0u);
+    }
+  }
+}
+
+// --- small-message aggregation -------------------------------------------
+//
+// On the wire one record costs 4 (channel) + 8 (length) + 8 (u64 payload)
+// = 20 bytes; the frame header ahead of the records is 12 bytes. The byte-
+// threshold test below leans on those exact numbers.
+
+ReliableOptions batched_options(std::size_t max_records,
+                                std::size_t max_bytes = 8 * 1024,
+                                std::uint64_t flush_ticks = 1) {
+  ReliableOptions o = LinkPair::fast_options();
+  o.batch_max_records = max_records;
+  o.batch_max_bytes = max_bytes;
+  o.batch_flush_ticks = flush_ticks;
+  return o;
+}
+
+TEST(ReliableBatch, FlushOnAnIdleLinkIsANoOp) {
+  LinkPair net(batched_options(8));
+  EXPECT_FALSE(net.links[0]->flush());
+  EXPECT_FALSE(net.links[0]->on_tick());
+  EXPECT_EQ(net.fabric.stats().messages_sent, 0u);
+  EXPECT_FALSE(net.links[0]->has_unacked());
+  EXPECT_EQ(net.links[0]->batches(), 0u);
+}
+
+TEST(ReliableBatch, SweepCoalescesIntoOneFrameAndBalances) {
+  auto& fill = obs::MetricsRegistry::global().histogram("net.batch_fill");
+  const std::uint64_t fill_count_before = fill.count();
+  LinkPair net(batched_options(/*max_records=*/100));
+  // Mix the copying and the zero-copy send paths inside one batch: both
+  // must produce the identical record framing.
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    if (v % 2 == 0) {
+      net.send(0, 1, v);
+    } else {
+      net.links[0]->send_with(1, /*channel=*/0, sizeof v,
+                              [&](util::ByteWriter& w) { w.write(v); });
+    }
+  }
+  // Nothing hit a threshold: the batch is still open, counted as unacked
+  // (quiescence must not close over a parked AM), and nothing is on the
+  // wire yet.
+  EXPECT_EQ(net.fabric.stats().messages_sent, 0u);
+  EXPECT_TRUE(net.links[0]->has_unacked());
+  ASSERT_TRUE(net.links[0]->flush());
+  EXPECT_EQ(net.fabric.stats().messages_sent, 1u);  // ten AMs, ONE frame
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(10));
+  EXPECT_EQ(net.links[0]->batches(), 1u);
+  EXPECT_EQ(net.links[0]->ams_sent(), 10u);
+  EXPECT_EQ(net.links[0]->zero_copy_bytes(), 5 * sizeof(std::uint64_t));
+  EXPECT_EQ(fill.count() - fill_count_before, 1u);
+  for (const auto& tx : net.links[0]->tx_flows()) {
+    EXPECT_EQ(tx.sent, 1u);
+    EXPECT_EQ(tx.ams_sent, 10u);
+    EXPECT_EQ(tx.open_records, 0u);
+  }
+  for (const auto& rx : net.links[1]->rx_flows()) {
+    EXPECT_EQ(rx.dispatched, 1u);
+    EXPECT_EQ(rx.ams_dispatched, 10u);
+  }
+}
+
+TEST(ReliableBatch, RecordThresholdFlushesExactlyAtTheBoundary) {
+  LinkPair net(batched_options(/*max_records=*/3));
+  for (std::uint64_t v = 1; v <= 3; ++v) net.send(0, 1, v);
+  EXPECT_EQ(net.fabric.stats().messages_sent, 1u);  // flushed on the 3rd
+  net.send(0, 1, 4);
+  net.send(0, 1, 5);
+  EXPECT_EQ(net.fabric.stats().messages_sent, 1u);  // 2 records: still open
+  ASSERT_TRUE(net.links[0]->flush());
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(5));
+  EXPECT_EQ(net.links[0]->batches(), 2u);
+  EXPECT_EQ(net.links[0]->ams_sent(), 5u);
+}
+
+TEST(ReliableBatch, ByteThresholdFlushesExactlyAtTheBoundary) {
+  // 40 payload bytes = exactly two 20-byte records: the batch must flush on
+  // the 2nd record (>= threshold), never on the 1st.
+  LinkPair net(batched_options(/*max_records=*/100, /*max_bytes=*/40));
+  for (std::uint64_t v = 1; v <= 5; ++v) net.send(0, 1, v);
+  EXPECT_EQ(net.fabric.stats().messages_sent, 2u);  // records 1-2, 3-4
+  ASSERT_TRUE(net.links[0]->flush());               // record 5
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(5));
+  EXPECT_EQ(net.links[0]->batches(), 3u);
+}
+
+TEST(ReliableBatch, OpenBatchAgesOutAfterBatchFlushTicks) {
+  LinkPair net(batched_options(/*max_records=*/100, /*max_bytes=*/8 * 1024,
+                               /*flush_ticks=*/2));
+  net.send(0, 1, 1);
+  EXPECT_EQ(net.fabric.stats().messages_sent, 0u);
+  EXPECT_FALSE(net.links[0]->on_tick());  // age 1 < 2: still parked
+  EXPECT_EQ(net.fabric.stats().messages_sent, 0u);
+  EXPECT_TRUE(net.links[0]->on_tick());  // age 2: flushed by the tick path
+  EXPECT_EQ(net.fabric.stats().messages_sent, 1u);
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(1));
+}
+
+TEST(ReliableBatch, BatchSpanningABlackoutIsDroppedAndRecoveredWhole) {
+  LinkPair net(batched_options(/*max_records=*/4));
+  NetFaultPlan plan;
+  plan.drop_handler = net.links[0]->data_handler_id();
+  plan.drop_handler_windows = {{.begin_step = 0, .end_step = 1}};
+  net.fabric.enable_chaos(plan, nullptr);
+  for (std::uint64_t v = 1; v <= 8; ++v) net.send(0, 1, v);
+  // Eight AMs crossed the blackout as TWO frames; both vanish whole.
+  EXPECT_EQ(net.fabric.stats().messages_dropped, 2u);
+  EXPECT_TRUE(net.links[0]->has_unacked());
+  net.fabric.endpoint(1).poll();
+  EXPECT_TRUE(net.received[1].empty());
+  net.fabric.advance_step(1);
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(8));
+  EXPECT_GE(net.links[0]->retransmits(), 2u);
+  EXPECT_EQ(net.links[1]->dispatch_order_violations(), 0u);
+  for (const auto& rx : net.links[1]->rx_flows()) {
+    EXPECT_EQ(rx.ams_dispatched, 8u);
+  }
+}
+
+TEST(ReliableBatch, EvictedBatchLeavesEveryInnerAmToRetransmission) {
+  // Satellite regression for the reorder-window seam: when a BATCH frame is
+  // refused beyond the window, every inner AM must stay with the sender's
+  // retransmission state — no partial dispatch, no partial loss.
+  ReliableOptions options = batched_options(/*max_records=*/2);
+  options.reorder_window = 2;
+  LinkPair net(options);
+  NetFaultPlan plan;
+  plan.drop_handler = net.links[0]->data_handler_id();
+  plan.drop_handler_windows = {{.begin_step = 0, .end_step = 1}};
+  net.fabric.enable_chaos(plan, nullptr);
+  net.send(0, 1, 1);
+  net.send(0, 1, 2);  // seq 1 (AMs 1-2): dropped whole
+  net.fabric.advance_step(1);
+  // next_expected=1, window=2: seq 2 (AMs 3-4) parks, seqs 3-5 are refused.
+  for (std::uint64_t v = 3; v <= 10; ++v) net.send(0, 1, v);
+  net.fabric.endpoint(1).poll();
+  EXPECT_TRUE(net.received[1].empty());  // atomically: not one AM leaked
+  EXPECT_EQ(net.links[1]->rx_buffered(), 1u);
+  ASSERT_EQ(net.links[1]->rx_flows().size(), 1u);
+  EXPECT_EQ(net.links[1]->rx_flows()[0].evicted, 3u);
+  ASSERT_TRUE(net.pump());
+  EXPECT_EQ(net.received[1], iota(10));
+  EXPECT_EQ(net.links[1]->dispatch_order_violations(), 0u);
+  EXPECT_EQ(net.links[1]->rx_flows()[0].ams_dispatched, 10u);
+  EXPECT_EQ(net.links[0]->ams_sent(), 10u);
+}
+
+TEST(ReliableBatch, CumulativeAckSamplesRttOncePerFrame) {
+  // Ack-accounting golden: five outstanding frames retired by cumulative
+  // acks must contribute EXACTLY five net.ack_rtt_us samples — one per
+  // frame, measured from its first transmission — no matter how many acks
+  // (originals, re-acks for suppressed dups) eventually arrive.
+  auto& rtt = obs::MetricsRegistry::global().histogram("net.ack_rtt_us");
+  const std::uint64_t samples_before = rtt.count();
+  LinkPair net;  // fast_options, batching off: five frames on the wire
+  NetFaultPlan plan;
+  plan.drop_handler = net.links[0]->ack_handler_id();
+  plan.drop_handler_windows = {{.begin_step = 0, .end_step = 1}};
+  net.fabric.enable_chaos(plan, nullptr);
+  for (std::uint64_t v = 1; v <= 5; ++v) net.send(0, 1, v);
+  net.fabric.endpoint(1).poll();           // delivers 5, acks all dropped
+  EXPECT_EQ(net.received[1], iota(5));
+  EXPECT_EQ(net.fabric.stats().messages_dropped, 5u);
+  EXPECT_TRUE(net.links[0]->has_unacked());
+  net.fabric.advance_step(1);
+  ASSERT_TRUE(net.pump());  // retransmits -> dups suppressed -> re-acked
+  EXPECT_FALSE(net.links[0]->has_unacked());
+  EXPECT_GE(net.links[1]->dups_suppressed(), 5u);
+  EXPECT_EQ(rtt.count() - samples_before, 5u);
+}
+
+TEST(ReliableBatch, ChaosGoldenBalancesFabricStatsAndAmAccounting) {
+  // FabricChaos stats golden under aggregation: drops, dups, and reorders
+  // against batch frames must still zero out at quiescence, at BOTH
+  // ledgers — fabric frame copies and inner-AM exactly-once counts.
+  LinkPair net(batched_options(/*max_records=*/4));
+  net.fabric.enable_chaos(
+      NetFaultPlan{
+          .drop_rate = 0.1, .dup_rate = 0.3, .reorder_rate = 0.3, .seed = 5},
+      nullptr);
+  for (std::uint64_t v = 1; v <= 50; ++v) net.send(0, 1, v);
+  for (std::uint64_t v = 1; v <= 50; ++v) net.send(1, 0, v);
+  net.links[0]->flush();
+  net.links[1]->flush();
+  ASSERT_TRUE(net.pump());
+  // Digest equality with the unbatched twin: same AMs, same order.
+  EXPECT_EQ(net.received[0], iota(50));
+  EXPECT_EQ(net.received[1], iota(50));
+  const FabricStats stats = net.fabric.stats();
+  EXPECT_EQ(stats.messages_delivered,
+            stats.messages_sent + stats.messages_duplicated -
+                stats.messages_dropped);
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_LT(net.links[n]->batches(), 50u);  // aggregation actually engaged
+    for (const auto& tx : net.links[n]->tx_flows()) {
+      EXPECT_EQ(tx.ams_sent, 50u);
+      EXPECT_EQ(tx.open_records, 0u);
+      EXPECT_EQ(tx.unacked, 0u);
+    }
+    for (const auto& rx : net.links[n]->rx_flows()) {
+      EXPECT_EQ(rx.ams_dispatched, 50u);
       EXPECT_EQ(rx.buffered, 0u);
     }
   }

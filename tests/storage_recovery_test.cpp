@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "storage/circuit_breaker.hpp"
 #include "storage/fault_store.hpp"
 #include "storage/mem_store.hpp"
@@ -20,6 +22,95 @@ std::vector<std::byte> sealed_payload(std::uint64_t fill, std::size_t words) {
   util::ByteWriter w;
   for (std::size_t i = 0; i < words; ++i) w.write(fill + i);
   return seal_blob(std::move(w));
+}
+
+// --- Sealed blobs -----------------------------------------------------------
+
+TEST(SealedBlob, WriteSealedMatchesSealAndCopyByteForByte) {
+  // The zero-copy seal-in-place must produce exactly the bytes the classic
+  // stage-seal-copy pipeline produced: a length-prefixed payload+CRC vector.
+  util::ByteWriter staged;
+  staged.write<std::uint32_t>(0xC0FFEE);
+  {
+    util::ByteWriter body;
+    body.write<std::uint64_t>(42);
+    body.write_string("payload");
+    staged.write_vector(seal_blob(std::move(body)));
+  }
+
+  util::ByteWriter direct;
+  direct.write<std::uint32_t>(0xC0FFEE);
+  write_sealed(direct, [](util::ByteWriter& body) {
+    body.write<std::uint64_t>(42);
+    body.write_string("payload");
+  });
+
+  const auto a = staged.bytes();
+  const auto b = direct.bytes();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+
+  // And the result unseals.
+  util::ByteReader r(direct.bytes());
+  (void)r.read<std::uint32_t>();
+  const auto blob = r.read_byte_span();
+  auto payload = unseal_blob(blob);
+  ASSERT_TRUE(payload.is_ok());
+  util::ByteReader body(payload.value());
+  EXPECT_EQ(body.read<std::uint64_t>(), 42u);
+  EXPECT_EQ(body.read_string(), "payload");
+}
+
+TEST(SealedBlob, WriteSealedIntoSinkSealsOnlyItsOwnSpan) {
+  // In sink mode the writer appends into a buffer that already has
+  // contents; the CRC must cover only the payload written by `fn`.
+  std::vector<std::byte> sink(13, std::byte{0x5A});
+  util::ByteWriter w(sink);
+  write_sealed(w, [](util::ByteWriter& body) { body.write_string("inner"); });
+  util::ByteReader r(std::span<const std::byte>(sink).subspan(13));
+  auto payload = unseal_blob(r.read_byte_span());
+  ASSERT_TRUE(payload.is_ok());
+  util::ByteReader body(payload.value());
+  EXPECT_EQ(body.read_string(), "inner");
+}
+
+TEST(MemStore, MoveStoreAdoptsBufferAndBalancesStats) {
+  MemStore store;
+  auto blob = sealed_payload(7, 16);
+  const auto size = blob.size();
+  ASSERT_TRUE(store.store(1, std::move(blob)).is_ok());
+  EXPECT_EQ(store.stored_bytes(), size);
+  EXPECT_EQ(store.stats().bytes_written, size);
+  // Overwrite through the move path rebalances the byte gauge.
+  auto blob2 = sealed_payload(9, 4);
+  const auto size2 = blob2.size();
+  ASSERT_TRUE(store.store(1, std::move(blob2)).is_ok());
+  EXPECT_EQ(store.stored_bytes(), size2);
+  auto loaded = store.load(1);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value(), sealed_payload(9, 4));
+}
+
+TEST(ObjectStore, FailedStoreStillHandsPayloadBackUnderMovePath) {
+  // The execute path now offers the backend a move; a failing backend (no
+  // move override, faults injected before delegation) must leave the bytes
+  // for the hand-back — the caller holds the object's only copy.
+  FaultPlan plan;
+  plan.store_failure_rate = 1.0;
+  plan.seed = 7;
+  auto fault = std::make_unique<FaultStore>(std::make_unique<MemStore>(), plan);
+  ObjectStore store(std::move(fault), nullptr,
+                    ObjectStoreOptions{.retry = RetryPolicy{.max_retries = 1},
+                                       .synchronous = true});
+  const auto payload = sealed_payload(3, 8);
+  util::Status seen = util::Status::ok();
+  std::vector<std::byte> handed_back;
+  store.store_async(5, payload, [&](util::Status s, std::vector<std::byte> b) {
+    seen = std::move(s);
+    handed_back = std::move(b);
+  });
+  ASSERT_FALSE(seen.is_ok());
+  EXPECT_EQ(handed_back, payload);
 }
 
 // --- RetryPolicy ------------------------------------------------------------

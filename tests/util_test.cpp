@@ -88,6 +88,98 @@ TEST(Archive, TakeResetsWriter) {
   EXPECT_TRUE(w.empty());
 }
 
+// Corrupt-length regressions: a poisoned element count must fail with
+// ArchiveError BEFORE any allocation sized by it. The counts below would
+// demand gigabytes (or wrap the n*sizeof multiplication entirely) if the
+// readers still reserved first and bounds-checked later.
+
+TEST(Archive, CorruptVectorWithLengthThrowsBeforeReserve) {
+  ByteWriter w;
+  // Claims ~2^40 elements but carries only two real ones.
+  w.write<std::uint64_t>(1ull << 40);
+  w.write_string("a");
+  w.write<std::uint32_t>(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.read_vector_with<std::string>(
+                   [](ByteReader& in) { return in.read_string(); }),
+               ArchiveError);
+}
+
+TEST(Archive, CorruptVectorWithOverflowingLengthThrows) {
+  ByteWriter w;
+  // A count chosen so n * element_size wraps 64-bit arithmetic; the
+  // division-form check must still refuse it.
+  w.write<std::uint64_t>(~0ull);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.read_vector<std::uint64_t>(), ArchiveError);
+}
+
+TEST(Archive, CorruptMapLengthThrowsBeforeReserve) {
+  ByteWriter w;
+  std::unordered_map<std::uint64_t, std::uint64_t> m{{1, 2}, {3, 4}};
+  w.write_map(m);
+  auto bytes = w.take();
+  // Stamp the 8-byte count prefix with an implausible pair count. The
+  // payload that follows could never hold it.
+  const std::uint64_t bogus = 1ull << 50;
+  std::memcpy(bytes.data(), &bogus, sizeof(bogus));
+  ByteReader r(bytes);
+  EXPECT_THROW((void)(r.read_map<std::uint64_t, std::uint64_t>()),
+               ArchiveError);
+}
+
+TEST(Archive, TruncatedFrameLengthCountsRemainingNotTotal) {
+  // The length check must be against the bytes REMAINING at the field, not
+  // the total buffer: a count that fits the buffer but not the tail is
+  // corrupt. 32 bytes of padding up front, then a claim of 3 u64s with only
+  // 8 bytes left behind it.
+  ByteWriter w;
+  for (int i = 0; i < 4; ++i) w.write<std::uint64_t>(0);
+  w.write<std::uint64_t>(3);  // element count
+  w.write<std::uint64_t>(7);  // ...but a single element follows
+  ByteReader r(w.bytes());
+  for (int i = 0; i < 4; ++i) (void)r.read<std::uint64_t>();
+  EXPECT_THROW((void)r.read_vector<std::uint64_t>(), ArchiveError);
+}
+
+TEST(Archive, SinkModeAppendsInPlace) {
+  std::vector<std::byte> sink;
+  sink.push_back(std::byte{0xAB});  // pre-existing contents survive
+  ByteWriter w(sink);
+  w.write<std::uint32_t>(7);
+  w.write_string("xy");
+  EXPECT_FALSE(w.owning());
+  EXPECT_EQ(sink.size(), 1 + 4 + 8 + 2);
+  ByteReader r(std::span<const std::byte>(sink).subspan(1));
+  EXPECT_EQ(r.read<std::uint32_t>(), 7u);
+  EXPECT_EQ(r.read_string(), "xy");
+}
+
+TEST(Archive, PatchBackfillsPlaceholder) {
+  ByteWriter w;
+  const std::size_t at = w.write_placeholder<std::uint64_t>();
+  w.write_string("body");
+  w.patch<std::uint64_t>(at, w.size() - at - sizeof(std::uint64_t));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::uint64_t>(), 8u + 4u);  // string length field + text
+  EXPECT_EQ(r.read_string(), "body");
+}
+
+TEST(Archive, ZeroCopyViewsMatchOwningReads) {
+  ByteWriter w;
+  w.write_string("view me");
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.write_vector(payload);
+  ByteReader owning(w.bytes());
+  ByteReader viewing(w.bytes());
+  EXPECT_EQ(owning.read_string(), viewing.read_string_view());
+  const auto copy = owning.read_vector<std::byte>();
+  const auto view = viewing.read_byte_span();
+  ASSERT_EQ(copy.size(), view.size());
+  EXPECT_EQ(std::memcmp(copy.data(), view.data(), copy.size()), 0);
+  EXPECT_TRUE(viewing.exhausted());
+}
+
 TEST(Crc32, KnownVector) {
   // CRC-32("123456789") = 0xCBF43926, the classic check value.
   const char* s = "123456789";
