@@ -24,6 +24,7 @@ struct Config {
   const char* name;
   bool deterministic = false;
   bool faults = false;
+  bool degraded = false;
 };
 
 struct Outcome {
@@ -40,6 +41,13 @@ Outcome run_config(const Config& cfg, std::size_t routes) {
     plan.storage.load_failure_rate = 0.1;
     plan.net.delay_rate = 0.1;
     plan.net.max_delay_steps = 6;
+  }
+  if (cfg.degraded) {
+    plan.degraded.slow_disk_nodes = 1;
+    plan.degraded.slow_disk_ops = 96;
+    plan.degraded.slow_nic_nodes = 1;
+    plan.degraded.slow_nic_steps = 48;
+    plan.degraded.stall_bursts = 1;
   }
   chaos::Harness harness(plan);
 
@@ -83,6 +91,10 @@ int main() {
       {.name = "threaded"},
       {.name = "deterministic", .deterministic = true},
       {.name = "chaos", .deterministic = true, .faults = true},
+      {.name = "chaos+degraded",
+       .deterministic = true,
+       .faults = true,
+       .degraded = true},
   };
   for (const std::size_t routes : {64ul, 256ul}) {
     Table table({"driver", "routes", "seconds", "hops", "trace events",

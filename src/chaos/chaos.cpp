@@ -16,6 +16,7 @@ constexpr std::uint64_t kStorageDomain = 0x7374726full;     // "stor"
 constexpr std::uint64_t kPauseDomain = 0x7061757365ull;     // "pause"
 constexpr std::uint64_t kBlackoutDomain = 0x626c61636bull;  // "black"
 constexpr std::uint64_t kMembershipDomain = 0x6d656d62ull;  // "memb"
+constexpr std::uint64_t kGrayDomain = 0x67726179ull;        // "gray"
 
 std::uint64_t derive(std::uint64_t seed, std::uint64_t domain) {
   std::uint64_t s = seed ^ domain;
@@ -92,8 +93,60 @@ void Harness::instrument(core::ClusterOptions& options) {
   options.step_observer = this;
   options.fabric_observer = this;
 
-  if (plan_.net.any()) {
-    net::NetFaultPlan net = plan_.net;
+  // Gray-failure derivation: victims from a seeded shuffle of 1..N-1 (node
+  // 0 anchors workload roots), then slow-disk windows, stalling-NIC windows,
+  // and stall bursts, in that fixed draw order. Everything lands in plan
+  // structures that consume no RNG at run time, so the run replays byte for
+  // byte and the other chaos streams are untouched.
+  net::NetFaultPlan net = plan_.net;
+  if (plan_.degraded.any() && options.nodes > 1) {
+    const DegradedFaultPlan& g = plan_.degraded;
+    util::Rng rng(derive(plan_.seed, kGrayDomain));
+    std::vector<net::NodeId> victims;
+    victims.reserve(options.nodes - 1);
+    for (std::size_t i = 1; i < options.nodes; ++i) {
+      victims.push_back(static_cast<net::NodeId>(i));
+    }
+    for (std::size_t i = victims.size(); i > 1; --i) {
+      std::swap(victims[i - 1], victims[rng.below(i)]);
+    }
+    std::size_t vi = 0;  // shared cycle: a node can be sick on both axes
+    options.degraded_storage.assign(options.nodes,
+                                    storage::DegradedPlan{.base_op_us =
+                                                              g.base_op_us});
+    for (std::size_t k = 0; k < g.slow_disk_nodes; ++k) {
+      const net::NodeId node = victims[vi++ % victims.size()];
+      storage::DegradedWindow w;
+      w.begin_op = 1 + rng.below(
+          std::max<std::uint64_t>(g.slow_disk_horizon_ops, 1));
+      w.end_op = w.begin_op + std::max<std::uint64_t>(g.slow_disk_ops, 1);
+      w.inflation = g.slow_disk_inflation;
+      options.degraded_storage[node].windows.push_back(w);
+      trace_.note(util::format("slow-disk node={} ops=[{},{}) x{}", node,
+                               w.begin_op, w.end_op, w.inflation));
+    }
+    for (std::size_t k = 0; k < g.slow_nic_nodes; ++k) {
+      const net::NodeId node = victims[vi++ % victims.size()];
+      net::NetFaultPlan::DegradedLink w;
+      w.node = node;
+      w.begin_step = 1 + rng.below(
+          std::max<std::uint64_t>(g.slow_nic_horizon_steps, 1));
+      w.end_step = w.begin_step + std::max<std::uint64_t>(g.slow_nic_steps, 1);
+      w.delay_steps = g.slow_nic_delay_steps;
+      net.degraded_links.push_back(w);
+      trace_.note(util::format("slow-nic node={} steps=[{},{}) hold={}", node,
+                               w.begin_step, w.end_step, w.delay_steps));
+    }
+    for (std::size_t k = 0; k < g.stall_bursts; ++k) {
+      PauseWindow w;
+      w.node = victims[vi++ % victims.size()];
+      w.begin_step =
+          1 + rng.below(std::max<std::uint64_t>(g.stall_horizon_steps, 1));
+      w.end_step = w.begin_step + std::max<std::uint64_t>(g.stall_steps, 1);
+      pauses_.push_back(w);
+    }
+  }
+  if (net.any()) {
     net.seed = derive(plan_.seed, kNetDomain);
     options.net_faults = net;
   }

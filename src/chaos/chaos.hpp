@@ -35,6 +35,42 @@ struct PauseWindow {
   std::uint64_t end_step = 0;
 };
 
+/// Gray-failure plan: per-node latency-inflation windows for storage ops
+/// and net delivery plus intermittent full stalls, all derived from the
+/// master seed (kGrayDomain) and byte-replayable like every other plan.
+/// Victims are drawn from a seeded shuffle of nodes 1..N-1 (node 0 anchors
+/// workload roots, as with membership faults); disk and NIC victims are
+/// drawn from the same cycle, so with enough of each a node can be sick in
+/// both dimensions at once.
+struct DegradedFaultPlan {
+  /// Nodes given a slow-disk window (DegradedStore latency inflation).
+  std::size_t slow_disk_nodes = 0;
+  /// Window length in device op indices, beginning within [1, horizon].
+  std::uint64_t slow_disk_ops = 64;
+  std::uint64_t slow_disk_horizon_ops = 256;
+  /// Multiplier on base_op_us inside the window.
+  std::uint32_t slow_disk_inflation = 16;
+  /// Modeled per-op cost charged on EVERY node (healthy baseline), in
+  /// virtual microseconds; health scoring is relative, so the baseline
+  /// must exist everywhere.
+  std::uint64_t base_op_us = 50;
+  /// Nodes given a stalling-NIC window (fixed per-message park).
+  std::size_t slow_nic_nodes = 0;
+  /// Window length in driver steps, beginning within [1, horizon].
+  std::uint64_t slow_nic_steps = 48;
+  std::uint64_t slow_nic_horizon_steps = 192;
+  /// Fixed hold applied to each message sent by the victim in-window.
+  std::uint32_t slow_nic_delay_steps = 3;
+  /// Short full stalls (pause windows) derived per victim node.
+  std::size_t stall_bursts = 0;
+  std::uint64_t stall_steps = 4;
+  std::uint64_t stall_horizon_steps = 256;
+
+  [[nodiscard]] bool any() const {
+    return slow_disk_nodes > 0 || slow_nic_nodes > 0 || stall_bursts > 0;
+  }
+};
+
 struct ChaosPlan {
   /// Master seed; the node schedule, network faults, storage faults, and
   /// derived pauses all key off it.
@@ -61,6 +97,10 @@ struct ChaosPlan {
   std::uint64_t blackout_ops = 32;
   /// Blackouts begin within [1, blackout_horizon_ops].
   std::uint64_t blackout_horizon_ops = 512;
+  /// Gray failures: degraded-but-Up nodes (slow disk, stalling NIC, short
+  /// stall bursts). Latency only, never loss — the node keeps answering,
+  /// just late, which is exactly what the fail-stop machinery cannot see.
+  DegradedFaultPlan degraded;
   /// Slack the budget invariant allows over each node's memory budget
   /// (reloads may legally overshoot while queues drain).
   std::size_t budget_overshoot_bytes = 1u << 20;

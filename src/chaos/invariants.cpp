@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/health.hpp"
 #include "core/membership.hpp"
 #include "simnet/reliable.hpp"
 #include "util/format.hpp"
@@ -398,6 +399,82 @@ void check_recovery(core::Cluster& cluster, InvariantReport& out) {
             "node {} ledger records unrecoverable {} failure of {} ({})", i,
             core::to_string(rec.op), core::to_string(rec.object),
             rec.detail));
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Gray failures
+
+void check_gray(core::Cluster& cluster, const core::HealthMonitor* monitor,
+                InvariantReport& out) {
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    auto& rt = cluster.node(node);
+    // Nothing waits unboundedly on a degraded-but-Up node: at quiescence
+    // every frame it was sent is acked and everything it parked has flowed.
+    if (const net::ReliableLink* link = rt.reliable_link()) {
+      for (const auto& tx : link->tx_flows()) {
+        if (tx.unacked != 0) {
+          out.add(util::format(
+              "gray: node {} still waits on {} unacked frame(s) to node {}",
+              i, tx.unacked, tx.peer));
+        }
+        if (tx.open_records != 0) {
+          out.add(util::format(
+              "gray: node {} holds {} AM(s) in an unflushed batch to node {}",
+              i, tx.open_records, tx.peer));
+        }
+      }
+      for (const auto& rx : link->rx_flows()) {
+        if (rx.buffered != 0) {
+          out.add(util::format(
+              "gray: node {} parks {} frame(s) from node {} in its reorder "
+              "buffer",
+              i, rx.buffered, rx.peer));
+        }
+      }
+    }
+    // Latency must never escalate to loss: degradation plans inject no
+    // corruption, so any poisoning means a mitigation path gave up on a
+    // slow-but-correct device.
+    const auto& c = rt.counters();
+    const std::uint64_t poisoned =
+        c.objects_poisoned.load(std::memory_order_relaxed);
+    const std::uint64_t dropped =
+        c.poisoned_messages_dropped.load(std::memory_order_relaxed);
+    if (poisoned != 0) {
+      out.add(util::format(
+          "gray: node {} poisoned {} object(s) under latency-only faults", i,
+          poisoned));
+    }
+    if (dropped != 0) {
+      out.add(util::format(
+          "gray: node {} dropped {} message(s) under latency-only faults", i,
+          dropped));
+    }
+    for (const auto& rec : rt.failure_ledger().snapshot()) {
+      if (rec.resolution == core::FailureResolution::kPoisoned) {
+        out.add(util::format(
+            "gray: node {} ledger records unrecoverable {} failure of {} ({})",
+            i, core::to_string(rec.op), core::to_string(rec.object),
+            rec.detail));
+      }
+    }
+  }
+  if (monitor != nullptr) {
+    if (monitor->stats().samples == 0) {
+      out.add("gray: health monitor attached but never sampled");
+    }
+    for (std::size_t i = 0; i < monitor->size(); ++i) {
+      const core::NodeHealth& h =
+          monitor->node_health(static_cast<net::NodeId>(i));
+      if (h.recoveries > h.suspect_events) {
+        out.add(util::format(
+            "gray: node {} health machine recovered {} time(s) but was only "
+            "suspected {} time(s)",
+            i, h.recoveries, h.suspect_events));
       }
     }
   }

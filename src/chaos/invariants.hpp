@@ -26,6 +26,7 @@
 #include "simnet/fabric.hpp"
 
 namespace mrts::core {
+class HealthMonitor;
 class MembershipManager;
 }  // namespace mrts::core
 
@@ -104,6 +105,18 @@ void check_exactly_once(core::Cluster& cluster, InvariantReport& out);
 void check_membership(core::Cluster& cluster,
                       const core::MembershipManager& manager,
                       InvariantReport& out);
+
+/// Gray failures: a degraded-but-Up node slows the run down, it never hangs
+/// or corrupts it. At quiescence nothing may still be waiting on such a node
+/// — every reliable tx flow fully acked and flushed, every reorder buffer
+/// empty — and latency must never have escalated into loss: zero poisoned
+/// objects, zero messages dropped against poisoned objects, no kPoisoned
+/// ledger records. When a HealthMonitor drove the run, it must actually
+/// have sampled, and each node's recovery count can't exceed its suspect
+/// count (a stuck or double-counting state machine fails here). Pass
+/// monitor == nullptr for mitigation-off twins.
+void check_gray(core::Cluster& cluster, const core::HealthMonitor* monitor,
+                InvariantReport& out);
 
 /// Reliable-net: handlers observed strictly gap-free, in-order sequences on
 /// every flow (ReliableLink::dispatch_order_violations is zero everywhere),

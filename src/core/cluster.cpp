@@ -46,6 +46,16 @@ std::unique_ptr<storage::StorageBackend> make_spill_backend(
     base = std::make_unique<storage::LatencyStore>(std::move(base),
                                                    options.disk_model);
   }
+  if (node < options.degraded_storage.size() &&
+      options.degraded_storage[node].base_op_us > 0) {
+    // Between the device model and the fault injector: a degraded device is
+    // still the same device, just slower — and being under the replicated
+    // mirror is what lets a hedged read skip it.
+    storage::DegradedPlan plan = options.degraded_storage[node];
+    plan.tag = node;
+    base = std::make_unique<storage::DegradedStore>(std::move(base),
+                                                    std::move(plan));
+  }
   if (options.storage_faults.has_value()) {
     storage::FaultPlan plan = *options.storage_faults;
     // Derive a distinct stream per node so one shared plan does not fail

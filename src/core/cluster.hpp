@@ -24,6 +24,7 @@
 
 #include "core/runtime.hpp"
 #include "simnet/fabric.hpp"
+#include "storage/degraded_store.hpp"
 #include "storage/fault_store.hpp"
 #include "storage/latency_store.hpp"
 #include "storage/log_store.hpp"
@@ -99,6 +100,12 @@ struct ClusterOptions {
   /// Storage fault plan: each node's spill backend is wrapped in a
   /// FaultStore carrying a per-node derived seed and tag = node id.
   std::optional<storage::FaultPlan> storage_faults;
+  /// Gray-failure plans, indexed by node (nodes past the end get none): the
+  /// node's spill stack gains a DegradedStore charging modeled per-op cost
+  /// (inflated inside the plan's windows) into the virtual latency stats.
+  /// Placed UNDER the replicated mirror, so hedged reads can dodge a slow
+  /// primary device.
+  std::vector<storage::DegradedPlan> degraded_storage;
 
   // --- self-healing storage path ------------------------------------------
   /// Wrap each node's spill stack (including any FaultStore) in a

@@ -22,6 +22,7 @@ enum class FailureOp : std::uint8_t {
   kStore,
   kCheckpoint,
   kMigrate,  // membership-refused migration (target draining or down)
+  kNetwork,  // transport escalation (peer unresponsive past suspect_after)
 };
 
 enum class FailureResolution : std::uint8_t {
@@ -39,6 +40,7 @@ enum class FailureResolution : std::uint8_t {
     case FailureOp::kStore: return "store";
     case FailureOp::kCheckpoint: return "checkpoint";
     case FailureOp::kMigrate: return "migrate";
+    case FailureOp::kNetwork: return "network";
   }
   return "unknown";
 }

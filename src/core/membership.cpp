@@ -4,6 +4,8 @@
 #include <limits>
 #include <tuple>
 
+#include "core/health.hpp"
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -99,7 +101,12 @@ bool MembershipManager::node_up(NodeId node) const {
 }
 
 bool MembershipManager::node_accepting(NodeId node) const {
-  return node >= nodes_.size() || nodes_[node].state == MembershipState::kUp;
+  return node >= nodes_.size() || node_choosable(node);
+}
+
+bool MembershipManager::node_choosable(NodeId node) const {
+  return nodes_[node].state == MembershipState::kUp &&
+         (health_ == nullptr || health_->node_healthy(node));
 }
 
 bool MembershipManager::node_departed(NodeId node) const {
@@ -107,6 +114,11 @@ bool MembershipManager::node_departed(NodeId node) const {
 }
 
 NodeId MembershipManager::fallback_node(NodeId exclude) const {
+  // Preference order: healthy Up, then any Up (all-Suspect beats rerouting
+  // to a draining or dead node), then anything not Down.
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    if (id != exclude && node_choosable(id)) return id;
+  }
   for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
     if (id != exclude && nodes_[id].state == MembershipState::kUp) return id;
   }
@@ -384,6 +396,10 @@ void MembershipManager::try_claim_steal(std::uint64_t step) {
       victim = id;
       have_victim = true;
     }
+    // A Suspect node still makes a fine victim (shedding its queue is the
+    // point) but never a thief: handing it more work while it is slow is
+    // the anti-mitigation.
+    if (health_ != nullptr && !health_->node_healthy(id)) continue;
     // Queue ties break toward the node hosting the fewest objects, so a
     // freshly rejoined (empty) member wins the thief slot over survivors
     // that already absorbed earlier steals.
@@ -439,6 +455,15 @@ void MembershipManager::retarget_budgets() {
 
 NodeId MembershipManager::next_target(NodeId exclude) {
   const std::size_t n = nodes_.size();
+  // First pass wants healthy Up nodes; if every Up node is Suspect the
+  // second pass takes any of them rather than falling back to `exclude`.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cand = static_cast<NodeId>((rr_target_ + i) % n);
+    if (cand == exclude) continue;
+    if (!node_choosable(cand)) continue;
+    rr_target_ = (static_cast<std::size_t>(cand) + 1) % n;
+    return cand;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const auto cand = static_cast<NodeId>((rr_target_ + i) % n);
     if (cand == exclude) continue;

@@ -67,6 +67,8 @@ class Counter;
 
 namespace mrts::core {
 
+class HealthView;
+
 enum class MembershipState : std::uint8_t { kUp = 0, kDraining, kDown };
 
 [[nodiscard]] constexpr const char* to_string(MembershipState s) {
@@ -144,6 +146,14 @@ class MembershipManager final : public StepObserver, public MembershipView {
   /// on the next sweep).
   void schedule(MembershipEventSpec event);
 
+  /// Overlays gray-failure health onto liveness: a Suspect node stays Up
+  /// (it keeps serving, its traffic still flows) but node_accepting turns
+  /// false and placement round-robin, steal thief choice, and fallback
+  /// preference all route around it while any healthy alternative exists.
+  /// Installed by HealthMonitor::attach(cluster, manager); pass nullptr to
+  /// detach.
+  void set_health_view(const HealthView* health) { health_ = health; }
+
   // --- StepObserver --------------------------------------------------------
   bool node_runnable(NodeId node, std::uint64_t step) override;
   void on_step(std::uint64_t step) override;
@@ -203,8 +213,12 @@ class MembershipManager final : public StepObserver, public MembershipView {
   /// Hosted, non-poisoned objects on `node`, sorted by object id.
   [[nodiscard]] std::vector<MobilePtr> hosted_objects(NodeId node) const;
 
+  /// True when `node` is Up and no health overlay marks it Suspect.
+  [[nodiscard]] bool node_choosable(NodeId node) const;
+
   MembershipOptions options_;
   Cluster* cluster_ = nullptr;
+  const HealthView* health_ = nullptr;
   StepObserver* inner_ = nullptr;
   std::vector<NodeInfo> nodes_;
   std::size_t next_event_ = 0;

@@ -78,6 +78,23 @@ void Runtime::register_am_handlers() {
         });
     assert(reliable_->data_handler_id() == kAmReliableData);
     assert(reliable_->ack_handler_id() == kAmReliableAck);
+    // Transport escalation feeds the ledger (and through it HealthMonitor):
+    // a peer that ate suspect_after retransmits of one frame is recorded as
+    // a network failure, resolution kRetried — the link never gives up, it
+    // just stops being silent about the spin.
+    reliable_->set_suspect_callback(
+        [this](NodeId peer, std::uint64_t seq, int retransmits) {
+          ledger_.add(FailureRecord{
+              .object = MobilePtr{},
+              .node = node_,
+              .op = FailureOp::kNetwork,
+              .resolution = FailureResolution::kRetried,
+              .cause = util::StatusCode::kUnavailable,
+              .detail = util::format(
+                  "peer {} unresponsive: seq {} retransmitted {} times", peer,
+                  seq, retransmits),
+          });
+        });
   }
 }
 

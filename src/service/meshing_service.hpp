@@ -188,6 +188,10 @@ class MeshingService {
   [[nodiscard]] bool node_live(net::NodeId node) const {
     return membership_ == nullptr || membership_->node_up(node);
   }
+  /// Admission capacity follows node_accepting, which folds in any gray-
+  /// failure overlay (MembershipManager::set_health_view): a Suspect node
+  /// keeps its running jobs but offers no capacity to new admissions until
+  /// it recovers.
   [[nodiscard]] bool node_placeable(net::NodeId node) const {
     return membership_ == nullptr || membership_->node_accepting(node);
   }

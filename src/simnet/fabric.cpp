@@ -153,6 +153,23 @@ void Fabric::chaos_send(NodeId src, NodeId dst, AmHandlerId handler,
     emit(ev);
     return;
   }
+  // Degraded-link park BEFORE any random roll: the fixed hold consumes no
+  // randomness, so plans without windows — and the messages outside them —
+  // see exactly the RNG stream they always did.
+  for (const NetFaultPlan::DegradedLink& w : plan.degraded_links) {
+    if (w.node == src && current_step_ >= w.begin_step &&
+        current_step_ < w.end_step) {
+      const std::uint64_t release =
+          current_step_ + std::max<std::uint32_t>(w.delay_steps, 1);
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      messages_delayed_.fetch_add(1, std::memory_order_relaxed);
+      ev.kind = MsgEventKind::kDelay;
+      ev.release_step = release;
+      emit(ev);
+      held_.push_back(Held{dst, std::move(msg), release});
+      return;
+    }
+  }
   if (roll(plan.dup_rate)) {
     Endpoint::Incoming copy = msg;
     in_flight_.fetch_add(2, std::memory_order_acq_rel);

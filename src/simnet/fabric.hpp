@@ -93,11 +93,25 @@ struct NetFaultPlan {
   /// falls inside one of them, so a starvation drill can END and recovery
   /// afterward is assertable. Empty = drop forever (the legacy drill).
   std::vector<StepWindow> drop_handler_windows;
+  /// Gray failure: a stalling NIC. Every message SENT by `node` while the
+  /// driver's step is in [begin_step, end_step) is parked for a FIXED
+  /// `delay_steps` — no RNG draw is consumed, so adding windows leaves the
+  /// chaos RNG stream (and therefore every existing plan's fault schedule)
+  /// byte-identical. Messages are slow, never lost: degradation, not
+  /// partition.
+  struct DegradedLink {
+    NodeId node = 0;
+    std::uint64_t begin_step = 0;
+    std::uint64_t end_step = 0;
+    std::uint32_t delay_steps = 2;
+  };
+  std::vector<DegradedLink> degraded_links;
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool any() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
-           delay_rate > 0.0 || drop_handler.has_value();
+           delay_rate > 0.0 || drop_handler.has_value() ||
+           !degraded_links.empty();
   }
 };
 

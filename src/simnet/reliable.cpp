@@ -36,6 +36,8 @@ ReliableLink::ReliableLink(Endpoint& endpoint, ReliableOptions options,
       m_batches_(&obs::MetricsRegistry::global().counter("net.batches")),
       m_zero_copy_(&obs::MetricsRegistry::global().counter(
           "net.bytes_saved_zero_copy")),
+      m_peer_suspect_(
+          &obs::MetricsRegistry::global().counter("net.peer_suspect")),
       m_ack_rtt_(&obs::MetricsRegistry::global().histogram("net.ack_rtt_us")),
       m_batch_fill_(
           &obs::MetricsRegistry::global().histogram("net.batch_fill")) {
@@ -93,7 +95,7 @@ bool ReliableLink::flush_flow(NodeId dst, TxFlow& flow) {
       .records = flow.open_records,
       .attempt = 1,
       .sent_tick = tick_,
-      .retx_tick = tick_ + retx_delay_ticks(dst, seq, 1),
+      .retx_tick = tick_ + retx_delay_ticks(flow, dst, seq, 1),
   };
   flow.open_batch = {};
   flow.open_records = 0;
@@ -127,13 +129,26 @@ void ReliableLink::send_ack(NodeId dst, std::uint64_t cum) {
   endpoint_.send(dst, ack_id_, w.take());
 }
 
-std::uint64_t ReliableLink::retx_delay_ticks(NodeId dst, std::uint64_t seq,
+std::uint64_t ReliableLink::retx_delay_ticks(const TxFlow& flow, NodeId dst,
+                                             std::uint64_t seq,
                                              int attempt) const {
   // Growth is capped, attempts are not: delay_for's exponential scale stops
   // growing past max_retries + 1, so an arbitrarily long outage costs a
   // bounded (and deterministic) retransmit cadence, never a give-up.
   const int capped =
       std::min(attempt, options_.retransmit.max_retries + 1);
+  if (options_.adaptive_rto && flow.rtt_samples > 0) {
+    // RTO = srtt + 4 * rttvar (Jacobson/Karels), clamped, then doubled per
+    // attempt with the same growth cap as the fixed schedule. All integer
+    // tick arithmetic over virtual-time samples: replays byte-identically.
+    const std::uint64_t base = std::clamp<std::uint64_t>(
+        (flow.srtt_x8 >> 3) + flow.rttvar_x4, options_.min_rto_ticks,
+        options_.max_rto_ticks);
+    const auto shift = static_cast<std::uint64_t>(std::max(capped, 1) - 1);
+    const std::uint64_t grown =
+        shift >= 63 ? options_.max_rto_ticks : base << shift;
+    return std::clamp<std::uint64_t>(grown, 1, options_.max_rto_ticks);
+  }
   const std::uint64_t key =
       (static_cast<std::uint64_t>(dst) << 32) ^ seq;
   const auto us = options_.retransmit.delay_for(key, std::max(capped, 1));
@@ -165,10 +180,23 @@ bool ReliableLink::on_tick() {
     for (auto& [seq, frame] : flow.unacked) {
       if (frame.retx_tick > tick_) continue;
       ++frame.attempt;
-      frame.retx_tick = tick_ + retx_delay_ticks(dst, seq, frame.attempt);
+      frame.retx_tick = tick_ + retx_delay_ticks(flow, dst, seq, frame.attempt);
       transmit(dst, frame);
       ++retransmits_;
+      ++flow.retransmits;
       m_retransmits_->inc();
+      // Escalation: a frame retransmitted suspect_after times in a row has
+      // seen no ack progress for the whole backoff ladder — report the peer
+      // suspect exactly once (we keep retransmitting regardless; giving up
+      // is the membership layer's call, not the transport's).
+      const int consecutive = frame.attempt - 1;
+      if (options_.suspect_after > 0 && !frame.suspect_reported &&
+          consecutive >= options_.suspect_after) {
+        frame.suspect_reported = true;
+        ++peer_suspects_;
+        m_peer_suspect_->inc();
+        if (suspect_cb_) suspect_cb_(dst, seq, consecutive);
+      }
       did = true;
     }
   }
@@ -258,6 +286,24 @@ void ReliableLink::on_ack(NodeId src, util::ByteReader& in) {
     // duplicate) ack can sample it again.
     m_ack_rtt_->observe((tick_ - f->second.sent_tick) *
                         options_.tick_quantum_us);
+    // Karn's rule: only frames acked on their FIRST transmission feed the
+    // RTT estimator — a retransmitted frame's ack is ambiguous (it may
+    // answer either copy) and its sample is inflated by the backoff.
+    if (f->second.attempt == 1) {
+      const std::uint64_t sample = tick_ - f->second.sent_tick;
+      if (flow.rtt_samples == 0) {
+        flow.srtt_x8 = sample << 3;
+        flow.rttvar_x4 = sample << 1;
+      } else {
+        const std::uint64_t srtt = flow.srtt_x8 >> 3;
+        const std::uint64_t delta = sample > srtt ? sample - srtt
+                                                  : srtt - sample;
+        // rttvar = 3/4 rttvar + 1/4 delta; srtt = 7/8 srtt + 1/8 sample.
+        flow.rttvar_x4 = flow.rttvar_x4 - (flow.rttvar_x4 >> 2) + delta;
+        flow.srtt_x8 = flow.srtt_x8 - (flow.srtt_x8 >> 3) + sample;
+      }
+      ++flow.rtt_samples;
+    }
     f = unacked.erase(f);
   }
   // Empty pipe: nothing in flight toward this peer, so holding the open
@@ -289,6 +335,10 @@ std::vector<ReliableTxFlow> ReliableLink::tx_flows() const {
         .unacked = flow.unacked.size(),
         .ams_sent = flow.ams_sent,
         .open_records = flow.open_records,
+        .retransmits = flow.retransmits,
+        .srtt_ticks = flow.srtt_x8 >> 3,
+        .rttvar_ticks = flow.rttvar_x4 >> 2,
+        .rtt_samples = flow.rtt_samples,
     });
   }
   return out;

@@ -90,6 +90,23 @@ struct ReliableOptions {
   /// by on_tick(), bounding the latency a parked AM can accrue when its
   /// flow goes quiet before a threshold is reached.
   std::uint64_t batch_flush_ticks = 1;
+  /// Adaptive per-peer RTO (gray-failure mitigation): first-retransmit
+  /// deadlines computed Jacobson/Karels-style from the flow's observed ack
+  /// RTTs (integer fixed point, Karn's rule: only never-retransmitted
+  /// frames feed the estimator) instead of the fixed RetryPolicy base.
+  /// Per-attempt growth stays exponential and everything stays a pure
+  /// function of virtual ticks. Off by default: the fixed schedule is baked
+  /// into every existing sweep digest.
+  bool adaptive_rto = false;
+  /// Clamp on the adaptive first-retransmit deadline, in ticks.
+  std::uint64_t min_rto_ticks = 4;
+  std::uint64_t max_rto_ticks = 2000;
+  /// Escalation: after this many consecutive retransmits of the SAME frame
+  /// the peer is reported suspect — `net.peer_suspect` counter plus the
+  /// owner's suspect callback (the Runtime writes a FailureLedger record
+  /// feeding HealthMonitor) — so a gray peer is surfaced, never silently
+  /// spun on. Reported once per frame. 0 disables.
+  int suspect_after = 6;
 };
 
 /// Per-destination sender-side flow snapshot (for invariant checkers).
@@ -100,6 +117,11 @@ struct ReliableTxFlow {
   std::uint64_t unacked = 0; // still awaiting ack (retransmit candidates)
   std::uint64_t ams_sent = 0;     // inner AMs accepted by send()/send_with()
   std::uint64_t open_records = 0; // AMs parked in the open batch (0 at rest)
+  // Health signals (HealthMonitor differences these between samples).
+  std::uint64_t retransmits = 0;  // retransmissions toward this peer
+  std::uint64_t srtt_ticks = 0;   // smoothed ack RTT, virtual ticks
+  std::uint64_t rttvar_ticks = 0; // RTT mean deviation, virtual ticks
+  std::uint64_t rtt_samples = 0;  // Karn-eligible samples folded in
 };
 
 /// Per-source receiver-side flow snapshot (for invariant checkers).
@@ -119,6 +141,11 @@ class ReliableLink {
   /// inside Endpoint::poll.
   using Dispatch =
       std::function<void(NodeId src, AmHandlerId channel, util::ByteReader&)>;
+
+  /// Invoked (at most once per frame) when a frame crosses suspect_after
+  /// consecutive retransmits: the peer is probably degraded or gone.
+  using SuspectCallback =
+      std::function<void(NodeId peer, std::uint64_t seq, int retransmits)>;
 
   /// Registers the DATA and ACK handlers on `endpoint` — construction order
   /// is part of the wire contract, exactly like the runtime's own handlers.
@@ -206,6 +233,12 @@ class ReliableLink {
   [[nodiscard]] std::uint64_t dispatch_order_violations() const {
     return order_violations_;
   }
+  /// Frames that crossed the suspect_after retransmit threshold (each
+  /// counted once, however long it keeps retransmitting afterward).
+  [[nodiscard]] std::uint64_t peer_suspects() const { return peer_suspects_; }
+  void set_suspect_callback(SuspectCallback cb) {
+    suspect_cb_ = std::move(cb);
+  }
 
  private:
   struct Pending {
@@ -216,11 +249,19 @@ class ReliableLink {
     int attempt = 1;               // transmissions so far
     std::uint64_t sent_tick = 0;   // flush (first transmission; ack RTT basis)
     std::uint64_t retx_tick = 0;   // next retransmission deadline
+    bool suspect_reported = false; // suspect_after escalation fired already
   };
   struct TxFlow {
     std::uint64_t next_seq = 1;
     std::uint64_t cum_acked = 0;
     std::uint64_t ams_sent = 0;
+    /// Jacobson/Karels estimator state in fixed point (srtt << 3 and
+    /// rttvar << 2, both in virtual ticks). Always maintained — it is a
+    /// health signal even when adaptive_rto leaves the schedule fixed.
+    std::uint64_t srtt_x8 = 0;
+    std::uint64_t rttvar_x4 = 0;
+    std::uint64_t rtt_samples = 0;
+    std::uint64_t retransmits = 0;
     std::map<std::uint64_t, Pending> unacked;
     /// Open batch: wire frame under construction, header placeholder
     /// written at open, seq/count patched at flush.
@@ -258,7 +299,8 @@ class ReliableLink {
   void send_ack(NodeId dst, std::uint64_t cum);
   void dispatch_frame(NodeId src, RxFlow& flow, std::uint64_t seq,
                       std::uint32_t records, std::span<const std::byte> payload);
-  [[nodiscard]] std::uint64_t retx_delay_ticks(NodeId dst, std::uint64_t seq,
+  [[nodiscard]] std::uint64_t retx_delay_ticks(const TxFlow& flow, NodeId dst,
+                                               std::uint64_t seq,
                                                int attempt) const;
 
   Endpoint& endpoint_;
@@ -276,12 +318,15 @@ class ReliableLink {
   std::uint64_t batches_ = 0;
   std::uint64_t ams_sent_ = 0;
   std::uint64_t zero_copy_bytes_ = 0;
+  std::uint64_t peer_suspects_ = 0;
+  SuspectCallback suspect_cb_;
   obs::Counter* m_retransmits_;       // net.retransmits
   obs::Counter* m_dups_suppressed_;   // net.dups_suppressed
   obs::Counter* m_reorder_buffered_;  // net.reorder_buffered
   obs::Counter* m_reorder_evicted_;   // net.reorder_evicted
   obs::Counter* m_batches_;           // net.batches
   obs::Counter* m_zero_copy_;         // net.bytes_saved_zero_copy
+  obs::Counter* m_peer_suspect_;      // net.peer_suspect
   obs::HistogramMetric* m_ack_rtt_;   // net.ack_rtt_us (virtual us)
   obs::HistogramMetric* m_batch_fill_;  // net.batch_fill (records per frame)
 };

@@ -42,6 +42,14 @@ struct BackendStats {
   std::uint64_t compactions = 0;       // sealed segments rewritten/dropped
   std::uint64_t compacted_bytes = 0;   // live framed bytes rewritten
   std::uint64_t records_dropped = 0;   // dead records dropped by compaction
+  // --- modeled device time (LatencyStore / DegradedStore) -----------------
+  /// Accumulated *virtual* microseconds of modeled device cost, charged per
+  /// op as a pure function of the op schedule (never wall clock). This is
+  /// the health-scoring signal: HealthMonitor differences these between
+  /// samples to see a slow device deterministically, and the gray-failure
+  /// bench reports their sum as the reload-stall figure.
+  std::uint64_t virtual_store_latency_us = 0;
+  std::uint64_t virtual_load_latency_us = 0;
 };
 
 /// Abstract keyed blob store. Implementations must be thread-safe: the

@@ -1,0 +1,50 @@
+#include "storage/degraded_store.hpp"
+
+namespace mrts::storage {
+
+std::uint64_t DegradedStore::charge(std::uint64_t* bucket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t op = op_index_++;
+  std::uint64_t cost = plan_.base_op_us;
+  for (const auto& w : plan_.windows) {
+    if (op >= w.begin_op && op < w.end_op) {
+      cost = plan_.base_op_us * std::max<std::uint32_t>(w.inflation, 1);
+      ++degraded_ops_;
+      break;
+    }
+  }
+  *bucket += cost;
+  return cost;
+}
+
+util::Status DegradedStore::store(ObjectKey key,
+                                  std::span<const std::byte> bytes) {
+  charge(&virtual_store_us_);
+  return inner_->store(key, bytes);
+}
+
+util::Status DegradedStore::store(ObjectKey key,
+                                  std::vector<std::byte>&& bytes) {
+  charge(&virtual_store_us_);
+  return inner_->store(key, std::move(bytes));
+}
+
+util::Result<std::vector<std::byte>> DegradedStore::load(ObjectKey key) {
+  charge(&virtual_load_us_);
+  return inner_->load(key);
+}
+
+BackendStats DegradedStore::stats() const {
+  BackendStats s = inner_->stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.virtual_store_latency_us += virtual_store_us_;
+  s.virtual_load_latency_us += virtual_load_us_;
+  return s;
+}
+
+std::uint64_t DegradedStore::degraded_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_ops_;
+}
+
+}  // namespace mrts::storage

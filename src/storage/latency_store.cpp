@@ -4,6 +4,14 @@
 
 namespace mrts::storage {
 
+namespace {
+std::uint64_t cost_us(const DeviceModel& model, std::size_t bytes) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(model.cost(bytes))
+          .count());
+}
+}  // namespace
+
 std::chrono::nanoseconds DeviceModel::cost(std::size_t bytes) const {
   auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(access_latency);
   if (bandwidth_bytes_per_sec > 0.0) {
@@ -15,12 +23,16 @@ std::chrono::nanoseconds DeviceModel::cost(std::size_t bytes) const {
 
 util::Status LatencyStore::store(ObjectKey key,
                                  std::span<const std::byte> bytes) {
+  virtual_store_us_.fetch_add(cost_us(model_, bytes.size()),
+                              std::memory_order_relaxed);
   std::this_thread::sleep_for(model_.cost(bytes.size()));
   return inner_->store(key, bytes);
 }
 
 util::Status LatencyStore::store(ObjectKey key,
                                  std::vector<std::byte>&& bytes) {
+  virtual_store_us_.fetch_add(cost_us(model_, bytes.size()),
+                              std::memory_order_relaxed);
   std::this_thread::sleep_for(model_.cost(bytes.size()));
   return inner_->store(key, std::move(bytes));
 }
@@ -28,9 +40,19 @@ util::Status LatencyStore::store(ObjectKey key,
 util::Result<std::vector<std::byte>> LatencyStore::load(ObjectKey key) {
   auto result = inner_->load(key);
   if (result.is_ok()) {
+    virtual_load_us_.fetch_add(cost_us(model_, result.value().size()),
+                               std::memory_order_relaxed);
     std::this_thread::sleep_for(model_.cost(result.value().size()));
   }
   return result;
+}
+
+BackendStats LatencyStore::stats() const {
+  BackendStats s = inner_->stats();
+  s.virtual_store_latency_us +=
+      virtual_store_us_.load(std::memory_order_relaxed);
+  s.virtual_load_latency_us += virtual_load_us_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace mrts::storage

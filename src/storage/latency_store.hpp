@@ -5,6 +5,7 @@
 // Used to emulate the paper's cluster-era disks deterministically on fast
 // local storage, and to study the runtime's latency tolerance (Tables IV-VI).
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 
@@ -34,7 +35,10 @@ class LatencyStore final : public StorageBackend {
   bool contains(ObjectKey key) const override { return inner_->contains(key); }
   std::size_t count() const override { return inner_->count(); }
   std::uint64_t stored_bytes() const override { return inner_->stored_bytes(); }
-  BackendStats stats() const override { return inner_->stats(); }
+  /// Inner stats plus this decorator's modeled cost charged into the
+  /// virtual_*_latency_us fields, so health scoring and the stall figures
+  /// see the device model without timing real sleeps.
+  BackendStats stats() const override;
   void tick(std::uint64_t virtual_now) override { inner_->tick(virtual_now); }
 
   [[nodiscard]] const DeviceModel& model() const { return model_; }
@@ -42,6 +46,8 @@ class LatencyStore final : public StorageBackend {
  private:
   std::unique_ptr<StorageBackend> inner_;
   DeviceModel model_;
+  std::atomic<std::uint64_t> virtual_store_us_{0};
+  std::atomic<std::uint64_t> virtual_load_us_{0};
 };
 
 }  // namespace mrts::storage

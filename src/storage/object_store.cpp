@@ -16,7 +16,13 @@ ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
       disk_time_(disk_time),
       options_(options),
       queue_gauge_(&obs::MetricsRegistry::global().gauge(
-          util::format("storage.io_queue.node{}", options.trace_track))) {
+          util::format("storage.io_queue.node{}", options.trace_track))),
+      m_lat_store_(&obs::MetricsRegistry::global().histogram(
+          "storage.op_latency_us.store")),
+      m_lat_load_(&obs::MetricsRegistry::global().histogram(
+          "storage.op_latency_us.load")),
+      m_lat_erase_(&obs::MetricsRegistry::global().histogram(
+          "storage.op_latency_us.erase")) {
   assert(backend_ != nullptr);
   if (!options_.synchronous) {
     io_thread_ = std::thread([this] { io_loop(); });
@@ -123,7 +129,11 @@ util::Status ObjectStore::erase(ObjectKey key) {
   obs::ChargedSpan span(obs::Cat::kDisk, "erase",
                         static_cast<std::uint16_t>(options_.trace_track),
                         disk_time_);
-  return run_retrying(key, [&] { return backend_->erase(key); });
+  const util::WallTimer op_timer;
+  const util::Status status = run_retrying(key, [&] { return backend_->erase(key); });
+  m_lat_erase_->observe(
+      static_cast<std::uint64_t>(op_timer.elapsed().count()) / 1000);
+  return status;
 }
 
 void ObjectStore::drain() {
@@ -186,8 +196,11 @@ void ObjectStore::execute(Request& req) {
     // success only — per the StorageBackend contract a failed attempt
     // leaves req.bytes intact, which both the retry loop here and the
     // failure hand-back below rely on.
+    const util::WallTimer op_timer;
     const util::Status status = run_retrying(
         req.key, [&] { return backend_->store(req.key, std::move(req.bytes)); });
+    m_lat_store_->observe(
+        static_cast<std::uint64_t>(op_timer.elapsed().count()) / 1000);
     span.close();
     if (req.store_done) {
       // Failed stores hand the payload back: the caller holds the object's
@@ -199,10 +212,13 @@ void ObjectStore::execute(Request& req) {
   } else {
     util::Result<std::vector<std::byte>> result =
         util::Status(util::StatusCode::kUnavailable, "not attempted");
+    const util::WallTimer op_timer;
     run_retrying(req.key, [&] {
       result = backend_->load(req.key);
       return result.status();
     });
+    m_lat_load_->observe(
+        static_cast<std::uint64_t>(op_timer.elapsed().count()) / 1000);
     span.close();
     if (req.load_done) req.load_done(std::move(result));
   }

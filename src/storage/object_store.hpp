@@ -20,6 +20,7 @@
 
 namespace mrts::obs {
 class Gauge;
+class HistogramMetric;
 }  // namespace mrts::obs
 
 namespace mrts::storage {
@@ -119,6 +120,14 @@ class ObjectStore {
   util::TimeAccumulator* disk_time_;
   ObjectStoreOptions options_;
   obs::Gauge* queue_gauge_;  // registry-owned, process lifetime
+  // Per-op wall-latency distributions (storage.op_latency_us.{store,load,
+  // erase}), charged in the same path as the disk span so the Tables IV-VI
+  // breakdowns can show device slowness, not just op counts. Wall time is
+  // obs-only: health scoring reads the deterministic BackendStats
+  // virtual_*_latency_us fields instead.
+  obs::HistogramMetric* m_lat_store_;
+  obs::HistogramMetric* m_lat_load_;
+  obs::HistogramMetric* m_lat_erase_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

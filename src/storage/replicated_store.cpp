@@ -39,6 +39,20 @@ void ReplicatedStore::note_transition_locked(const char* what) {
                                        breaker_.opens());
 }
 
+void ReplicatedStore::update_hedge_ewma_locked() {
+  const BackendStats s = primary_->stats();
+  const std::uint64_t d_ops = s.load_ops - prev_load_ops_;
+  if (d_ops > 0) {
+    const std::uint64_t per_op =
+        (s.virtual_load_latency_us - prev_load_virtual_us_) / d_ops;
+    auto& ewma = rstats_.primary_load_ewma_us;
+    // alpha = 1/4, pure integer: bit-identical under replay.
+    ewma = ewma == 0 ? per_op : (3 * ewma + per_op) / 4;
+  }
+  prev_load_ops_ = s.load_ops;
+  prev_load_virtual_us_ = s.virtual_load_latency_us;
+}
+
 void ReplicatedStore::drain_overflow_locked() {
   for (auto it = overflow_.begin(); it != overflow_.end();) {
     if (primary_->store(it->first, it->second).is_ok()) {
@@ -120,11 +134,31 @@ util::Result<std::vector<std::byte>> ReplicatedStore::load(ObjectKey key) {
   util::Status primary_status(util::StatusCode::kNotFound,
                               "primary skipped: breaker open");
   const bool stale = primary_stale_.contains(key);
+  // Hedged read: if the primary has been slow lately (modeled per-load
+  // latency EWMA at or past the hedge trigger), race the mirror first. A
+  // sealed mirror hit wins and the slow primary op never runs — the
+  // deterministic version of firing a hedge and cancelling the loser. The
+  // primary copy stays valid (slow, not wrong), so no repair is needed.
+  if (options_.hedged_reads && !stale &&
+      rstats_.primary_load_ewma_us >= options_.hedge_latency_us) {
+    ++rstats_.hedged_reads;
+    auto h = mirror_->load(key);
+    if (h.is_ok() && (!options_.verify_seals || sealed_blob_valid(h.value()))) {
+      ++rstats_.hedge_wins;
+      // A winning hedge skips the primary, so the EWMA would never see the
+      // device heal. Decay it geometrically: after enough wins it drops
+      // below the trigger and the primary gets re-probed (and re-sampled).
+      rstats_.primary_load_ewma_us -= rstats_.primary_load_ewma_us / 16;
+      return std::move(h).value();
+    }
+    ++rstats_.hedge_losses;  // mirror couldn't serve it; primary path below
+  }
   if (!stale) {
     const BreakerState before = breaker_.state();
     if (breaker_.allow()) {
       if (breaker_.state() != before) note_transition_locked("breaker.probe");
       auto r = primary_->load(key);
+      update_hedge_ewma_locked();
       if (r.is_ok() &&
           (!options_.verify_seals || sealed_blob_valid(r.value()))) {
         const BreakerState mid = breaker_.state();

@@ -44,6 +44,16 @@ struct ReplicatedStoreOptions {
   /// treat a mismatch as a primary failure (the runtime seals all spill
   /// blobs). Disable if payloads are not sealed.
   bool verify_seals = true;
+  /// Hedged reads (gray-failure mitigation): when the primary's recent
+  /// per-load modeled latency (EWMA of the virtual_*_latency_us deltas it
+  /// reports) reaches hedge_latency_us, race the mirror *first*. A sealed
+  /// mirror hit wins and the slow primary op is skipped entirely — the
+  /// deterministic analogue of cancelling the losing leg; a mirror miss is
+  /// a hedge loss and falls through to the normal primary path. Off by
+  /// default: the knob must not perturb existing sweep digests.
+  bool hedged_reads = false;
+  /// Virtual-latency hedge trigger, in modeled microseconds per load.
+  std::uint64_t hedge_latency_us = 400;
   /// Metrics/trace track (the owning node id).
   std::uint32_t tag = 0;
 };
@@ -59,6 +69,11 @@ struct ReplicatedStats {
   std::uint64_t overflow_bytes = 0;       // bytes currently parked
   std::uint64_t breaker_opens = 0;
   std::uint64_t breaker_probes = 0;
+  std::uint64_t hedged_reads = 0;     // loads that raced the mirror first
+  std::uint64_t hedge_wins = 0;       // mirror answered; primary op skipped
+  std::uint64_t hedge_losses = 0;     // mirror couldn't; primary path ran
+  /// Primary per-load modeled latency EWMA driving the hedge decision.
+  std::uint64_t primary_load_ewma_us = 0;
   BreakerState breaker_state = BreakerState::kClosed;
 };
 
@@ -91,6 +106,9 @@ class ReplicatedStore final : public StorageBackend {
   [[nodiscard]] bool hard_failure(util::StatusCode code) const;
   /// Emits metrics + a trace instant; call with mutex_ held.
   void note_transition_locked(const char* what);
+  /// Folds the primary's modeled load cost since the last load into the
+  /// hedge EWMA; call with mutex_ held after a primary load attempt.
+  void update_hedge_ewma_locked();
   /// Re-plays parked overflow blobs into a freshly healed primary.
   void drain_overflow_locked();
 
@@ -108,6 +126,11 @@ class ReplicatedStore final : public StorageBackend {
   /// repair rewrites it. The stale-replica guard behind the sweep's
   /// no-silent-data-loss invariant.
   std::unordered_set<ObjectKey> primary_stale_;
+  /// Primary virtual-load-latency snapshot from the previous load, so each
+  /// load's modeled cost can be differenced into the hedge EWMA. Integer
+  /// arithmetic over deterministic inputs: replays bit-identically.
+  std::uint64_t prev_load_virtual_us_ = 0;
+  std::uint64_t prev_load_ops_ = 0;
   ReplicatedStats rstats_;
 };
 

@@ -61,6 +61,20 @@ ChaosPlan lossy_fault_plan(std::uint64_t seed) {
   return plan;
 }
 
+/// Delay-heavy plan: no loss at all — a quarter of all frames are parked for
+/// up to 8 steps. Nothing is ever missing, everything is merely *late*, so
+/// the retransmit timer races the still-in-flight original: every spurious
+/// retransmission produces a duplicate the receiver must suppress, and
+/// batched frames widen the blast radius (one late frame delays up to 8
+/// AMs and a retransmit duplicates all of them).
+ChaosPlan delay_heavy_plan(std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.net.delay_rate = 0.25;
+  plan.net.max_delay_steps = 8;
+  return plan;
+}
+
 HopWorkloadOptions sweep_workload(std::uint64_t seed) {
   HopWorkloadOptions wl;
   wl.objects_per_node = 4;
@@ -87,8 +101,10 @@ struct SweepOutcome {
 };
 
 SweepOutcome run_sweep_config(std::uint64_t seed, bool with_faults,
-                              bool batched = false) {
-  ChaosPlan plan = with_faults ? lossy_fault_plan(seed) : ChaosPlan{.seed = seed};
+                              bool batched = false, bool delay_heavy = false) {
+  ChaosPlan plan = with_faults ? (delay_heavy ? delay_heavy_plan(seed)
+                                              : lossy_fault_plan(seed))
+                               : ChaosPlan{.seed = seed};
   Harness harness(plan);
   core::ClusterOptions options = reliable_options();
   if (batched) {
@@ -195,6 +211,29 @@ TEST_P(ReliableNetSeedSweep, LossyFabricYieldsByteIdenticalResults) {
   // Aggregation must actually engage: strictly fewer frames than AMs.
   EXPECT_GT(batched.batches, 0u);
   EXPECT_LT(batched.batches, batched.ams_sent) << "seed " << seed;
+}
+
+// Pure-latency twin of the sweep above (gray-failure flavored): nothing is
+// dropped, a quarter of all frames are late, and aggregation is on, so
+// whole batches race their own retransmissions. The receiver's dedup +
+// reorder machinery must absorb every spurious duplicate — digest-equal to
+// the fault-free run, exactly-once and FIFO intact.
+TEST_P(ReliableNetSeedSweep, DelayHeavyBatchedFramesYieldByteIdentical) {
+  const std::uint64_t seed = GetParam();
+  const SweepOutcome clean = run_sweep_config(seed, /*with_faults=*/false);
+  ASSERT_FALSE(clean.timed_out);
+
+  const SweepOutcome delayed = run_sweep_config(
+      seed, /*with_faults=*/true, /*batched=*/true, /*delay_heavy=*/true);
+  ASSERT_FALSE(delayed.timed_out);
+  EXPECT_GT(count_substr(delayed.trace_text, "] net delay "), 0u)
+      << "seed " << seed << " parked no frames; the twin proves nothing";
+  EXPECT_EQ(delayed.executed, delayed.expected);
+  EXPECT_TRUE(delayed.invariants.ok())
+      << "delay-heavy seed " << seed << ":\n"
+      << delayed.invariants.to_string();
+  EXPECT_EQ(delayed.digest, clean.digest) << "delay-heavy seed " << seed;
+  EXPECT_GT(delayed.batches, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(TwentySeeds, ReliableNetSeedSweep,

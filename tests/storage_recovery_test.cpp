@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "storage/circuit_breaker.hpp"
+#include "storage/degraded_store.hpp"
 #include "storage/fault_store.hpp"
 #include "storage/mem_store.hpp"
 #include "storage/object_store.hpp"
@@ -381,6 +382,117 @@ TEST(ReplicatedStore, EraseRemovesFromBothReplicas) {
   EXPECT_FALSE(raw_mirror->contains(8));
   EXPECT_EQ(raw_primary->stats().erase_ops, 1u);
   EXPECT_EQ(raw_mirror->stats().erase_ops, 1u);
+}
+
+// --- Hedged reads (gray-failure mitigation) ---------------------------------
+
+TEST(DegradedStore, WindowInflatesModeledCostOnly) {
+  DegradedPlan plan;
+  plan.base_op_us = 50;
+  plan.windows.push_back(DegradedWindow{.begin_op = 1, .end_op = 3,
+                                        .inflation = 10});
+  DegradedStore store(std::make_unique<MemStore>(), plan);
+  const auto blob = sealed_payload(1, 4);
+  // Ops 0..3: op 0 and 3 at base cost, ops 1 and 2 inside the window.
+  for (ObjectKey k = 0; k < 4; ++k) {
+    ASSERT_TRUE(store.store(k, blob).is_ok());
+  }
+  EXPECT_EQ(store.degraded_ops(), 2u);
+  EXPECT_EQ(store.stats().virtual_store_latency_us, 50u + 500u + 500u + 50u);
+  EXPECT_EQ(store.stats().virtual_load_latency_us, 0u);
+  // The payload itself is untouched: degradation is latency, never loss.
+  auto r = store.load(0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), blob);
+}
+
+TEST(ReplicatedStore, HedgedReadWinsOnMirrorAndSkipsSlowPrimary) {
+  // Primary charges 1600us per load (always-degraded window); the hedge
+  // trigger is 400us. The first load primes the EWMA on the primary path;
+  // from the second load on, the mirror is raced first and a sealed hit
+  // skips the primary device op entirely.
+  DegradedPlan plan;
+  plan.base_op_us = 100;
+  plan.windows.push_back(DegradedWindow{.inflation = 16});  // [0, inf)
+  auto primary =
+      std::make_unique<DegradedStore>(std::make_unique<MemStore>(), plan);
+  DegradedStore* raw_primary = primary.get();
+  ReplicatedStoreOptions ropts;
+  ropts.hedged_reads = true;
+  ropts.hedge_latency_us = 400;
+  ReplicatedStore store(std::move(primary), std::make_unique<MemStore>(),
+                        ropts);
+
+  const auto blob = sealed_payload(21, 16);
+  ASSERT_TRUE(store.store(7, blob).is_ok());
+
+  auto first = store.load(7);
+  ASSERT_TRUE(first.is_ok());
+  auto rs = store.replicated_stats();
+  EXPECT_EQ(rs.hedged_reads, 0u);  // EWMA still cold
+  EXPECT_EQ(rs.primary_load_ewma_us, 1600u);
+
+  const std::uint64_t primary_loads = raw_primary->stats().load_ops;
+  auto second = store.load(7);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), blob);
+  rs = store.replicated_stats();
+  EXPECT_EQ(rs.hedged_reads, 1u);
+  EXPECT_EQ(rs.hedge_wins, 1u);
+  EXPECT_EQ(rs.hedge_losses, 0u);
+  EXPECT_EQ(raw_primary->stats().load_ops, primary_loads)
+      << "a hedge win must not touch the slow primary";
+  // Each win decays the EWMA (1/16), so a healed primary is re-probed
+  // eventually instead of being hedged around forever.
+  EXPECT_EQ(rs.primary_load_ewma_us, 1600u - 1600u / 16u);
+}
+
+TEST(ReplicatedStore, HedgeLossFallsThroughToPrimary) {
+  // The mirror refuses every store, so a hedge can never be served there:
+  // each hedged load must count a loss and still return the primary's blob.
+  DegradedPlan plan;
+  plan.base_op_us = 500;
+  plan.windows.push_back(DegradedWindow{.inflation = 4});
+  ReplicatedStoreOptions ropts;
+  ropts.hedged_reads = true;
+  ropts.hedge_latency_us = 400;
+  ReplicatedStore store(
+      std::make_unique<DegradedStore>(std::make_unique<MemStore>(), plan),
+      std::make_unique<FaultStore>(std::make_unique<MemStore>(),
+                                   FaultPlan{.store_failure_rate = 1.0}),
+      ropts);
+
+  const auto blob = sealed_payload(33, 8);
+  ASSERT_TRUE(store.store(9, blob).is_ok());
+  EXPECT_EQ(store.replicated_stats().mirror_write_failures, 1u);
+
+  ASSERT_TRUE(store.load(9).is_ok());  // primes the EWMA
+  auto r = store.load(9);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), blob);
+  auto rs = store.replicated_stats();
+  EXPECT_EQ(rs.hedged_reads, 1u);
+  EXPECT_EQ(rs.hedge_wins, 0u);
+  EXPECT_EQ(rs.hedge_losses, 1u);
+}
+
+TEST(ReplicatedStore, HedgingOffByDefaultNeverTouchesMirrorFirst) {
+  DegradedPlan plan;
+  plan.base_op_us = 5000;  // far above any trigger
+  auto mirror = std::make_unique<MemStore>();
+  MemStore* raw_mirror = mirror.get();
+  ReplicatedStore store(
+      std::make_unique<DegradedStore>(std::make_unique<MemStore>(), plan),
+      std::move(mirror));
+  ASSERT_TRUE(store.store(2, sealed_payload(2, 4)).is_ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.load(2).is_ok());
+  }
+  auto rs = store.replicated_stats();
+  EXPECT_EQ(rs.hedged_reads, 0u);
+  EXPECT_EQ(rs.hedge_wins, 0u);
+  EXPECT_EQ(raw_mirror->stats().load_ops, 0u)
+      << "with the knob off the mirror serves only failures, as before";
 }
 
 TEST(ReplicatedStore, StatsReportThePrimaryDeviceView) {
